@@ -1,0 +1,126 @@
+// Ablation study over GeoAlign's design choices (DESIGN.md §4): the
+// weight solver (paper's simplex-constrained LS vs alternatives), the
+// Eq. 14 scale handling, the denominator source, and the
+// zero-denominator fallback. Reports cross-validated mean NRMSE on the
+// US dataset suite for every configuration.
+
+#include <cstdio>
+#include <functional>
+
+#include "bench_util.h"
+#include "core/areal_weighting.h"
+#include "core/regression.h"
+#include "core/three_class_dasymetric.h"
+#include "core/geoalign.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+
+namespace geoalign {
+namespace {
+
+double MeanCvNrmse(const synth::Universe& uni,
+                   const core::GeoAlignOptions& options) {
+  core::GeoAlign geoalign(options);
+  double acc = 0.0;
+  for (size_t t = 0; t < uni.datasets.size(); ++t) {
+    auto input = std::move(uni.MakeLeaveOneOutInput(t)).ValueOrDie();
+    auto res = std::move(geoalign.Crosswalk(input)).ValueOrDie();
+    acc += eval::Nrmse(res.target_estimates, uni.datasets[t].target);
+  }
+  return acc / static_cast<double>(uni.datasets.size());
+}
+
+void Run() {
+  const synth::Universe& uni = bench::GetUniverse(
+      synth::UniverseId::kUnitedStates, synth::SuiteKind::kUnitedStates);
+  std::printf("=== Ablation: GeoAlign design choices ===\n");
+  std::printf("universe: %s (%zu zips -> %zu counties), metric: "
+              "cross-validated mean NRMSE over %zu datasets\n\n",
+              uni.name.c_str(), uni.NumZips(), uni.NumCounties(),
+              uni.datasets.size());
+
+  eval::TextTable table({"configuration", "mean NRMSE"});
+  auto run = [&](const char* name, core::GeoAlignOptions opts) {
+    table.Row().Text(name).Num(MeanCvNrmse(uni, opts));
+  };
+
+  core::GeoAlignOptions base;
+  run("paper default (simplex LS, normalized, DM-row-sum denom)", base);
+
+  {
+    core::GeoAlignOptions o = base;
+    o.solver = core::WeightSolver::kNnlsNormalized;
+    run("solver: NNLS then rescale to simplex", o);
+  }
+  {
+    core::GeoAlignOptions o = base;
+    o.solver = core::WeightSolver::kClampedLs;
+    run("solver: unconstrained LS, clamp+rescale", o);
+  }
+  {
+    core::GeoAlignOptions o = base;
+    o.solver = core::WeightSolver::kUniform;
+    run("solver: uniform weights (no learning)", o);
+  }
+  {
+    core::GeoAlignOptions o = base;
+    o.scale_mode = core::ScaleMode::kRaw;
+    run("scale: raw reference magnitudes in Eq. 14", o);
+  }
+  {
+    core::GeoAlignOptions o = base;
+    o.denominator = core::DenominatorMode::kFromAggregates;
+    run("denominator: literal Eq. 14 aggregates", o);
+  }
+  {
+    core::GeoAlignOptions o = base;
+    o.zero_row_fallback = core::ZeroRowFallback::kFallbackDm;
+    o.fallback_dm = &uni.measure_dm;
+    run("zero rows: areal-weighting fallback", o);
+  }
+  table.Print();
+
+  // Method-family comparison on the same protocol (beyond GeoAlign's
+  // own knobs): the related-work lineage from homogeneity to classed
+  // densities to regression.
+  std::printf("\n=== Method families (same CV protocol) ===\n");
+  eval::TextTable families({"method", "mean NRMSE"});
+  auto run_method = [&](const char* name, const core::Interpolator& m,
+                        bool skip_area) {
+    double acc = 0.0;
+    int n = 0;
+    for (size_t t = 0; t < uni.datasets.size(); ++t) {
+      const std::string& test_name = uni.datasets[t].name;
+      if (skip_area && test_name == "Area (Sq. Miles)") continue;
+      if (test_name == "Population") continue;  // comparable across rows
+      auto input = std::move(uni.MakeLeaveOneOutInput(t)).ValueOrDie();
+      auto res = std::move(m.Crosswalk(input)).ValueOrDie();
+      acc += eval::Nrmse(res.target_estimates, uni.datasets[t].target);
+      ++n;
+    }
+    families.Row().Text(name).Num(acc / n);
+  };
+  core::GeoAlign geoalign;
+  run_method("GeoAlign", geoalign, false);
+  core::ArealWeighting areal(uni.measure_dm);
+  run_method("areal weighting (1 class)", areal, true);
+  core::ThreeClassDasymetric three(
+      uni.measure_dm,
+      {.num_classes = 3, .reference_name = "Population"});
+  run_method("3-class dasymetric [Langford 2006]", three, true);
+  core::RegressionBaseline regression;
+  run_method("OLS regression [Flowerdew & Green]", regression, false);
+  families.Print();
+  std::printf(
+      "\n(interpretation: weight learning matters most when references "
+      "disagree; the simplex constraint stabilizes mixing; the DM-row-sum "
+      "denominator equals the literal one on consistent data)\n");
+}
+
+}  // namespace
+}  // namespace geoalign
+
+int main() {
+  geoalign::Run();
+  return 0;
+}

@@ -1,0 +1,49 @@
+#ifndef GEOALIGN_BENCH_BENCH_UTIL_H_
+#define GEOALIGN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "synth/universe.h"
+
+namespace geoalign::bench {
+
+/// Builds (and caches per id+suite) a paper-scale universe. The
+/// GEOALIGN_BENCH_SCALE environment variable (default 1.0) rescales
+/// every universe, letting CI smoke-run the full harness quickly.
+inline double BenchScale() {
+  const char* env = std::getenv("GEOALIGN_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double v = std::atof(env);
+  return v > 0.0 ? v : 1.0;
+}
+
+inline const synth::Universe& GetUniverse(
+    synth::UniverseId id, std::optional<synth::SuiteKind> suite = {}) {
+  struct Key {
+    synth::UniverseId id;
+    int suite;
+  };
+  static std::vector<std::pair<Key, std::unique_ptr<synth::Universe>>> cache;
+  int suite_key = suite.has_value() ? static_cast<int>(*suite) : -1;
+  for (auto& [key, uni] : cache) {
+    if (key.id == id && key.suite == suite_key) return *uni;
+  }
+  synth::UniverseOptions opts;
+  opts.scale = BenchScale();
+  opts.seed = 2018;
+  opts.suite = suite;
+  auto built = synth::BuildUniverse(id, opts);
+  built.status().CheckOK();
+  cache.emplace_back(Key{id, suite_key}, std::make_unique<synth::Universe>(
+                                             std::move(built).value()));
+  return *cache.back().second;
+}
+
+}  // namespace geoalign::bench
+
+#endif  // GEOALIGN_BENCH_BENCH_UTIL_H_

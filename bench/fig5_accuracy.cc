@@ -1,0 +1,67 @@
+// Reproduces paper Figure 5 (a: New York State, b: United States):
+// cross-validated NRMSE of GeoAlign vs the dasymetric baselines, plus
+// the §4.2 text claim about areal weighting being an order of
+// magnitude worse.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eval/cross_validation.h"
+#include "eval/report.h"
+
+namespace geoalign {
+namespace {
+
+void RunFigure(const char* title, const synth::Universe& uni) {
+  std::printf("\n=== Figure 5 (%s): NRMSE, cross-validated ===\n", title);
+  std::printf("universe: %zu zips -> %zu counties, %zu datasets\n\n",
+              uni.NumZips(), uni.NumCounties(), uni.datasets.size());
+
+  eval::CvOptions cv_options;
+  cv_options.run_regression = true;
+  auto report = std::move(eval::RunCrossValidation(uni, cv_options)).ValueOrDie();
+
+  eval::TextTable table({"dataset", "GeoAlign", "dasy(Population)",
+                         "dasy(USPS Residential)", "dasy(USPS Business)",
+                         "areal_weighting", "regression"});
+  for (const synth::Dataset& d : uni.datasets) {
+    table.Row()
+        .Text(d.name)
+        .Num(report.Lookup(d.name, "GeoAlign"))
+        .Num(report.Lookup(d.name, "dasymetric(Population)"))
+        .Num(report.Lookup(d.name, "dasymetric(USPS Residential Address)"))
+        .Num(report.Lookup(d.name, "dasymetric(USPS Business Address)"))
+        .Num(report.Lookup(d.name, "areal_weighting"))
+        .Num(report.Lookup(d.name, "regression"));
+  }
+  table.Print();
+
+  double ga = report.MeanNrmse("GeoAlign");
+  double aw = report.MeanNrmse("areal_weighting");
+  std::printf("\nmean NRMSE: GeoAlign %.4f", ga);
+  std::printf(" | dasymetric(Population) %.4f",
+              report.MeanNrmse("dasymetric(Population)"));
+  std::printf(" | areal weighting %.4f (%.1fx GeoAlign)\n", aw, aw / ga);
+  double worst_ga = 0.0;
+  for (const synth::Dataset& d : uni.datasets) {
+    double v = report.Lookup(d.name, "GeoAlign");
+    if (!std::isnan(v)) worst_ga = std::max(worst_ga, v);
+  }
+  std::printf("max GeoAlign NRMSE: %.4f (paper: <0.13 NY / <0.26 US)\n",
+              worst_ga);
+}
+
+}  // namespace
+}  // namespace geoalign
+
+int main() {
+  using geoalign::bench::GetUniverse;
+  using geoalign::synth::SuiteKind;
+  using geoalign::synth::UniverseId;
+  geoalign::RunFigure("a, New York State",
+            GetUniverse(UniverseId::kNewYork, SuiteKind::kNewYorkState));
+  geoalign::RunFigure("b, United States",
+            GetUniverse(UniverseId::kUnitedStates, SuiteKind::kUnitedStates));
+  return 0;
+}

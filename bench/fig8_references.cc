@@ -1,0 +1,75 @@
+// Reproduces paper Figure 8 (§4.4.2): robustness to the choice of
+// reference attributes. For each US dataset, GeoAlign runs with all
+// references and with the {1,2} most/least source-level-correlated
+// references left out; the NRMSE per policy is reported, along with
+// the learned-weight diagnostics behind the paper's discussion (the
+// two ~collinear USPS/population references trading weight).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eval/reference_selection.h"
+#include "eval/report.h"
+#include "linalg/stats.h"
+
+namespace geoalign {
+namespace {
+
+void Run() {
+  const synth::Universe& uni = bench::GetUniverse(
+      synth::UniverseId::kUnitedStates, synth::SuiteKind::kUnitedStates);
+  std::printf("=== Figure 8: reference-subset robustness (NRMSE) ===\n");
+  std::printf("universe: %s (%zu zips -> %zu counties)\n\n",
+              uni.name.c_str(), uni.NumZips(), uni.NumCounties());
+
+  auto cells = std::move(eval::RunReferenceSelection(uni)).ValueOrDie();
+
+  eval::TextTable table({"dataset", "leave 1 least out", "leave 2 least out",
+                         "leave 1 most out", "leave 2 most out",
+                         "all references"});
+  auto lookup = [&cells](const std::string& dataset,
+                         eval::SubsetPolicy policy, size_t n_out) {
+    for (const auto& c : cells) {
+      if (c.dataset == dataset && c.policy == policy && c.n_out == n_out) {
+        return c.nrmse;
+      }
+    }
+    return std::nan("");
+  };
+  for (const synth::Dataset& d : uni.datasets) {
+    table.Row()
+        .Text(d.name)
+        .Num(lookup(d.name, eval::SubsetPolicy::kLeastRelatedOut, 1))
+        .Num(lookup(d.name, eval::SubsetPolicy::kLeastRelatedOut, 2))
+        .Num(lookup(d.name, eval::SubsetPolicy::kMostRelatedOut, 1))
+        .Num(lookup(d.name, eval::SubsetPolicy::kMostRelatedOut, 2))
+        .Num(lookup(d.name, eval::SubsetPolicy::kAll, 0));
+  }
+  table.Print();
+
+  // The §4.4.2 collinearity diagnostic: correlation between the two
+  // population-level references at source level.
+  auto pop = uni.FindDataset("Population");
+  auto res = uni.FindDataset("USPS Residential Address");
+  if (pop.ok() && res.ok()) {
+    double corr = linalg::PearsonCorrelation(uni.datasets[*pop].source,
+                                             uni.datasets[*res].source);
+    std::printf(
+        "\ncorr(Population, USPS Residential) at source level: %.3f "
+        "(paper reports the collinear pair at ~0.96: leaving one out "
+        "shifts its weight to the other)\n",
+        corr);
+  }
+  std::printf(
+      "(paper: dropping least-related references is harmless; dropping "
+      "the most-related ones hurts exactly the datasets with no other "
+      "well-correlated reference)\n");
+}
+
+}  // namespace
+}  // namespace geoalign
+
+int main() {
+  geoalign::Run();
+  return 0;
+}

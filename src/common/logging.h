@@ -1,0 +1,69 @@
+#ifndef GEOALIGN_COMMON_LOGGING_H_
+#define GEOALIGN_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace geoalign {
+
+/// Severity for the minimal logging facility. FATAL aborts the process
+/// after emitting the message.
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+/// Sets the minimum severity that is actually emitted (default: Info).
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+namespace internal {
+
+/// Stream-style log message collector; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// GEOALIGN_LOG(INFO) << "message"; — emitted to stderr when at or
+/// above the configured threshold.
+#define GEOALIGN_LOG(severity)                                  \
+  ::geoalign::internal::LogMessage(                             \
+      ::geoalign::LogLevel::k##severity, __FILE__, __LINE__)
+
+/// Invariant check that is active in all build modes. On failure logs
+/// the condition and aborts.
+#define GEOALIGN_CHECK(cond)                                          \
+  if (!(cond))                                                        \
+  GEOALIGN_LOG(Fatal) << "Check failed: " #cond " "
+
+#define GEOALIGN_CHECK_OK(status_expr)                          \
+  do {                                                          \
+    ::geoalign::Status _s = (status_expr);                      \
+    if (!_s.ok()) GEOALIGN_LOG(Fatal) << _s.ToString();         \
+  } while (false)
+
+/// Debug-only check, compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define GEOALIGN_DCHECK(cond) \
+  if (false) GEOALIGN_LOG(Fatal) << ""
+#else
+#define GEOALIGN_DCHECK(cond) GEOALIGN_CHECK(cond)
+#endif
+
+}  // namespace geoalign
+
+#endif  // GEOALIGN_COMMON_LOGGING_H_

@@ -1,0 +1,45 @@
+#include "common/status.h"
+
+#include <cstdio>
+
+namespace geoalign {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIOError:
+      return "IOError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+void Status::CheckOK() const {
+  if (ok()) return;
+  std::fprintf(stderr, "Fatal status: %s\n", ToString().c_str());
+  std::abort();
+}
+
+}  // namespace geoalign

@@ -1,0 +1,37 @@
+#include "common/stopwatch.h"
+
+namespace geoalign {
+
+void PhaseTimer::Add(const std::string& phase, double seconds) {
+  for (auto& [name, total] : entries_) {
+    if (name == phase) {
+      total += seconds;
+      return;
+    }
+  }
+  entries_.emplace_back(phase, seconds);
+}
+
+double PhaseTimer::TotalSeconds() const {
+  double total = 0.0;
+  for (const auto& [name, secs] : entries_) total += secs;
+  return total;
+}
+
+double PhaseTimer::Seconds(const std::string& phase) const {
+  for (const auto& [name, secs] : entries_) {
+    if (name == phase) return secs;
+  }
+  return 0.0;
+}
+
+std::vector<std::string> PhaseTimer::Phases() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, secs] : entries_) out.push_back(name);
+  return out;
+}
+
+void PhaseTimer::Clear() { entries_.clear(); }
+
+}  // namespace geoalign

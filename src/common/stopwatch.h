@@ -1,0 +1,52 @@
+#ifndef GEOALIGN_COMMON_STOPWATCH_H_
+#define GEOALIGN_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace geoalign {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named phase timings (e.g. "weight_learning",
+/// "disaggregation", "reaggregation") so experiments can report the
+/// per-phase breakdown the paper discusses in §4.3.
+class PhaseTimer {
+ public:
+  /// Adds `seconds` to the named phase (created on first use).
+  void Add(const std::string& phase, double seconds);
+
+  /// Total over all phases.
+  double TotalSeconds() const;
+
+  /// Seconds recorded for `phase` (0 if never recorded).
+  double Seconds(const std::string& phase) const;
+
+  /// Phase names in insertion order.
+  std::vector<std::string> Phases() const;
+
+  void Clear();
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+}  // namespace geoalign
+
+#endif  // GEOALIGN_COMMON_STOPWATCH_H_

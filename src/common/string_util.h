@@ -1,0 +1,37 @@
+#ifndef GEOALIGN_COMMON_STRING_UTIL_H_
+#define GEOALIGN_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace geoalign {
+
+/// Splits `text` at every occurrence of `sep`; empty fields are kept.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Parses a double / int64; rejects trailing garbage.
+Result<double> ParseDouble(std::string_view text);
+Result<int64_t> ParseInt64(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Lower-cases ASCII letters.
+std::string AsciiToLower(std::string_view text);
+
+}  // namespace geoalign
+
+#endif  // GEOALIGN_COMMON_STRING_UTIL_H_

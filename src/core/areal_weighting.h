@@ -1,0 +1,37 @@
+#ifndef GEOALIGN_CORE_AREAL_WEIGHTING_H_
+#define GEOALIGN_CORE_AREAL_WEIGHTING_H_
+
+#include "core/interpolator.h"
+
+namespace geoalign::core {
+
+/// The areal weighting method [Markoff & Shapiro 1973; Goodchild &
+/// Lam 1980]: the homogeneity-assumption baseline,
+///
+///   DM̂_o[i,j] = |u^s_i ∩ u^t_j| / |u^s_i| · a^s_o[i].
+///
+/// The measure (area) disaggregation matrix is supplied at
+/// construction (obtained from a partition overlay; see
+/// `OverlayResult::MeasureDm`), so the interpolator itself stays
+/// dimension-independent like the others.
+class ArealWeighting : public Interpolator {
+ public:
+  /// `measure_dm` is the |U^s| x |U^t| matrix of intersection
+  /// measures; row sums are the source unit measures.
+  explicit ArealWeighting(sparse::CsrMatrix measure_dm);
+
+  std::string name() const override { return "areal_weighting"; }
+
+  Result<CrosswalkResult> Crosswalk(
+      const CrosswalkInput& input) const override;
+
+  const sparse::CsrMatrix& measure_dm() const { return measure_dm_; }
+
+ private:
+  sparse::CsrMatrix measure_dm_;
+  linalg::Vector source_measures_;
+};
+
+}  // namespace geoalign::core
+
+#endif  // GEOALIGN_CORE_AREAL_WEIGHTING_H_

@@ -1,0 +1,102 @@
+#include "core/batch.h"
+
+#include <cmath>
+
+#include "sparse/sparse_ops.h"
+
+namespace geoalign::core {
+
+BatchCrosswalk::BatchCrosswalk(std::vector<ReferenceAttribute> references,
+                               GeoAlignOptions options)
+    : references_(std::move(references)), options_(std::move(options)) {}
+
+Result<BatchCrosswalk> BatchCrosswalk::Create(
+    std::vector<ReferenceAttribute> references, GeoAlignOptions options) {
+  if (references.empty()) {
+    return Status::InvalidArgument("BatchCrosswalk: no references");
+  }
+  if (options.solver != WeightSolver::kSimplex) {
+    return Status::Unimplemented(
+        "BatchCrosswalk: only the simplex solver is batched");
+  }
+  BatchCrosswalk batch(std::move(references), std::move(options));
+  batch.num_source_ = batch.references_[0].source_aggregates.size();
+  batch.num_target_ = batch.references_[0].disaggregation.cols();
+
+  std::vector<linalg::Vector> columns;
+  batch.normalizers_.reserve(batch.references_.size());
+  for (const ReferenceAttribute& ref : batch.references_) {
+    if (ref.source_aggregates.size() != batch.num_source_ ||
+        ref.disaggregation.rows() != batch.num_source_ ||
+        ref.disaggregation.cols() != batch.num_target_) {
+      return Status::InvalidArgument("BatchCrosswalk: reference '" +
+                                     ref.name + "' shape mismatch");
+    }
+    GEOALIGN_ASSIGN_OR_RETURN(linalg::Vector norm,
+                              linalg::NormalizeByMax(ref.source_aggregates));
+    columns.push_back(std::move(norm));
+    batch.normalizers_.push_back(linalg::Max(ref.source_aggregates));
+  }
+  batch.design_ = linalg::Matrix::FromColumns(columns);
+  batch.gram_ = batch.design_.Gram();
+  return batch;
+}
+
+Result<std::vector<BatchCrosswalk::BatchResult>> BatchCrosswalk::Run(
+    const std::vector<Objective>& objectives) const {
+  std::vector<BatchResult> out;
+  out.reserve(objectives.size());
+  size_t num_refs = references_.size();
+  std::vector<const sparse::CsrMatrix*> dms;
+  dms.reserve(num_refs);
+  for (const ReferenceAttribute& ref : references_) {
+    dms.push_back(&ref.disaggregation);
+  }
+
+  for (const Objective& objective : objectives) {
+    if (objective.source.size() != num_source_) {
+      return Status::InvalidArgument("BatchCrosswalk: objective '" +
+                                     objective.name + "' wrong length");
+    }
+    // Weight learning with the shared Gram matrix.
+    GEOALIGN_ASSIGN_OR_RETURN(linalg::Vector b,
+                              linalg::NormalizeByMax(objective.source));
+    linalg::Vector atb = design_.MatTVec(b);
+    GEOALIGN_ASSIGN_OR_RETURN(
+        linalg::SimplexLsSolution sol,
+        linalg::SolveSimplexLsFromNormalEquations(
+            gram_, atb, linalg::Dot(b, b), options_.solver_options));
+
+    // Disaggregation + re-aggregation (same math as GeoAlign).
+    linalg::Vector effective(num_refs, 0.0);
+    for (size_t k = 0; k < num_refs; ++k) {
+      double norm = options_.scale_mode == ScaleMode::kNormalized
+                        ? normalizers_[k]
+                        : 1.0;
+      effective[k] = sol.beta[k] / norm;
+    }
+    GEOALIGN_ASSIGN_OR_RETURN(sparse::CsrMatrix numerator,
+                              sparse::WeightedSum(dms, effective));
+    linalg::Vector denom;
+    if (options_.denominator == DenominatorMode::kFromDmRowSums) {
+      denom = numerator.RowSums();
+    } else {
+      denom.assign(num_source_, 0.0);
+      for (size_t k = 0; k < num_refs; ++k) {
+        if (effective[k] == 0.0) continue;
+        linalg::Axpy(effective[k], references_[k].source_aggregates, denom);
+      }
+    }
+    BatchResult result;
+    result.name = objective.name;
+    sparse::DivideRowsOrZero(numerator, denom, options_.zero_tolerance,
+                             &result.zero_rows);
+    numerator.ScaleRows(objective.source);
+    result.target_estimates = numerator.ColSums();
+    result.weights = std::move(sol.beta);
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace geoalign::core

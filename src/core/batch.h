@@ -1,0 +1,71 @@
+#ifndef GEOALIGN_CORE_BATCH_H_
+#define GEOALIGN_CORE_BATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/geoalign.h"
+
+namespace geoalign::core {
+
+/// Realigns MANY objective attributes over one shared reference set —
+/// the shape of the paper's envisioned "automatic aggregate data
+/// integration system" (§6), where a data portal realigns every
+/// column of every table onto a canonical unit system.
+///
+/// Compared to looping over `GeoAlign::Crosswalk`, the batch reuses
+/// everything objective-independent: the normalized design matrix and
+/// its Gram matrix for weight learning, and the per-reference
+/// normalization factors for disaggregation. With R references and B
+/// objectives this removes the O(B · R · |U^s|) re-normalization and
+/// O(B · R² · |U^s|) Gram rebuild.
+class BatchCrosswalk {
+ public:
+  /// Validates and preprocesses the shared references. All objectives
+  /// passed to `Run` must use source vectors of `references[0]`'s
+  /// length.
+  static Result<BatchCrosswalk> Create(
+      std::vector<ReferenceAttribute> references,
+      GeoAlignOptions options = {});
+
+  /// One objective column to realign.
+  struct Objective {
+    std::string name;
+    linalg::Vector source;  ///< a^s_o
+  };
+
+  /// One realigned column.
+  struct BatchResult {
+    std::string name;
+    linalg::Vector target_estimates;
+    linalg::Vector weights;
+    std::vector<size_t> zero_rows;
+  };
+
+  /// Realigns every objective; results are index-aligned with input.
+  Result<std::vector<BatchResult>> Run(
+      const std::vector<Objective>& objectives) const;
+
+  size_t NumSourceUnits() const { return num_source_; }
+  size_t NumTargetUnits() const { return num_target_; }
+  const std::vector<ReferenceAttribute>& references() const {
+    return references_;
+  }
+
+ private:
+  BatchCrosswalk(std::vector<ReferenceAttribute> references,
+                 GeoAlignOptions options);
+
+  std::vector<ReferenceAttribute> references_;
+  GeoAlignOptions options_;
+  size_t num_source_ = 0;
+  size_t num_target_ = 0;
+  // Objective-independent precomputations.
+  linalg::Matrix design_;             // normalized reference columns A
+  linalg::Matrix gram_;               // A^T A
+  linalg::Vector normalizers_;        // max_i a^s_rk[i] per reference
+};
+
+}  // namespace geoalign::core
+
+#endif  // GEOALIGN_CORE_BATCH_H_

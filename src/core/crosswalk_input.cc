@@ -1,0 +1,92 @@
+#include "core/crosswalk_input.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace geoalign::core {
+
+Status CrosswalkInput::Validate(double consistency_tol) const {
+  if (references.empty()) {
+    return Status::InvalidArgument("CrosswalkInput: no reference attributes");
+  }
+  size_t num_source = objective_source.size();
+  if (num_source == 0) {
+    return Status::InvalidArgument("CrosswalkInput: empty objective vector");
+  }
+  for (double v : objective_source) {
+    if (v < 0.0 || !std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "CrosswalkInput: objective aggregates must be finite and >= 0");
+    }
+  }
+  size_t num_target = references[0].disaggregation.cols();
+  if (num_target == 0) {
+    return Status::InvalidArgument("CrosswalkInput: zero target units");
+  }
+  for (const ReferenceAttribute& ref : references) {
+    if (ref.source_aggregates.size() != num_source) {
+      return Status::InvalidArgument(StrFormat(
+          "reference '%s': source vector has %zu entries, expected %zu",
+          ref.name.c_str(), ref.source_aggregates.size(), num_source));
+    }
+    if (ref.disaggregation.rows() != num_source ||
+        ref.disaggregation.cols() != num_target) {
+      return Status::InvalidArgument(StrFormat(
+          "reference '%s': DM is %zux%zu, expected %zux%zu",
+          ref.name.c_str(), ref.disaggregation.rows(),
+          ref.disaggregation.cols(), num_source, num_target));
+    }
+    for (double v : ref.source_aggregates) {
+      if (v < 0.0 || !std::isfinite(v)) {
+        return Status::InvalidArgument(StrFormat(
+            "reference '%s': negative or non-finite source aggregate",
+            ref.name.c_str()));
+      }
+    }
+    for (double v : ref.disaggregation.values()) {
+      if (v < 0.0 || !std::isfinite(v)) {
+        return Status::InvalidArgument(StrFormat(
+            "reference '%s': negative or non-finite DM entry",
+            ref.name.c_str()));
+      }
+    }
+    linalg::Vector sums = ref.disaggregation.RowSums();
+    for (size_t i = 0; i < num_source; ++i) {
+      double lim =
+          consistency_tol * std::max(1.0, ref.source_aggregates[i]);
+      if (std::fabs(sums[i] - ref.source_aggregates[i]) > lim) {
+        return Status::FailedPrecondition(StrFormat(
+            "reference '%s': DM row %zu sums to %.9g, source aggregate "
+            "is %.9g",
+            ref.name.c_str(), i, sums[i], ref.source_aggregates[i]));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<size_t> CrosswalkInput::FindReference(const std::string& name) const {
+  for (size_t k = 0; k < references.size(); ++k) {
+    if (references[k].name == name) return k;
+  }
+  return Status::NotFound("no reference named '" + name + "'");
+}
+
+Result<CrosswalkInput> CrosswalkInput::WithReferenceSubset(
+    const std::vector<size_t>& keep) const {
+  if (keep.empty()) {
+    return Status::InvalidArgument("WithReferenceSubset: empty subset");
+  }
+  CrosswalkInput out;
+  out.objective_source = objective_source;
+  for (size_t k : keep) {
+    if (k >= references.size()) {
+      return Status::OutOfRange("WithReferenceSubset: index out of range");
+    }
+    out.references.push_back(references[k]);
+  }
+  return out;
+}
+
+}  // namespace geoalign::core

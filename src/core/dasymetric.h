@@ -1,0 +1,42 @@
+#ifndef GEOALIGN_CORE_DASYMETRIC_H_
+#define GEOALIGN_CORE_DASYMETRIC_H_
+
+#include "core/interpolator.h"
+
+namespace geoalign::core {
+
+/// The single-reference dasymetric method [Wright 1936; Langford 2006]
+/// — the state-of-the-art baseline the paper compares against:
+///
+///   DM̂_o[i,j] = DM_r[i,j] / a^s_r[i] · a^s_o[i]
+///
+/// i.e. the objective is split across a source unit's intersections in
+/// the same proportions as the chosen reference attribute. Source rows
+/// where the reference is zero produce zero rows (reported in
+/// `zero_rows`). Volume preserving wherever the reference has support.
+class Dasymetric : public Interpolator {
+ public:
+  /// Uses the reference at `reference_index` in the input.
+  explicit Dasymetric(size_t reference_index,
+                      std::string display_name = "dasymetric");
+
+  /// Uses the reference with the given name (resolved per call).
+  explicit Dasymetric(std::string reference_name);
+
+  std::string name() const override;
+
+  Result<CrosswalkResult> Crosswalk(
+      const CrosswalkInput& input) const override;
+
+ private:
+  Result<size_t> ResolveReference(const CrosswalkInput& input) const;
+
+  size_t reference_index_ = 0;
+  bool by_name_ = false;
+  std::string reference_name_;
+  std::string display_name_;
+};
+
+}  // namespace geoalign::core
+
+#endif  // GEOALIGN_CORE_DASYMETRIC_H_

@@ -1,0 +1,110 @@
+#ifndef GEOALIGN_CORE_GEOALIGN_H_
+#define GEOALIGN_CORE_GEOALIGN_H_
+
+#include "core/interpolator.h"
+#include "linalg/simplex_ls.h"
+
+namespace geoalign::core {
+
+/// How reference scales are handled inside Eq. 14.
+enum class ScaleMode {
+  /// DM_rk and a^s_rk are both divided by max_i a^s_rk[i] before the
+  /// weighted combination — the scale-free reading of the paper's
+  /// "adapt it to the scale of reference attributes" remark. Volume
+  /// preservation holds exactly. Default.
+  kNormalized,
+  /// Weights are applied to the raw matrices/vectors (ablation only;
+  /// mixes reference magnitudes).
+  kRaw,
+};
+
+/// Which solver learns the weights β (Eq. 15). Alternatives exist for
+/// the ablation study; the paper's formulation is kSimplex.
+enum class WeightSolver {
+  /// min ||Aβ - b||², Σβ = 1, β >= 0 (paper Eq. 15).
+  kSimplex,
+  /// Lawson–Hanson NNLS, then rescale to Σβ = 1.
+  kNnlsNormalized,
+  /// Unconstrained least squares, negatives clamped to 0, rescaled.
+  kClampedLs,
+  /// β uniform over all references (no learning).
+  kUniform,
+};
+
+/// Where Eq. 14's per-row denominator Σ_k β_k a'^s_rk[i] comes from.
+enum class DenominatorMode {
+  /// Row sums of the weighted reference DMs. Identical to the
+  /// aggregate vectors when the input is consistent, but keeps volume
+  /// preservation (Eq. 16) exact even when the reported aggregates are
+  /// noisy — the regime of the paper's §4.4.1 robustness study, whose
+  /// near-1 deviation ratios are only reproducible this way. Default.
+  kFromDmRowSums,
+  /// The literal Eq. 14 denominator: the references' reported source
+  /// aggregate vectors. Under inconsistent (noisy) aggregates each
+  /// row's mass is scaled by the aggregate error. Ablation only.
+  kFromAggregates,
+};
+
+/// Behaviour for source rows whose weighted reference mass is zero
+/// (Eq. 14's "otherwise" branch).
+enum class ZeroRowFallback {
+  /// Emit an all-zero row (the paper's choice). The objective mass of
+  /// that source unit is lost — volume preservation holds only on
+  /// rows with reference support.
+  kZero,
+  /// Distribute the row by the supplied fallback DM (typically area),
+  /// keeping the method volume preserving everywhere.
+  kFallbackDm,
+};
+
+/// Options controlling the GeoAlign interpolator.
+struct GeoAlignOptions {
+  ScaleMode scale_mode = ScaleMode::kNormalized;
+  WeightSolver solver = WeightSolver::kSimplex;
+  DenominatorMode denominator = DenominatorMode::kFromDmRowSums;
+  ZeroRowFallback zero_row_fallback = ZeroRowFallback::kZero;
+  /// Row denominators with |d| <= zero_tolerance take the fallback.
+  double zero_tolerance = 0.0;
+  /// Required when zero_row_fallback == kFallbackDm: a consistent DM
+  /// (e.g. the measure/area DM) used for unsupported rows. Not owned;
+  /// must outlive the interpolator.
+  const sparse::CsrMatrix* fallback_dm = nullptr;
+  /// Options forwarded to the simplex solver.
+  linalg::SimplexLsOptions solver_options;
+};
+
+/// The paper's contribution (Algorithm 1): an adaptive multi-reference
+/// crosswalk.
+///
+///  1. Weight learning — β = argmin ||A β - b||² on the probability
+///     simplex, where A's columns are the max-normalized reference
+///     aggregate vectors at source level and b is the normalized
+///     objective (Eq. 15).
+///  2. Disaggregation — DM̂_o[i,j] = (Σ_k β_k DM'_rk[i,j]) /
+///     (Σ_k β_k a'^s_rk[i]) · a^s_o[i] (Eq. 14).
+///  3. Re-aggregation — â^t_o = column sums of DM̂_o (Eq. 17).
+///
+/// Dimension-independent: nothing here inspects geometry, only
+/// aggregate vectors and disaggregation matrices.
+class GeoAlign : public Interpolator {
+ public:
+  explicit GeoAlign(GeoAlignOptions options = {});
+
+  std::string name() const override { return "GeoAlign"; }
+
+  Result<CrosswalkResult> Crosswalk(
+      const CrosswalkInput& input) const override;
+
+  /// Runs only step 1 and returns β. Exposed for experiments that
+  /// inspect weights (e.g. §4.4.2 reference-selection analysis).
+  Result<linalg::Vector> LearnWeights(const CrosswalkInput& input) const;
+
+  const GeoAlignOptions& options() const { return options_; }
+
+ private:
+  GeoAlignOptions options_;
+};
+
+}  // namespace geoalign::core
+
+#endif  // GEOALIGN_CORE_GEOALIGN_H_

@@ -1,0 +1,88 @@
+#include "core/pipeline.h"
+
+#include <unordered_map>
+
+namespace geoalign::core {
+
+CrosswalkPipeline::CrosswalkPipeline(
+    std::vector<std::string> source_units,
+    std::vector<std::string> target_units,
+    std::vector<ReferenceAttribute> references,
+    std::shared_ptr<const Interpolator> method)
+    : source_units_(std::move(source_units)),
+      target_units_(std::move(target_units)),
+      references_(std::move(references)),
+      method_(std::move(method)) {}
+
+Result<CrosswalkPipeline> CrosswalkPipeline::Create(
+    std::vector<std::string> source_units,
+    std::vector<std::string> target_units,
+    std::vector<ReferenceAttribute> references,
+    std::shared_ptr<const Interpolator> method) {
+  if (source_units.empty() || target_units.empty()) {
+    return Status::InvalidArgument("CrosswalkPipeline: empty unit lists");
+  }
+  if (references.empty()) {
+    return Status::InvalidArgument("CrosswalkPipeline: no references");
+  }
+  for (const ReferenceAttribute& ref : references) {
+    if (ref.source_aggregates.size() != source_units.size() ||
+        ref.disaggregation.rows() != source_units.size() ||
+        ref.disaggregation.cols() != target_units.size()) {
+      return Status::InvalidArgument(
+          "CrosswalkPipeline: reference '" + ref.name +
+          "' does not match the unit lists");
+    }
+  }
+  if (method == nullptr) {
+    method = std::make_shared<GeoAlign>();
+  }
+  return CrosswalkPipeline(std::move(source_units), std::move(target_units),
+                           std::move(references), std::move(method));
+}
+
+Result<linalg::Vector> CrosswalkPipeline::ResolveColumn(
+    const std::vector<std::pair<std::string, double>>& column,
+    const std::vector<std::string>& units) const {
+  std::unordered_map<std::string, size_t> index;
+  index.reserve(units.size());
+  for (size_t i = 0; i < units.size(); ++i) index.emplace(units[i], i);
+  linalg::Vector out(units.size(), 0.0);
+  for (const auto& [unit, value] : column) {
+    auto it = index.find(unit);
+    if (it == index.end()) {
+      return Status::NotFound("CrosswalkPipeline: unknown unit '" + unit +
+                              "'");
+    }
+    out[it->second] += value;
+  }
+  return out;
+}
+
+Result<CrosswalkResult> CrosswalkPipeline::Realign(
+    const std::vector<std::pair<std::string, double>>& objective) const {
+  CrosswalkInput input;
+  GEOALIGN_ASSIGN_OR_RETURN(input.objective_source,
+                            ResolveColumn(objective, source_units_));
+  input.references = references_;
+  return method_->Crosswalk(input);
+}
+
+Result<std::vector<CrosswalkPipeline::JoinedRow>> CrosswalkPipeline::Join(
+    const std::vector<std::pair<std::string, double>>& objective,
+    const std::vector<std::pair<std::string, double>>& target_attribute)
+    const {
+  GEOALIGN_ASSIGN_OR_RETURN(CrosswalkResult realigned, Realign(objective));
+  GEOALIGN_ASSIGN_OR_RETURN(
+      linalg::Vector target_vals,
+      ResolveColumn(target_attribute, target_units_));
+  std::vector<JoinedRow> rows;
+  rows.reserve(target_units_.size());
+  for (size_t j = 0; j < target_units_.size(); ++j) {
+    rows.push_back(
+        {target_units_[j], realigned.target_estimates[j], target_vals[j]});
+  }
+  return rows;
+}
+
+}  // namespace geoalign::core

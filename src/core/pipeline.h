@@ -1,0 +1,79 @@
+#ifndef GEOALIGN_CORE_PIPELINE_H_
+#define GEOALIGN_CORE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/geoalign.h"
+
+namespace geoalign::core {
+
+/// End-to-end aggregate data integration (the system sketched in the
+/// paper's conclusion): joins an aggregate table reported on source
+/// units with a table reported on target units by realigning the
+/// former — the Fig. 1 steam-consumption ⋈ per-capita-income join.
+///
+/// Unit identifiers are strings (zip codes, county FIPS, ...); the
+/// pipeline handles name→index resolution, runs the interpolator, and
+/// emits a joined table keyed by target unit.
+class CrosswalkPipeline {
+ public:
+  /// `references` carry the crosswalk knowledge (aggregates + DMs in
+  /// the index order of the unit name lists). `method` defaults to
+  /// GeoAlign with default options when null.
+  static Result<CrosswalkPipeline> Create(
+      std::vector<std::string> source_units,
+      std::vector<std::string> target_units,
+      std::vector<ReferenceAttribute> references,
+      std::shared_ptr<const Interpolator> method = nullptr);
+
+  /// Realigns a (unit name, value) column from source to target units.
+  /// Unknown unit names error; source units absent from the column get
+  /// value 0. Returns estimates in target-unit index order.
+  Result<CrosswalkResult> Realign(
+      const std::vector<std::pair<std::string, double>>& objective) const;
+
+  /// One row of the joined output.
+  struct JoinedRow {
+    std::string target_unit;
+    double objective_estimate;
+    double target_value;
+  };
+
+  /// Realigns `objective` and joins with `target_attribute` (a column
+  /// keyed by target unit name); target units absent from the column
+  /// get value 0.
+  Result<std::vector<JoinedRow>> Join(
+      const std::vector<std::pair<std::string, double>>& objective,
+      const std::vector<std::pair<std::string, double>>& target_attribute)
+      const;
+
+  const std::vector<std::string>& source_units() const {
+    return source_units_;
+  }
+  const std::vector<std::string>& target_units() const {
+    return target_units_;
+  }
+  const Interpolator& method() const { return *method_; }
+
+ private:
+  CrosswalkPipeline(std::vector<std::string> source_units,
+                    std::vector<std::string> target_units,
+                    std::vector<ReferenceAttribute> references,
+                    std::shared_ptr<const Interpolator> method);
+
+  Result<linalg::Vector> ResolveColumn(
+      const std::vector<std::pair<std::string, double>>& column,
+      const std::vector<std::string>& units) const;
+
+  std::vector<std::string> source_units_;
+  std::vector<std::string> target_units_;
+  std::vector<ReferenceAttribute> references_;
+  std::shared_ptr<const Interpolator> method_;
+};
+
+}  // namespace geoalign::core
+
+#endif  // GEOALIGN_CORE_PIPELINE_H_

@@ -1,0 +1,103 @@
+#include "core/pycnophylactic.h"
+
+#include <algorithm>
+
+namespace geoalign::core {
+
+Result<linalg::Vector> PycnophylacticInterpolate(
+    size_t nx, size_t ny, const std::vector<uint32_t>& source_labels,
+    size_t num_source, const std::vector<uint32_t>& target_labels,
+    size_t num_target, const linalg::Vector& objective_source,
+    const PycnophylacticOptions& options) {
+  size_t num_atoms = nx * ny;
+  if (num_atoms == 0) {
+    return Status::InvalidArgument("Pycnophylactic: empty grid");
+  }
+  if (source_labels.size() != num_atoms || target_labels.size() != num_atoms) {
+    return Status::InvalidArgument("Pycnophylactic: label size mismatch");
+  }
+  if (objective_source.size() != num_source) {
+    return Status::InvalidArgument("Pycnophylactic: objective size mismatch");
+  }
+  if (options.relaxation <= 0.0 || options.relaxation > 1.0) {
+    return Status::InvalidArgument("Pycnophylactic: relaxation in (0,1]");
+  }
+  for (uint32_t l : source_labels) {
+    if (l >= num_source) {
+      return Status::InvalidArgument("Pycnophylactic: source label range");
+    }
+  }
+  for (uint32_t l : target_labels) {
+    if (l >= num_target) {
+      return Status::InvalidArgument("Pycnophylactic: target label range");
+    }
+  }
+
+  // Uniform initialization within each source unit.
+  std::vector<size_t> unit_atom_count(num_source, 0);
+  for (uint32_t l : source_labels) ++unit_atom_count[l];
+  linalg::Vector value(num_atoms, 0.0);
+  for (size_t a = 0; a < num_atoms; ++a) {
+    value[a] = objective_source[source_labels[a]] /
+               static_cast<double>(unit_atom_count[source_labels[a]]);
+  }
+
+  linalg::Vector smoothed(num_atoms, 0.0);
+  linalg::Vector unit_sum(num_source, 0.0);
+  for (size_t iter = 0; iter < options.iterations; ++iter) {
+    // 4-neighbor mean (edge atoms average their available neighbors).
+    for (size_t y = 0; y < ny; ++y) {
+      for (size_t x = 0; x < nx; ++x) {
+        size_t a = y * nx + x;
+        double acc = 0.0;
+        int n = 0;
+        if (x > 0) {
+          acc += value[a - 1];
+          ++n;
+        }
+        if (x + 1 < nx) {
+          acc += value[a + 1];
+          ++n;
+        }
+        if (y > 0) {
+          acc += value[a - nx];
+          ++n;
+        }
+        if (y + 1 < ny) {
+          acc += value[a + nx];
+          ++n;
+        }
+        smoothed[a] = n > 0 ? acc / n : value[a];
+      }
+    }
+    // Relax toward the smoothed field, clamp non-negative.
+    for (size_t a = 0; a < num_atoms; ++a) {
+      value[a] = std::max(
+          0.0, (1.0 - options.relaxation) * value[a] +
+                   options.relaxation * smoothed[a]);
+    }
+    // Pycnophylactic constraint: restore each source unit's total.
+    std::fill(unit_sum.begin(), unit_sum.end(), 0.0);
+    for (size_t a = 0; a < num_atoms; ++a) {
+      unit_sum[source_labels[a]] += value[a];
+    }
+    for (size_t a = 0; a < num_atoms; ++a) {
+      uint32_t u = source_labels[a];
+      if (unit_sum[u] > 0.0) {
+        value[a] *= objective_source[u] / unit_sum[u];
+      } else {
+        // Unit mass vanished (all clamped); reset uniform.
+        value[a] = objective_source[u] /
+                   static_cast<double>(unit_atom_count[u]);
+      }
+    }
+  }
+
+  linalg::Vector target(num_target, 0.0);
+  for (size_t a = 0; a < num_atoms; ++a) {
+    target[target_labels[a]] += value[a];
+  }
+  return target;
+}
+
+}  // namespace geoalign::core

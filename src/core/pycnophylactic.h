@@ -1,0 +1,43 @@
+#ifndef GEOALIGN_CORE_PYCNOPHYLACTIC_H_
+#define GEOALIGN_CORE_PYCNOPHYLACTIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/vector_ops.h"
+
+namespace geoalign::core {
+
+/// Options for pycnophylactic interpolation.
+struct PycnophylacticOptions {
+  /// Smoothing sweeps.
+  size_t iterations = 64;
+  /// Blend factor toward the neighborhood mean per sweep (0, 1].
+  double relaxation = 0.5;
+};
+
+/// Tobler's pycnophylactic (mass-preserving smooth) interpolation
+/// [Tobler 1979] on a raster of atoms — the classic *intensive*
+/// areal-interpolation approach, implemented as an extension baseline
+/// (paper §5 discusses this family; GeoAlign's pitch is avoiding its
+/// need for spatial structure).
+///
+/// The grid has nx * ny atoms (row-major, atom = y * nx + x). Each
+/// atom carries a source-unit and a target-unit label. The objective's
+/// source aggregates are spread uniformly within each source unit,
+/// smoothed toward the 4-neighbor mean, clamped non-negative, and
+/// rescaled each sweep so every source unit keeps its exact total
+/// (volume preservation); the smoothed atom masses are then summed per
+/// target unit.
+///
+/// Returns the estimated target aggregates (num_target entries).
+Result<linalg::Vector> PycnophylacticInterpolate(
+    size_t nx, size_t ny, const std::vector<uint32_t>& source_labels,
+    size_t num_source, const std::vector<uint32_t>& target_labels,
+    size_t num_target, const linalg::Vector& objective_source,
+    const PycnophylacticOptions& options = {});
+
+}  // namespace geoalign::core
+
+#endif  // GEOALIGN_CORE_PYCNOPHYLACTIC_H_

@@ -1,0 +1,44 @@
+#ifndef GEOALIGN_CORE_REGRESSION_H_
+#define GEOALIGN_CORE_REGRESSION_H_
+
+#include "core/interpolator.h"
+
+namespace geoalign::core {
+
+/// Options for the regression baseline.
+struct RegressionOptions {
+  /// Adds an intercept column scaled by the unit measures is not
+  /// available here, so a plain constant column is used.
+  bool include_intercept = false;
+  /// Clamp negative target predictions to zero.
+  bool clamp_non_negative = true;
+};
+
+/// The classic regression family of areal-interpolation methods the
+/// paper surveys in §5 [Flowerdew & Green 1994; Goodchild et al. 1993]:
+/// fit the objective's SOURCE aggregates on the references' source
+/// aggregates by ordinary least squares, then predict TARGET aggregates
+/// from the references' target aggregates.
+///
+/// Included as a contrast baseline: unlike GeoAlign it is neither
+/// volume preserving nor constrained to non-negative mixing, and it
+/// suffers exactly the train/test linkage problem the paper points out
+/// in §3.2 (source and target units are not samples from one
+/// population). `CrosswalkResult::estimated_dm` is left empty — the
+/// method has no disaggregation-matrix interpretation.
+class RegressionBaseline : public Interpolator {
+ public:
+  explicit RegressionBaseline(RegressionOptions options = {});
+
+  std::string name() const override { return "regression"; }
+
+  Result<CrosswalkResult> Crosswalk(
+      const CrosswalkInput& input) const override;
+
+ private:
+  RegressionOptions options_;
+};
+
+}  // namespace geoalign::core
+
+#endif  // GEOALIGN_CORE_REGRESSION_H_

@@ -1,0 +1,54 @@
+#ifndef GEOALIGN_CORE_THREE_CLASS_DASYMETRIC_H_
+#define GEOALIGN_CORE_THREE_CLASS_DASYMETRIC_H_
+
+#include <string>
+
+#include "core/interpolator.h"
+
+namespace geoalign::core {
+
+/// Options for the class-based dasymetric method.
+struct ThreeClassOptions {
+  /// Number of density classes (Langford's evaluation used 3:
+  /// urban / suburban / rural).
+  size_t num_classes = 3;
+  /// Reference attribute (by index) whose intersection-level density
+  /// classifies the cells.
+  size_t reference_index = 0;
+  /// When non-empty, the classifying reference is resolved by NAME per
+  /// call instead of by index (robust to leave-one-out re-indexing).
+  std::string reference_name;
+};
+
+/// The class-based ("3-class") dasymetric method [Langford 2006 — the
+/// paper's citation 32]: intersection cells are binned into density
+/// classes using a reference attribute, a per-class density for the
+/// OBJECTIVE is estimated by non-negative least squares on the source
+/// units (a^s_o[i] ≈ Σ_c d_c · area_{i,c}), and each source unit's
+/// mass is spread over its intersections proportionally to
+/// d_class(cell) · area(cell), rescaled per row so the method stays
+/// volume preserving.
+///
+/// Sits between areal weighting (1 class) and the fully reference-
+/// proportional dasymetric method; included as an additional baseline
+/// from the paper's related-work lineage.
+class ThreeClassDasymetric : public Interpolator {
+ public:
+  /// `measure_dm` is the intersection-measure matrix (areas), as used
+  /// by ArealWeighting.
+  ThreeClassDasymetric(sparse::CsrMatrix measure_dm,
+                       ThreeClassOptions options = {});
+
+  std::string name() const override { return "3-class dasymetric"; }
+
+  Result<CrosswalkResult> Crosswalk(
+      const CrosswalkInput& input) const override;
+
+ private:
+  sparse::CsrMatrix measure_dm_;
+  ThreeClassOptions options_;
+};
+
+}  // namespace geoalign::core
+
+#endif  // GEOALIGN_CORE_THREE_CLASS_DASYMETRIC_H_

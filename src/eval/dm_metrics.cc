@@ -1,0 +1,70 @@
+#include "eval/dm_metrics.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace geoalign::eval {
+
+namespace {
+
+// Applies `fn(value_a, value_b)` over the union of stored entries.
+template <typename Fn>
+void ForEachPair(const sparse::CsrMatrix& a, const sparse::CsrMatrix& b,
+                 Fn fn) {
+  GEOALIGN_CHECK(a.rows() == b.rows() && a.cols() == b.cols())
+      << "DM metrics: shape mismatch";
+  for (size_t r = 0; r < a.rows(); ++r) {
+    sparse::CsrMatrix::RowView ra = a.Row(r);
+    sparse::CsrMatrix::RowView rb = b.Row(r);
+    size_t ia = 0;
+    size_t ib = 0;
+    while (ia < ra.size || ib < rb.size) {
+      size_t ca = ia < ra.size ? ra.cols[ia] : SIZE_MAX;
+      size_t cb = ib < rb.size ? rb.cols[ib] : SIZE_MAX;
+      double va = 0.0;
+      double vb = 0.0;
+      if (ca <= cb) va = ra.values[ia++];
+      if (cb <= ca) vb = rb.values[ib++];
+      fn(va, vb);
+    }
+  }
+}
+
+}  // namespace
+
+double DmFrobeniusDistance(const sparse::CsrMatrix& a,
+                           const sparse::CsrMatrix& b) {
+  double acc = 0.0;
+  ForEachPair(a, b, [&acc](double va, double vb) {
+    double d = va - vb;
+    acc += d * d;
+  });
+  return std::sqrt(acc);
+}
+
+double DmCosineSimilarity(const sparse::CsrMatrix& a,
+                          const sparse::CsrMatrix& b) {
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  ForEachPair(a, b, [&](double va, double vb) {
+    dot += va * vb;
+    na += va * va;
+    nb += vb * vb;
+  });
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double DmMisallocationShare(const sparse::CsrMatrix& a,
+                            const sparse::CsrMatrix& b) {
+  double l1 = 0.0;
+  ForEachPair(a, b,
+              [&l1](double va, double vb) { l1 += std::fabs(va - vb); });
+  double denom = 2.0 * std::max(a.Total(), b.Total());
+  if (denom <= 0.0) return 0.0;
+  return l1 / denom;
+}
+
+}  // namespace geoalign::eval

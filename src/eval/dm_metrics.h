@@ -1,0 +1,30 @@
+#ifndef GEOALIGN_EVAL_DM_METRICS_H_
+#define GEOALIGN_EVAL_DM_METRICS_H_
+
+#include "sparse/csr_matrix.h"
+
+namespace geoalign::eval {
+
+/// Similarity metrics between disaggregation matrices, used for the
+/// paper's §4.4.2 observation that "the predicted disaggregation
+/// matrix of the target attribute is almost the same" whether or not
+/// one of two collinear references is dropped.
+
+/// Frobenius norm of (a - b); shapes must match.
+double DmFrobeniusDistance(const sparse::CsrMatrix& a,
+                           const sparse::CsrMatrix& b);
+
+/// Cosine similarity of the matrices viewed as vectors, in [-1, 1]
+/// (0 when either matrix is all-zero).
+double DmCosineSimilarity(const sparse::CsrMatrix& a,
+                          const sparse::CsrMatrix& b);
+
+/// Total-variation-style share of misallocated mass:
+/// ||a - b||_1 / (2 * max(total(a), total(b))); 0 = identical
+/// allocation, 1 = fully disjoint. Requires non-negative matrices.
+double DmMisallocationShare(const sparse::CsrMatrix& a,
+                            const sparse::CsrMatrix& b);
+
+}  // namespace geoalign::eval
+
+#endif  // GEOALIGN_EVAL_DM_METRICS_H_

@@ -1,0 +1,46 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace geoalign::eval {
+
+double Rmse(const linalg::Vector& estimate, const linalg::Vector& truth) {
+  GEOALIGN_CHECK(estimate.size() == truth.size() && !truth.empty())
+      << "Rmse: bad shapes";
+  double acc = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    double d = estimate[i] - truth[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(truth.size()));
+}
+
+double Nrmse(const linalg::Vector& estimate, const linalg::Vector& truth) {
+  double mean = linalg::Mean(truth);
+  GEOALIGN_CHECK(mean != 0.0) << "Nrmse: zero truth mean";
+  return Rmse(estimate, truth) / mean;
+}
+
+double Mae(const linalg::Vector& estimate, const linalg::Vector& truth) {
+  GEOALIGN_CHECK(estimate.size() == truth.size() && !truth.empty())
+      << "Mae: bad shapes";
+  double acc = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    acc += std::fabs(estimate[i] - truth[i]);
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+double MaxAbsError(const linalg::Vector& estimate,
+                   const linalg::Vector& truth) {
+  GEOALIGN_CHECK(estimate.size() == truth.size()) << "MaxAbsError: shapes";
+  double best = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    best = std::max(best, std::fabs(estimate[i] - truth[i]));
+  }
+  return best;
+}
+
+}  // namespace geoalign::eval

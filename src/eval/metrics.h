@@ -1,0 +1,26 @@
+#ifndef GEOALIGN_EVAL_METRICS_H_
+#define GEOALIGN_EVAL_METRICS_H_
+
+#include "linalg/vector_ops.h"
+
+namespace geoalign::eval {
+
+/// Root mean square error between estimates and ground truth
+/// (equal-length, non-empty vectors).
+double Rmse(const linalg::Vector& estimate, const linalg::Vector& truth);
+
+/// RMSE normalized by the mean of the measured (true) data — the
+/// NRMSE of paper Fig. 5, which makes errors comparable across
+/// datasets of heterogeneous scale. Requires a nonzero truth mean.
+double Nrmse(const linalg::Vector& estimate, const linalg::Vector& truth);
+
+/// Mean absolute error.
+double Mae(const linalg::Vector& estimate, const linalg::Vector& truth);
+
+/// Largest absolute error.
+double MaxAbsError(const linalg::Vector& estimate,
+                   const linalg::Vector& truth);
+
+}  // namespace geoalign::eval
+
+#endif  // GEOALIGN_EVAL_METRICS_H_

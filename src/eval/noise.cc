@@ -1,0 +1,33 @@
+#include "eval/noise.h"
+
+namespace geoalign::eval {
+
+linalg::Vector PerturbVector(const linalg::Vector& values,
+                             double level_percent, Rng& rng) {
+  linalg::Vector out(values.size());
+  double level = level_percent / 100.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    double sign = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+    out[i] = values[i] * (1.0 + sign * level);
+    if (out[i] < 0.0) out[i] = 0.0;
+  }
+  return out;
+}
+
+core::CrosswalkInput PerturbReferences(const core::CrosswalkInput& input,
+                                       double level_percent, Rng& rng) {
+  core::CrosswalkInput out;
+  out.objective_source = input.objective_source;
+  out.references.reserve(input.references.size());
+  for (const core::ReferenceAttribute& ref : input.references) {
+    core::ReferenceAttribute noisy;
+    noisy.name = ref.name;
+    noisy.source_aggregates =
+        PerturbVector(ref.source_aggregates, level_percent, rng);
+    noisy.disaggregation = ref.disaggregation;
+    out.references.push_back(std::move(noisy));
+  }
+  return out;
+}
+
+}  // namespace geoalign::eval

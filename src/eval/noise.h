@@ -1,0 +1,25 @@
+#ifndef GEOALIGN_EVAL_NOISE_H_
+#define GEOALIGN_EVAL_NOISE_H_
+
+#include "common/random.h"
+#include "core/crosswalk_input.h"
+
+namespace geoalign::eval {
+
+/// Applies the paper's noise model (§4.4.1): an x% noise level
+/// perturbs each value y to (1 ± x/100)·y, the sign drawn uniformly
+/// per entry. Values stay non-negative for levels <= 100.
+linalg::Vector PerturbVector(const linalg::Vector& values,
+                             double level_percent, Rng& rng);
+
+/// Perturbs the *source aggregate vectors* of every reference in the
+/// input at the given noise level (DMs are left exact, matching the
+/// experiment: the reference aggregates, not the crosswalk files, are
+/// of uncertain accuracy). The perturbed input intentionally violates
+/// strict DM/source consistency, as noisy real data would.
+core::CrosswalkInput PerturbReferences(const core::CrosswalkInput& input,
+                                       double level_percent, Rng& rng);
+
+}  // namespace geoalign::eval
+
+#endif  // GEOALIGN_EVAL_NOISE_H_

@@ -1,0 +1,50 @@
+#include "eval/noise_experiment.h"
+
+#include <algorithm>
+
+#include "eval/metrics.h"
+#include "eval/noise.h"
+
+namespace geoalign::eval {
+
+Result<std::vector<NoiseCell>> RunNoiseExperiment(
+    const synth::Universe& universe, const NoiseExperimentOptions& options) {
+  if (options.replicates <= 0) {
+    return Status::InvalidArgument("NoiseExperiment: replicates must be > 0");
+  }
+  core::GeoAlign geoalign(options.geoalign_options);
+  Rng rng(options.seed);
+  std::vector<NoiseCell> out;
+  out.reserve(universe.datasets.size() * options.levels.size());
+
+  for (size_t t = 0; t < universe.datasets.size(); ++t) {
+    const synth::Dataset& test = universe.datasets[t];
+    GEOALIGN_ASSIGN_OR_RETURN(core::CrosswalkInput input,
+                              universe.MakeLeaveOneOutInput(t));
+    GEOALIGN_ASSIGN_OR_RETURN(core::CrosswalkResult clean,
+                              geoalign.Crosswalk(input));
+    double clean_rmse = Rmse(clean.target_estimates, test.target);
+    double clean_nrmse = Nrmse(clean.target_estimates, test.target);
+
+    for (double level : options.levels) {
+      linalg::Vector ratios;
+      ratios.reserve(options.replicates);
+      for (int rep = 0; rep < options.replicates; ++rep) {
+        core::CrosswalkInput noisy = PerturbReferences(input, level, rng);
+        GEOALIGN_ASSIGN_OR_RETURN(core::CrosswalkResult res,
+                                  geoalign.Crosswalk(noisy));
+        double rmse = Rmse(res.target_estimates, test.target);
+        ratios.push_back(rmse / std::max(clean_rmse, 1e-12));
+      }
+      NoiseCell cell;
+      cell.dataset = test.name;
+      cell.level_percent = level;
+      cell.clean_nrmse = clean_nrmse;
+      cell.deviation = linalg::ComputeBoxStats(ratios);
+      out.push_back(std::move(cell));
+    }
+  }
+  return out;
+}
+
+}  // namespace geoalign::eval

@@ -1,0 +1,42 @@
+#ifndef GEOALIGN_EVAL_NOISE_EXPERIMENT_H_
+#define GEOALIGN_EVAL_NOISE_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/geoalign.h"
+#include "linalg/stats.h"
+#include "synth/universe.h"
+
+namespace geoalign::eval {
+
+/// Options for the §4.4.1 noisy-reference robustness experiment.
+struct NoiseExperimentOptions {
+  /// Noise levels in percent (the paper's grid).
+  std::vector<double> levels = {1, 2, 5, 10, 20, 30, 50};
+  /// Replicates per (dataset, level) pair.
+  int replicates = 20;
+  uint64_t seed = 777;
+  core::GeoAlignOptions geoalign_options;
+};
+
+/// One (dataset, level) measurement: box statistics of the deviation
+/// ratio RMSE(perturbed)/RMSE(original) over the replicates.
+struct NoiseCell {
+  std::string dataset;
+  double level_percent = 0.0;
+  double clean_nrmse = 0.0;
+  linalg::BoxStats deviation;
+};
+
+/// Runs the paper's Fig. 7 protocol on `universe`: for every dataset
+/// (cross-validated objective) and every level, perturbs all reference
+/// source aggregates to (1 ± level/100)·y per entry and measures the
+/// RMSE deviation ratio. Deterministic in `options.seed`.
+Result<std::vector<NoiseCell>> RunNoiseExperiment(
+    const synth::Universe& universe,
+    const NoiseExperimentOptions& options = {});
+
+}  // namespace geoalign::eval
+
+#endif  // GEOALIGN_EVAL_NOISE_EXPERIMENT_H_

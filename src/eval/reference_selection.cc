@@ -1,0 +1,91 @@
+#include "eval/reference_selection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "eval/metrics.h"
+#include "linalg/stats.h"
+
+namespace geoalign::eval {
+
+std::string PolicyLabel(SubsetPolicy policy, size_t n_out) {
+  switch (policy) {
+    case SubsetPolicy::kAll:
+      return "using all references";
+    case SubsetPolicy::kLeastRelatedOut:
+      return StrFormat("leave %zu least related reference%s out", n_out,
+                       n_out == 1 ? "" : "s");
+    case SubsetPolicy::kMostRelatedOut:
+      return StrFormat("leave %zu most related reference%s out", n_out,
+                       n_out == 1 ? "" : "s");
+  }
+  return "?";
+}
+
+std::vector<size_t> SelectReferences(const core::CrosswalkInput& input,
+                                     SubsetPolicy policy, size_t n_out) {
+  size_t num_refs = input.references.size();
+  std::vector<size_t> all(num_refs);
+  for (size_t k = 0; k < num_refs; ++k) all[k] = k;
+  if (policy == SubsetPolicy::kAll || n_out == 0 || n_out >= num_refs) {
+    return all;
+  }
+  // Rank by |corr(objective, reference)| at source level, ascending.
+  std::vector<std::pair<double, size_t>> ranked;
+  ranked.reserve(num_refs);
+  for (size_t k = 0; k < num_refs; ++k) {
+    double corr = linalg::PearsonCorrelation(
+        input.objective_source, input.references[k].source_aggregates);
+    ranked.emplace_back(std::fabs(corr), k);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<size_t> keep;
+  keep.reserve(num_refs - n_out);
+  if (policy == SubsetPolicy::kLeastRelatedOut) {
+    for (size_t r = n_out; r < num_refs; ++r) keep.push_back(ranked[r].second);
+  } else {
+    for (size_t r = 0; r + n_out < num_refs; ++r) {
+      keep.push_back(ranked[r].second);
+    }
+  }
+  std::sort(keep.begin(), keep.end());
+  return keep;
+}
+
+Result<std::vector<SelectionCell>> RunReferenceSelection(
+    const synth::Universe& universe, const core::GeoAlignOptions& options) {
+  core::GeoAlign geoalign(options);
+  std::vector<SelectionCell> out;
+  const std::vector<std::pair<SubsetPolicy, size_t>> policies = {
+      {SubsetPolicy::kLeastRelatedOut, 1},
+      {SubsetPolicy::kLeastRelatedOut, 2},
+      {SubsetPolicy::kMostRelatedOut, 1},
+      {SubsetPolicy::kMostRelatedOut, 2},
+      {SubsetPolicy::kAll, 0},
+  };
+  for (size_t t = 0; t < universe.datasets.size(); ++t) {
+    const synth::Dataset& test = universe.datasets[t];
+    GEOALIGN_ASSIGN_OR_RETURN(core::CrosswalkInput full,
+                              universe.MakeLeaveOneOutInput(t));
+    for (const auto& [policy, n_out] : policies) {
+      std::vector<size_t> keep = SelectReferences(full, policy, n_out);
+      GEOALIGN_ASSIGN_OR_RETURN(core::CrosswalkInput input,
+                                full.WithReferenceSubset(keep));
+      GEOALIGN_ASSIGN_OR_RETURN(core::CrosswalkResult res,
+                                geoalign.Crosswalk(input));
+      SelectionCell cell;
+      cell.dataset = test.name;
+      cell.policy = policy;
+      cell.n_out = n_out;
+      cell.nrmse = Nrmse(res.target_estimates, test.target);
+      for (size_t k : keep) {
+        cell.used_references.push_back(full.references[k].name);
+      }
+      out.push_back(std::move(cell));
+    }
+  }
+  return out;
+}
+
+}  // namespace geoalign::eval

@@ -1,0 +1,47 @@
+#ifndef GEOALIGN_EVAL_REFERENCE_SELECTION_H_
+#define GEOALIGN_EVAL_REFERENCE_SELECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/geoalign.h"
+#include "synth/universe.h"
+
+namespace geoalign::eval {
+
+/// The reference-subset policies of paper Fig. 8.
+enum class SubsetPolicy {
+  kAll,              ///< use every available reference
+  kLeastRelatedOut,  ///< drop the n references LEAST correlated with
+                     ///< the objective at source level
+  kMostRelatedOut,   ///< drop the n MOST correlated references
+};
+
+/// One (dataset, policy, n) measurement.
+struct SelectionCell {
+  std::string dataset;
+  SubsetPolicy policy;
+  size_t n_out = 0;  ///< 0 for kAll
+  double nrmse = 0.0;
+  /// References actually used (names), for diagnostics.
+  std::vector<std::string> used_references;
+};
+
+/// Human-readable label ("leave 2 most related references out", ...).
+std::string PolicyLabel(SubsetPolicy policy, size_t n_out);
+
+/// Ranks references by |Pearson correlation| with the objective at
+/// source level and returns the kept indices under the policy.
+std::vector<size_t> SelectReferences(const core::CrosswalkInput& input,
+                                     SubsetPolicy policy, size_t n_out);
+
+/// Runs the §4.4.2 experiment on `universe`: for every dataset, runs
+/// GeoAlign with all references and with leave-{1,2}-most/least
+/// -correlated-out subsets, reporting NRMSE for each.
+Result<std::vector<SelectionCell>> RunReferenceSelection(
+    const synth::Universe& universe,
+    const core::GeoAlignOptions& options = {});
+
+}  // namespace geoalign::eval
+
+#endif  // GEOALIGN_EVAL_REFERENCE_SELECTION_H_

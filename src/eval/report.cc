@@ -1,0 +1,65 @@
+#include "eval/report.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace geoalign::eval {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  GEOALIGN_CHECK(row.size() == header_.size()) << "TextTable: row width";
+  rows_.push_back(std::move(row));
+}
+
+TextTable::RowBuilder& TextTable::RowBuilder::Text(const std::string& s) {
+  cells_.push_back(s);
+  return *this;
+}
+
+TextTable::RowBuilder& TextTable::RowBuilder::Num(double v) {
+  cells_.push_back(std::isnan(v) ? "-" : StrFormat("%.4g", v));
+  return *this;
+}
+
+TextTable::RowBuilder::~RowBuilder() { table_->AddRow(std::move(cells_)); }
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      if (c + 1 < row.size()) line += "  ";
+    }
+    // Trim trailing spaces.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = render_row(header_);
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule.append(widths[c], '-');
+    if (c + 1 < widths.size()) rule += "  ";
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TextTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace geoalign::eval

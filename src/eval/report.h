@@ -1,0 +1,48 @@
+#ifndef GEOALIGN_EVAL_REPORT_H_
+#define GEOALIGN_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace geoalign::eval {
+
+/// Minimal fixed-width text-table writer used by the benchmark
+/// harnesses to print the paper's tables/series.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a row; must match the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience for mixed text/number rows.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(TextTable* table) : table_(table) {}
+    RowBuilder& Text(const std::string& s);
+    /// %.4g-formatted; NaN prints as "-".
+    RowBuilder& Num(double v);
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    TextTable* table_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder Row() { return RowBuilder(this); }
+
+  /// Renders with aligned columns.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace geoalign::eval
+
+#endif  // GEOALIGN_EVAL_REPORT_H_

@@ -1,0 +1,95 @@
+#include "geom/boolean_ops.h"
+
+#include <cmath>
+
+#include "geom/convex_clip.h"
+#include "geom/predicates.h"
+
+namespace geoalign::geom {
+
+namespace {
+
+// Appends the signed fan of one ring. `ring_sign` is +1 for outer
+// rings, -1 for holes; the per-triangle sign additionally flips with
+// the triangle's own orientation so the decomposition telescopes to
+// the ring's winding number.
+void AppendRingFan(const Ring& ring, double ring_sign,
+                   std::vector<SignedTriangle>* out) {
+  if (ring.size() < 3) return;
+  // Ensure we fan a CCW version so ring_sign semantics are uniform.
+  const Point& origin = ring[0];
+  double orient = SignedRingArea(ring) >= 0.0 ? 1.0 : -1.0;
+  for (size_t i = 1; i + 1 < ring.size(); ++i) {
+    Point p = ring[i];
+    Point q = ring[i + 1];
+    double tri_signed = Orient2d(origin, p, q);
+    if (tri_signed == 0.0) continue;
+    SignedTriangle t;
+    t.sign = ring_sign * orient * (tri_signed > 0.0 ? 1.0 : -1.0);
+    if (tri_signed > 0.0) {
+      t.a = origin;
+      t.b = p;
+      t.c = q;
+    } else {
+      t.a = origin;
+      t.b = q;
+      t.c = p;
+    }
+    out->push_back(t);
+  }
+}
+
+double TriTriIntersectionArea(const SignedTriangle& s,
+                              const SignedTriangle& t) {
+  Ring rs = {s.a, s.b, s.c};
+  Ring rt = {t.a, t.b, t.c};
+  return ConvexIntersectionArea(rs, rt);
+}
+
+}  // namespace
+
+std::vector<SignedTriangle> SignedFan(const Polygon& poly) {
+  std::vector<SignedTriangle> out;
+  AppendRingFan(poly.outer(), 1.0, &out);
+  for (const Ring& hole : poly.holes()) {
+    AppendRingFan(hole, -1.0, &out);
+  }
+  return out;
+}
+
+double IntersectionArea(const Polygon& a, const Polygon& b) {
+  if (!a.Bounds().Intersects(b.Bounds())) return 0.0;
+  std::vector<SignedTriangle> fa = SignedFan(a);
+  std::vector<SignedTriangle> fb = SignedFan(b);
+  double acc = 0.0;
+  for (const SignedTriangle& ta : fa) {
+    BBox ba;
+    ba.Expand(ta.a);
+    ba.Expand(ta.b);
+    ba.Expand(ta.c);
+    for (const SignedTriangle& tb : fb) {
+      BBox bb;
+      bb.Expand(tb.a);
+      bb.Expand(tb.b);
+      bb.Expand(tb.c);
+      if (!ba.Intersects(bb)) continue;
+      double inter = TriTriIntersectionArea(ta, tb);
+      if (inter > 0.0) acc += ta.sign * tb.sign * inter;
+    }
+  }
+  return std::max(acc, 0.0);
+}
+
+double UnionArea(const Polygon& a, const Polygon& b) {
+  return a.Area() + b.Area() - IntersectionArea(a, b);
+}
+
+double DifferenceArea(const Polygon& a, const Polygon& b) {
+  return std::max(a.Area() - IntersectionArea(a, b), 0.0);
+}
+
+double SymmetricDifferenceArea(const Polygon& a, const Polygon& b) {
+  return std::max(a.Area() + b.Area() - 2.0 * IntersectionArea(a, b), 0.0);
+}
+
+}  // namespace geoalign::geom

@@ -1,0 +1,46 @@
+#ifndef GEOALIGN_GEOM_BOOLEAN_OPS_H_
+#define GEOALIGN_GEOM_BOOLEAN_OPS_H_
+
+#include "geom/polygon.h"
+
+namespace geoalign::geom {
+
+/// Exact area of intersection of two simple polygons (holes allowed,
+/// convexity NOT required).
+///
+/// Method: each polygon is decomposed into a signed triangle fan (so
+/// that the signed indicator functions sum to the winding number, 1
+/// inside and 0 outside for a simple polygon); the intersection area
+/// is then the double sum of signed pairwise triangle-triangle
+/// intersection areas, each computed by convex clipping. O(|A|·|B|)
+/// triangle pairs.
+///
+/// This measure-only operator is what the areal-interpolation overlay
+/// needs (aggregates in intersections, never intersection shapes); see
+/// DESIGN.md §2. Geometric output of boolean ops is provided for
+/// convex operands via `ClipRingToConvex`.
+double IntersectionArea(const Polygon& a, const Polygon& b);
+
+/// |A ∪ B| via inclusion–exclusion.
+double UnionArea(const Polygon& a, const Polygon& b);
+
+/// |A \ B| = |A| - |A ∩ B|.
+double DifferenceArea(const Polygon& a, const Polygon& b);
+
+/// |A Δ B| = |A| + |B| - 2 |A ∩ B|.
+double SymmetricDifferenceArea(const Polygon& a, const Polygon& b);
+
+/// A signed triangle used in fan decompositions.
+struct SignedTriangle {
+  Point a, b, c;  ///< CCW order
+  double sign;    ///< +1 or -1
+};
+
+/// Signed fan decomposition of a polygon (outer ring fans positive,
+/// hole rings negative); degenerate triangles are dropped. Exposed for
+/// testing and reuse.
+std::vector<SignedTriangle> SignedFan(const Polygon& poly);
+
+}  // namespace geoalign::geom
+
+#endif  // GEOALIGN_GEOM_BOOLEAN_OPS_H_

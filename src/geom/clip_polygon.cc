@@ -1,0 +1,382 @@
+#include "geom/clip_polygon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "geom/boolean_ops.h"
+#include "geom/predicates.h"
+
+namespace geoalign::geom {
+
+namespace {
+
+// Relative parameter slack treated as "intersection at an endpoint"
+// (degenerate for the traversal).
+constexpr double kParamEps = 1e-12;
+
+// One vertex of an augmented ring: original polygon vertices plus
+// inserted intersection points, as a doubly linked list in index form.
+struct Node {
+  Point p;
+  int next = -1;
+  int prev = -1;
+  int twin = -1;  // index of the same intersection in the other ring
+  bool intersection = false;
+  bool entry = false;
+  bool visited = false;
+};
+
+// A pending intersection on one edge, ordered by position along it.
+struct EdgeCut {
+  double alpha;  // parameter along the edge, in (0, 1)
+  int id;        // shared intersection id
+  Point p;
+};
+
+struct AugmentedRings {
+  std::vector<Node> a;
+  std::vector<Node> b;
+  // Index of the node for each intersection id, per ring.
+  std::vector<int> inter_a;
+  std::vector<int> inter_b;
+};
+
+// Computes the proper intersection parameters of segments [p1,p2] and
+// [q1,q2]; returns false when they do not properly cross. Degenerate
+// contact (parallel overlap, endpoint touching) sets *degenerate.
+bool ProperCrossing(const Point& p1, const Point& p2, const Point& q1,
+                    const Point& q2, double* t, double* u,
+                    bool* degenerate) {
+  Point r = p2 - p1;
+  Point s = q2 - q1;
+  double denom = Cross(r, s);
+  Point qp = q1 - p1;
+  if (denom == 0.0) {
+    if (Cross(qp, r) == 0.0) {
+      // Collinear: overlap is degenerate for the traversal.
+      double rr = Dot(r, r);
+      if (rr > 0.0) {
+        double t0 = Dot(qp, r) / rr;
+        double t1 = t0 + Dot(s, r) / rr;
+        if (std::max(std::min(t0, t1), 0.0) <=
+            std::min(std::max(t0, t1), 1.0)) {
+          *degenerate = true;
+        }
+      }
+    }
+    return false;
+  }
+  *t = Cross(qp, s) / denom;
+  *u = Cross(qp, r) / denom;
+  if (*t < -kParamEps || *t > 1.0 + kParamEps || *u < -kParamEps ||
+      *u > 1.0 + kParamEps) {
+    return false;  // outside both segments
+  }
+  bool t_interior = *t > kParamEps && *t < 1.0 - kParamEps;
+  bool u_interior = *u > kParamEps && *u < 1.0 - kParamEps;
+  if (t_interior && u_interior) return true;
+  // Touching at an endpoint (vertex on the other boundary).
+  *degenerate = true;
+  return false;
+}
+
+// Builds the augmented linked rings with intersection nodes inserted
+// and twins linked. Fails on degenerate contact.
+Result<AugmentedRings> BuildAugmented(const Ring& ra, const Ring& rb) {
+  size_t na = ra.size();
+  size_t nb = rb.size();
+  std::vector<std::vector<EdgeCut>> cuts_a(na);
+  std::vector<std::vector<EdgeCut>> cuts_b(nb);
+  int next_id = 0;
+  bool degenerate = false;
+  for (size_t i = 0; i < na; ++i) {
+    const Point& p1 = ra[i];
+    const Point& p2 = ra[(i + 1) % na];
+    for (size_t j = 0; j < nb; ++j) {
+      const Point& q1 = rb[j];
+      const Point& q2 = rb[(j + 1) % nb];
+      double t = 0.0;
+      double u = 0.0;
+      if (ProperCrossing(p1, p2, q1, q2, &t, &u, &degenerate)) {
+        Point x{p1.x + t * (p2.x - p1.x), p1.y + t * (p2.y - p1.y)};
+        cuts_a[i].push_back({t, next_id, x});
+        cuts_b[j].push_back({u, next_id, x});
+        ++next_id;
+      }
+      if (degenerate) {
+        return Status::FailedPrecondition(
+            "ClipPolygons: degenerate boundary contact (shared vertex or "
+            "collinear overlap); use the measure-only API or PerturbRing");
+      }
+    }
+  }
+
+  AugmentedRings out;
+  out.inter_a.assign(next_id, -1);
+  out.inter_b.assign(next_id, -1);
+  auto build = [next_id](const Ring& ring,
+                         std::vector<std::vector<EdgeCut>>& cuts,
+                         std::vector<int>& inter_index,
+                         std::vector<Node>& nodes) {
+    (void)next_id;
+    for (size_t i = 0; i < ring.size(); ++i) {
+      Node v;
+      v.p = ring[i];
+      nodes.push_back(v);
+      std::sort(cuts[i].begin(), cuts[i].end(),
+                [](const EdgeCut& x, const EdgeCut& y) {
+                  return x.alpha < y.alpha;
+                });
+      for (const EdgeCut& c : cuts[i]) {
+        Node x;
+        x.p = c.p;
+        x.intersection = true;
+        inter_index[c.id] = static_cast<int>(nodes.size());
+        nodes.push_back(x);
+      }
+    }
+    int n = static_cast<int>(nodes.size());
+    for (int k = 0; k < n; ++k) {
+      nodes[k].next = (k + 1) % n;
+      nodes[k].prev = (k + n - 1) % n;
+    }
+  };
+  build(ra, cuts_a, out.inter_a, out.a);
+  build(rb, cuts_b, out.inter_b, out.b);
+  for (int id = 0; id < next_id; ++id) {
+    out.a[out.inter_a[id]].twin = out.inter_b[id];
+    out.b[out.inter_b[id]].twin = out.inter_a[id];
+  }
+  return out;
+}
+
+// Marks each intersection node of `nodes` as entry/exit w.r.t.
+// `other_ring`, toggling from the containment status of the first
+// original vertex; `flip` inverts the classification (op control).
+Status ClassifyEntries(std::vector<Node>& nodes, const Ring& other_ring,
+                       bool flip) {
+  if (nodes.empty()) return Status::OK();
+  // The first node is always an original vertex (built first per edge).
+  const Point& start = nodes[0].p;
+  // On-boundary starts are degenerate (should have been caught by the
+  // crossing scan, but belt and braces).
+  bool inside = PointStrictlyInRing(start, other_ring);
+  if (!inside && PointInRing(start, other_ring)) {
+    return Status::FailedPrecondition(
+        "ClipPolygons: ring vertex lies on the other boundary");
+  }
+  int cursor = 0;
+  int n = static_cast<int>(nodes.size());
+  for (int steps = 0; steps < n; ++steps) {
+    Node& node = nodes[cursor];
+    if (node.intersection) {
+      node.entry = (!inside) ^ flip;
+      inside = !inside;
+    }
+    cursor = node.next;
+  }
+  return Status::OK();
+}
+
+// No-crossing cases resolved by containment tests.
+Result<std::vector<Ring>> ResolveNoCrossings(const Polygon& a,
+                                             const Polygon& b,
+                                             BooleanOp op) {
+  bool a_in_b = b.Contains(a.outer()[0]);
+  bool b_in_a = a.Contains(b.outer()[0]);
+  std::vector<Ring> out;
+  switch (op) {
+    case BooleanOp::kIntersection:
+      if (a_in_b) {
+        out.push_back(a.outer());
+      } else if (b_in_a) {
+        out.push_back(b.outer());
+      }
+      return out;
+    case BooleanOp::kUnion:
+      if (a_in_b) {
+        out.push_back(b.outer());
+      } else if (b_in_a) {
+        out.push_back(a.outer());
+      } else {
+        out.push_back(a.outer());
+        out.push_back(b.outer());
+      }
+      return out;
+    case BooleanOp::kDifference:
+      if (a_in_b) return out;  // fully covered
+      if (b_in_a) {
+        return Status::FailedPrecondition(
+            "ClipPolygons: difference result needs a hole (clip polygon "
+            "strictly inside subject)");
+      }
+      out.push_back(a.outer());
+      return out;
+  }
+  return Status::Internal("unknown op");
+}
+
+}  // namespace
+
+Result<std::vector<Ring>> ClipPolygons(const Polygon& a, const Polygon& b,
+                                       BooleanOp op) {
+  if (!a.holes().empty() || !b.holes().empty()) {
+    return Status::Unimplemented(
+        "ClipPolygons: operands with holes are not supported; use the "
+        "measure-only API in boolean_ops.h");
+  }
+  GEOALIGN_ASSIGN_OR_RETURN(AugmentedRings rings,
+                            BuildAugmented(a.outer(), b.outer()));
+  if (rings.inter_a.empty()) return ResolveNoCrossings(a, b, op);
+
+  // Entry/exit flips per operation (Greiner–Hormann):
+  //   intersection: traverse inside portions of both;
+  //   union: traverse outside portions of both;
+  //   difference A\B: outside portions of A, inside portions of B
+  //   (walked against B's orientation by the exit rule).
+  bool flip_a = op != BooleanOp::kIntersection;
+  bool flip_b = op == BooleanOp::kUnion;
+  GEOALIGN_RETURN_NOT_OK(ClassifyEntries(rings.a, b.outer(), flip_a));
+  GEOALIGN_RETURN_NOT_OK(ClassifyEntries(rings.b, a.outer(), flip_b));
+
+  std::vector<Ring> result;
+  size_t guard = 4 * (rings.a.size() + rings.b.size()) + 16;
+  for (size_t start_id = 0; start_id < rings.inter_a.size(); ++start_id) {
+    int start = rings.inter_a[start_id];
+    // Start every contour at an A-side ENTRY node: starting at an exit
+    // traces the same contour with reversed winding, which would make
+    // orientations (outer CCW / hole CW) indeterminate. Every contour
+    // contains at least one A-entry junction, so nothing is skipped —
+    // exit nodes are picked up when their contour's entry is reached.
+    if (rings.a[start].visited || !rings.a[start].entry) continue;
+    Ring contour;
+    bool on_a = true;
+    int cur = start;
+    size_t steps = 0;
+    do {
+      std::vector<Node>& nodes = on_a ? rings.a : rings.b;
+      Node& node = nodes[cur];
+      node.visited = true;
+      // Mark the twin too so contours are not emitted twice.
+      (on_a ? rings.b : rings.a)[node.twin].visited = true;
+      bool forward = node.entry;
+      int walker = cur;
+      // Walk to the next intersection, collecting vertices.
+      do {
+        contour.push_back(nodes[walker].p);
+        walker = forward ? nodes[walker].next : nodes[walker].prev;
+        if (++steps > guard) {
+          return Status::Internal("ClipPolygons: traversal did not close");
+        }
+      } while (!nodes[walker].intersection);
+      // Jump to the other ring at this intersection.
+      cur = nodes[walker].twin;
+      on_a = !on_a;
+    } while (!(on_a ? rings.a : rings.b)[cur].visited);
+    // Drop exact duplicate closing vertices and degenerate slivers.
+    // Orientation is preserved: the traversal emits enclosed "hole"
+    // contours (possible even for hole-free operands, e.g. two
+    // interlocking C shapes whose union encloses a void) with the
+    // opposite winding, which AssembleRings uses for nesting.
+    if (contour.size() >= 2 && contour.front() == contour.back()) {
+      contour.pop_back();
+    }
+    if (contour.size() >= 3 && RingArea(contour) > 0.0) {
+      result.push_back(std::move(contour));
+    }
+  }
+
+  // The Greiner–Hormann walk preserves the RELATIVE orientation of the
+  // contours (holes wind opposite to their outers) but its global
+  // winding depends on the operand geometry. Normalize against the
+  // exact measure operators (boolean_ops.h), which also self-verifies
+  // the traversal: a net-area mismatch means the result would be
+  // wrong, and is reported instead of returned.
+  double expected = 0.0;
+  switch (op) {
+    case BooleanOp::kIntersection:
+      expected = IntersectionArea(a, b);
+      break;
+    case BooleanOp::kUnion:
+      expected = UnionArea(a, b);
+      break;
+    case BooleanOp::kDifference:
+      expected = DifferenceArea(a, b);
+      break;
+  }
+  double net = 0.0;
+  for (const Ring& r : result) net += SignedRingArea(r);
+  if (net < 0.0) {
+    for (Ring& r : result) ReverseRing(r);
+    net = -net;
+  }
+  if (std::fabs(net - expected) > 1e-9 * std::max(1.0, expected)) {
+    return Status::Internal(
+        "ClipPolygons: traversal area self-check failed (degenerate "
+        "geometry slipped past detection)");
+  }
+  return result;
+}
+
+Result<std::vector<Polygon>> AssembleRings(std::vector<Ring> rings) {
+  std::vector<Polygon> out;
+  std::vector<size_t> outer_of_hole;
+  // Outers first (CCW), largest first so holes nest into the smallest
+  // containing outer.
+  std::vector<size_t> outer_idx;
+  std::vector<size_t> hole_idx;
+  for (size_t i = 0; i < rings.size(); ++i) {
+    if (SignedRingArea(rings[i]) >= 0.0) {
+      outer_idx.push_back(i);
+    } else {
+      hole_idx.push_back(i);
+    }
+  }
+  std::vector<std::vector<Ring>> holes_per_outer(outer_idx.size());
+  for (size_t h : hole_idx) {
+    const Point& probe = rings[h][0];
+    size_t best = outer_idx.size();
+    double best_area = 0.0;
+    for (size_t k = 0; k < outer_idx.size(); ++k) {
+      const Ring& outer = rings[outer_idx[k]];
+      if (!PointInRing(probe, outer)) continue;
+      double area = RingArea(outer);
+      if (best == outer_idx.size() || area < best_area) {
+        best = k;
+        best_area = area;
+      }
+    }
+    if (best == outer_idx.size()) {
+      return Status::InvalidArgument(
+          "AssembleRings: hole ring not contained in any outer ring");
+    }
+    holes_per_outer[best].push_back(std::move(rings[h]));
+  }
+  for (size_t k = 0; k < outer_idx.size(); ++k) {
+    GEOALIGN_ASSIGN_OR_RETURN(
+        Polygon poly, Polygon::Create(std::move(rings[outer_idx[k]]),
+                                      std::move(holes_per_outer[k])));
+    out.push_back(std::move(poly));
+  }
+  return out;
+}
+
+double RingsArea(const std::vector<Ring>& rings) {
+  double acc = 0.0;
+  for (const Ring& r : rings) acc += SignedRingArea(r);
+  return acc;
+}
+
+Ring PerturbRing(const Ring& ring, double eps, uint64_t seed) {
+  Rng rng(seed);
+  Ring out;
+  out.reserve(ring.size());
+  for (const Point& p : ring) {
+    out.push_back({p.x + rng.Uniform(-eps, eps),
+                   p.y + rng.Uniform(-eps, eps)});
+  }
+  return out;
+}
+
+}  // namespace geoalign::geom

@@ -1,0 +1,55 @@
+#ifndef GEOALIGN_GEOM_CLIP_POLYGON_H_
+#define GEOALIGN_GEOM_CLIP_POLYGON_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "geom/polygon.h"
+
+namespace geoalign::geom {
+
+/// Boolean operations between two polygons.
+enum class BooleanOp {
+  kIntersection,  ///< A ∩ B
+  kUnion,         ///< A ∪ B
+  kDifference,    ///< A \ B
+};
+
+/// Computes the geometry of `op` applied to two SIMPLE, HOLE-FREE
+/// polygons with a Greiner–Hormann-style traversal: boundary
+/// intersection points are inserted into both rings, classified as
+/// entry/exit, and result contours are stitched by alternating
+/// between the two boundaries.
+///
+/// The result is a set of disjoint simple rings (CCW). An empty vector
+/// means an empty result (disjoint polygons for intersection,
+/// fully-covered subject for difference). When one polygon contains
+/// the other without boundary crossings the containment cases are
+/// resolved exactly.
+///
+/// Degenerate inputs — overlapping collinear edges or vertices lying
+/// exactly on the other boundary — are detected and rejected with
+/// FailedPrecondition rather than silently producing wrong geometry;
+/// measure-only queries (`IntersectionArea` etc. in boolean_ops.h)
+/// handle those cases exactly and should be used when only areas are
+/// needed. A caller that needs geometry for degenerate input can
+/// perturb one operand by an epsilon (`PerturbRing` below).
+Result<std::vector<Ring>> ClipPolygons(const Polygon& a, const Polygon& b,
+                                       BooleanOp op);
+
+/// Groups boolean-op result rings into polygons: CCW rings become
+/// outers; CW rings become holes of the smallest containing outer.
+/// Fails if a hole is contained in no outer.
+Result<std::vector<Polygon>> AssembleRings(std::vector<Ring> rings);
+
+/// Net signed area of a ring set (holes subtract). For ClipPolygons
+/// output this equals the measure of the result region.
+double RingsArea(const std::vector<Ring>& rings);
+
+/// Jitters every vertex by a deterministic pseudo-random offset of
+/// magnitude <= eps; used to escape degenerate configurations.
+Ring PerturbRing(const Ring& ring, double eps, uint64_t seed = 1);
+
+}  // namespace geoalign::geom
+
+#endif  // GEOALIGN_GEOM_CLIP_POLYGON_H_

@@ -1,0 +1,100 @@
+#include "geom/hull.h"
+
+#include <algorithm>
+
+#include "geom/predicates.h"
+
+namespace geoalign::geom {
+
+Ring ConvexHull(std::vector<Point> points) {
+  std::sort(points.begin(), points.end(), [](const Point& a, const Point& b) {
+    return a.x != b.x ? a.x < b.x : a.y < b.y;
+  });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  size_t n = points.size();
+  if (n < 3) return points;
+
+  Ring hull(2 * n);
+  size_t k = 0;
+  // Lower hull.
+  for (size_t i = 0; i < n; ++i) {
+    while (k >= 2 &&
+           Orient2d(hull[k - 2], hull[k - 1], points[i]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  // Upper hull.
+  for (size_t i = n - 1, t = k + 1; i-- > 0;) {
+    while (k >= t && Orient2d(hull[k - 2], hull[k - 1], points[i]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);  // last point equals the first
+  return hull;
+}
+
+namespace {
+
+void RdpRecurse(const Ring& ring, size_t lo, size_t hi, double tolerance,
+                std::vector<bool>* keep) {
+  if (hi <= lo + 1) return;
+  double worst = -1.0;
+  size_t worst_i = lo;
+  for (size_t i = lo + 1; i < hi; ++i) {
+    double d = PointSegmentDistance(ring[i], ring[lo], ring[hi]);
+    if (d > worst) {
+      worst = d;
+      worst_i = i;
+    }
+  }
+  if (worst > tolerance) {
+    (*keep)[worst_i] = true;
+    RdpRecurse(ring, lo, worst_i, tolerance, keep);
+    RdpRecurse(ring, worst_i, hi, tolerance, keep);
+  }
+}
+
+}  // namespace
+
+Ring SimplifyRing(const Ring& ring, double tolerance) {
+  size_t n = ring.size();
+  if (n <= 3 || tolerance <= 0.0) return ring;
+  // Anchor at vertex 0 and the vertex farthest from it, so the closed
+  // ring decomposes into two open chains.
+  size_t far = 0;
+  double best = -1.0;
+  for (size_t i = 1; i < n; ++i) {
+    double d = DistanceSquared(ring[0], ring[i]);
+    if (d > best) {
+      best = d;
+      far = i;
+    }
+  }
+  std::vector<bool> keep(n, false);
+  keep[0] = true;
+  keep[far] = true;
+  RdpRecurse(ring, 0, far, tolerance, &keep);
+  // Second chain wraps around: copy into a linear buffer.
+  Ring wrapped;
+  std::vector<size_t> wrapped_idx;
+  for (size_t i = far; i <= n; ++i) {
+    wrapped.push_back(ring[i % n]);
+    wrapped_idx.push_back(i % n);
+  }
+  std::vector<bool> keep2(wrapped.size(), false);
+  RdpRecurse(wrapped, 0, wrapped.size() - 1, tolerance, &keep2);
+  for (size_t i = 0; i < wrapped.size(); ++i) {
+    if (keep2[i]) keep[wrapped_idx[i]] = true;
+  }
+  Ring out;
+  for (size_t i = 0; i < n; ++i) {
+    if (keep[i]) out.push_back(ring[i]);
+  }
+  // Never collapse below a triangle.
+  if (out.size() < 3) return ring;
+  return out;
+}
+
+}  // namespace geoalign::geom

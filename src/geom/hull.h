@@ -1,0 +1,23 @@
+#ifndef GEOALIGN_GEOM_HULL_H_
+#define GEOALIGN_GEOM_HULL_H_
+
+#include <vector>
+
+#include "geom/polygon.h"
+
+namespace geoalign::geom {
+
+/// Convex hull of a point set (Andrew's monotone chain), returned as a
+/// CCW ring without collinear interior vertices. Fewer than 3 distinct
+/// non-collinear points yield a degenerate (possibly empty) ring.
+Ring ConvexHull(std::vector<Point> points);
+
+/// Ramer–Douglas–Peucker simplification of a ring: vertices closer
+/// than `tolerance` to the chord between retained neighbours are
+/// dropped. The ring's first vertex is always kept; output has at
+/// least 3 vertices when the input does.
+Ring SimplifyRing(const Ring& ring, double tolerance);
+
+}  // namespace geoalign::geom
+
+#endif  // GEOALIGN_GEOM_HULL_H_

@@ -1,0 +1,97 @@
+#include "geom/predicates.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geoalign::geom {
+
+double Orient2d(const Point& a, const Point& b, const Point& c) {
+  return Cross(b - a, c - a);
+}
+
+bool PointOnSegment(const Point& p, const Point& a, const Point& b,
+                    double tol) {
+  if (std::fabs(Orient2d(a, b, p)) > tol) return false;
+  return p.x >= std::min(a.x, b.x) - tol && p.x <= std::max(a.x, b.x) + tol &&
+         p.y >= std::min(a.y, b.y) - tol && p.y <= std::max(a.y, b.y) + tol;
+}
+
+namespace {
+
+// Crossing-number core; boundary handled by the callers.
+bool CrossingNumberOdd(const Point& p, const Ring& ring) {
+  bool inside = false;
+  size_t n = ring.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = ring[i];
+    const Point& b = ring[j];
+    // Half-open rule on y avoids double-counting vertices.
+    if ((a.y > p.y) != (b.y > p.y)) {
+      double x_cross = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+      if (p.x < x_cross) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+bool OnBoundary(const Point& p, const Ring& ring) {
+  size_t n = ring.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    if (PointOnSegment(p, ring[j], ring[i], 1e-12)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool PointInRing(const Point& p, const Ring& ring) {
+  if (ring.size() < 3) return false;
+  if (OnBoundary(p, ring)) return true;
+  return CrossingNumberOdd(p, ring);
+}
+
+bool PointStrictlyInRing(const Point& p, const Ring& ring) {
+  if (ring.size() < 3) return false;
+  if (OnBoundary(p, ring)) return false;
+  return CrossingNumberOdd(p, ring);
+}
+
+std::optional<Point> SegmentIntersection(const Point& a, const Point& b,
+                                         const Point& c, const Point& d) {
+  Point r = b - a;
+  Point s = d - c;
+  double denom = Cross(r, s);
+  Point qp = c - a;
+  if (denom == 0.0) {
+    // Parallel. Collinear overlap?
+    if (Cross(qp, r) != 0.0) return std::nullopt;
+    double rr = Dot(r, r);
+    if (rr == 0.0) {
+      // a == b degenerate segment.
+      if (PointOnSegment(a, c, d)) return a;
+      return std::nullopt;
+    }
+    double t0 = Dot(qp, r) / rr;
+    double t1 = t0 + Dot(s, r) / rr;
+    double lo = std::min(t0, t1);
+    double hi = std::max(t0, t1);
+    if (hi < 0.0 || lo > 1.0) return std::nullopt;
+    double t = std::max(0.0, lo);
+    return Point{a.x + t * r.x, a.y + t * r.y};
+  }
+  double t = Cross(qp, s) / denom;
+  double u = Cross(qp, r) / denom;
+  if (t < 0.0 || t > 1.0 || u < 0.0 || u > 1.0) return std::nullopt;
+  return Point{a.x + t * r.x, a.y + t * r.y};
+}
+
+double PointSegmentDistance(const Point& p, const Point& a, const Point& b) {
+  Point ab = b - a;
+  double len2 = Dot(ab, ab);
+  if (len2 == 0.0) return Distance(p, a);
+  double t = std::clamp(Dot(p - a, ab) / len2, 0.0, 1.0);
+  Point proj{a.x + t * ab.x, a.y + t * ab.y};
+  return Distance(p, proj);
+}
+
+}  // namespace geoalign::geom

@@ -1,0 +1,138 @@
+#include "geom/voronoi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "geom/convex_clip.h"
+
+namespace geoalign::geom {
+
+namespace {
+
+struct SiteGrid {
+  double cell_size;
+  int nx;
+  int ny;
+  BBox bounds;
+  // site indices per bucket, row-major.
+  std::vector<std::vector<uint32_t>> buckets;
+
+  int ClampX(int v) const { return std::clamp(v, 0, nx - 1); }
+  int ClampY(int v) const { return std::clamp(v, 0, ny - 1); }
+
+  std::pair<int, int> BucketOf(const Point& p) const {
+    int bx = ClampX(static_cast<int>((p.x - bounds.min_x) / cell_size));
+    int by = ClampY(static_cast<int>((p.y - bounds.min_y) / cell_size));
+    return {bx, by};
+  }
+};
+
+SiteGrid BuildGrid(const std::vector<Point>& sites, const BBox& bounds) {
+  SiteGrid g;
+  g.bounds = bounds;
+  double span = std::max(bounds.width(), bounds.height());
+  double target =
+      span / std::max(1.0, std::sqrt(static_cast<double>(sites.size())));
+  g.cell_size = std::max(target, span * 1e-9);
+  g.nx = std::max(1, static_cast<int>(std::ceil(bounds.width() / g.cell_size)));
+  g.ny =
+      std::max(1, static_cast<int>(std::ceil(bounds.height() / g.cell_size)));
+  g.buckets.resize(static_cast<size_t>(g.nx) * g.ny);
+  for (uint32_t i = 0; i < sites.size(); ++i) {
+    auto [bx, by] = g.BucketOf(sites[i]);
+    g.buckets[static_cast<size_t>(by) * g.nx + bx].push_back(i);
+  }
+  return g;
+}
+
+double MaxVertexDistance(const Point& site, const Ring& cell) {
+  double best = 0.0;
+  for (const Point& v : cell) {
+    best = std::max(best, DistanceSquared(site, v));
+  }
+  return std::sqrt(best);
+}
+
+}  // namespace
+
+Result<std::vector<Ring>> VoronoiCells(const std::vector<Point>& sites,
+                                       const BBox& bounds) {
+  if (sites.empty()) {
+    return Status::InvalidArgument("VoronoiCells: no sites");
+  }
+  if (bounds.Empty()) {
+    return Status::InvalidArgument("VoronoiCells: empty bounds");
+  }
+  for (const Point& s : sites) {
+    if (!bounds.Contains(s)) {
+      return Status::InvalidArgument("VoronoiCells: site outside bounds");
+    }
+  }
+
+  SiteGrid grid = BuildGrid(sites, bounds);
+  Ring box_ring = {{bounds.min_x, bounds.min_y},
+                   {bounds.max_x, bounds.min_y},
+                   {bounds.max_x, bounds.max_y},
+                   {bounds.min_x, bounds.max_y}};
+
+  std::vector<Ring> cells(sites.size());
+  std::vector<std::pair<double, uint32_t>> candidates;
+
+  for (uint32_t i = 0; i < sites.size(); ++i) {
+    const Point& site = sites[i];
+    Ring cell = box_ring;
+    bool duplicate = false;
+
+    auto [cx, cy] = grid.BucketOf(site);
+    int max_radius = std::max(grid.nx, grid.ny);
+    for (int radius = 0; radius <= max_radius && !duplicate; ++radius) {
+      // Sites farther than 2R from the site cannot cut the current
+      // cell. Buckets at Chebyshev ring `radius` are at least
+      // (radius - 1) * cell_size away.
+      if (radius >= 2) {
+        double min_ring_dist = (radius - 1) * grid.cell_size;
+        if (min_ring_dist > 2.0 * MaxVertexDistance(site, cell)) break;
+      }
+      candidates.clear();
+      // Gather bucket ring at Chebyshev distance `radius`.
+      for (int by = cy - radius; by <= cy + radius; ++by) {
+        if (by < 0 || by >= grid.ny) continue;
+        for (int bx = cx - radius; bx <= cx + radius; ++bx) {
+          if (bx < 0 || bx >= grid.nx) continue;
+          if (std::max(std::abs(bx - cx), std::abs(by - cy)) != radius) {
+            continue;
+          }
+          for (uint32_t j :
+               grid.buckets[static_cast<size_t>(by) * grid.nx + bx]) {
+            if (j == i) continue;
+            candidates.emplace_back(DistanceSquared(site, sites[j]), j);
+          }
+        }
+      }
+      std::sort(candidates.begin(), candidates.end());
+      for (auto& [d2, j] : candidates) {
+        if (d2 == 0.0) {
+          // Exact duplicate: the first copy keeps the cell.
+          if (j < i) {
+            cell.clear();
+            duplicate = true;
+          }
+          continue;
+        }
+        if (cell.size() < 3) break;
+        double max_v = MaxVertexDistance(site, cell);
+        if (std::sqrt(d2) > 2.0 * max_v) break;
+        cell = ClipRingToHalfPlane(cell, HalfPlane::Bisector(site, sites[j]));
+      }
+      if (cell.size() < 3 && !duplicate) {
+        cell.clear();
+        break;
+      }
+    }
+    cells[i] = std::move(cell);
+  }
+  return cells;
+}
+
+}  // namespace geoalign::geom

@@ -1,0 +1,30 @@
+#ifndef GEOALIGN_GEOM_VORONOI_H_
+#define GEOALIGN_GEOM_VORONOI_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "geom/bbox.h"
+#include "geom/polygon.h"
+
+namespace geoalign::geom {
+
+/// Computes the Voronoi diagram of `sites` clipped to `bounds`.
+///
+/// Returns one convex ring per site (same order as `sites`); a ring is
+/// empty when the site's cell is empty (exact-duplicate sites keep the
+/// first copy's cell). Cells partition `bounds` up to floating-point
+/// boundary error.
+///
+/// Method: per-site half-plane clipping against bisectors, visiting
+/// candidate neighbors in grid-bucket distance order and stopping once
+/// the nearest unexamined neighbor is provably too far to cut the cell
+/// (security-radius bound: a site farther than twice the max
+/// site-to-vertex distance cannot change the cell). Expected
+/// near-linear time for evenly distributed sites.
+Result<std::vector<Ring>> VoronoiCells(const std::vector<Point>& sites,
+                                       const BBox& bounds);
+
+}  // namespace geoalign::geom
+
+#endif  // GEOALIGN_GEOM_VORONOI_H_

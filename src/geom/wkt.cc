@@ -1,0 +1,215 @@
+#include "geom/wkt.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace geoalign::geom {
+
+namespace {
+
+void AppendCoord(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  *out += buf;
+}
+
+void AppendRing(std::string* out, const Ring& ring) {
+  *out += '(';
+  for (size_t i = 0; i < ring.size(); ++i) {
+    if (i > 0) *out += ", ";
+    AppendCoord(out, ring[i].x);
+    *out += ' ';
+    AppendCoord(out, ring[i].y);
+  }
+  if (!ring.empty()) {
+    // Close the ring per WKT convention.
+    *out += ", ";
+    AppendCoord(out, ring[0].x);
+    *out += ' ';
+    AppendCoord(out, ring[0].y);
+  }
+  *out += ')';
+}
+
+void AppendPolygonBody(std::string* out, const Polygon& poly) {
+  *out += '(';
+  AppendRing(out, poly.outer());
+  for (const Ring& hole : poly.holes()) {
+    *out += ", ";
+    AppendRing(out, hole);
+  }
+  *out += ')';
+}
+
+/// Minimal recursive-descent scanner over WKT text.
+class WktScanner {
+ public:
+  explicit WktScanner(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeKeyword(std::string_view kw) {
+    SkipSpace();
+    if (pos_ + kw.size() > text_.size()) return false;
+    for (size_t i = 0; i < kw.size(); ++i) {
+      char c = text_[pos_ + i];
+      if (std::toupper(static_cast<unsigned char>(c)) != kw[i]) return false;
+    }
+    pos_ += kw.size();
+    return true;
+  }
+
+  bool ConsumeChar(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<double> Number() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '+' || text_[pos_] == '-' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Status::InvalidArgument("WKT: expected number");
+    return ParseDouble(text_.substr(start, pos_ - start));
+  }
+
+  Result<Ring> ParseRing() {
+    if (!ConsumeChar('(')) {
+      return Status::InvalidArgument("WKT: expected '(' starting a ring");
+    }
+    Ring ring;
+    for (;;) {
+      GEOALIGN_ASSIGN_OR_RETURN(double x, Number());
+      GEOALIGN_ASSIGN_OR_RETURN(double y, Number());
+      ring.push_back({x, y});
+      if (ConsumeChar(',')) continue;
+      if (ConsumeChar(')')) break;
+      return Status::InvalidArgument("WKT: expected ',' or ')' in ring");
+    }
+    // Drop the closing duplicate vertex if present.
+    if (ring.size() >= 2 && ring.front() == ring.back()) ring.pop_back();
+    return ring;
+  }
+
+  Result<Polygon> ParsePolygonBody() {
+    if (!ConsumeChar('(')) {
+      return Status::InvalidArgument("WKT: expected '(' starting a polygon");
+    }
+    GEOALIGN_ASSIGN_OR_RETURN(Ring outer, ParseRing());
+    std::vector<Ring> holes;
+    while (ConsumeChar(',')) {
+      GEOALIGN_ASSIGN_OR_RETURN(Ring hole, ParseRing());
+      holes.push_back(std::move(hole));
+    }
+    if (!ConsumeChar(')')) {
+      return Status::InvalidArgument("WKT: expected ')' ending a polygon");
+    }
+    return Polygon::Create(std::move(outer), std::move(holes));
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string ToWkt(const Point& p) {
+  std::string out = "POINT (";
+  AppendCoord(&out, p.x);
+  out += ' ';
+  AppendCoord(&out, p.y);
+  out += ')';
+  return out;
+}
+
+std::string ToWkt(const Polygon& poly) {
+  std::string out = "POLYGON ";
+  AppendPolygonBody(&out, poly);
+  return out;
+}
+
+std::string ToWkt(const std::vector<Polygon>& polys) {
+  std::string out = "MULTIPOLYGON (";
+  for (size_t i = 0; i < polys.size(); ++i) {
+    if (i > 0) out += ", ";
+    AppendPolygonBody(&out, polys[i]);
+  }
+  out += ')';
+  return out;
+}
+
+Result<Point> PointFromWkt(const std::string& text) {
+  WktScanner sc(text);
+  if (!sc.ConsumeKeyword("POINT")) {
+    return Status::InvalidArgument("WKT: expected POINT");
+  }
+  if (!sc.ConsumeChar('(')) {
+    return Status::InvalidArgument("WKT: expected '('");
+  }
+  GEOALIGN_ASSIGN_OR_RETURN(double x, sc.Number());
+  GEOALIGN_ASSIGN_OR_RETURN(double y, sc.Number());
+  if (!sc.ConsumeChar(')') || !sc.AtEnd()) {
+    return Status::InvalidArgument("WKT: malformed POINT");
+  }
+  return Point{x, y};
+}
+
+Result<Polygon> PolygonFromWkt(const std::string& text) {
+  WktScanner sc(text);
+  if (!sc.ConsumeKeyword("POLYGON")) {
+    return Status::InvalidArgument("WKT: expected POLYGON");
+  }
+  GEOALIGN_ASSIGN_OR_RETURN(Polygon poly, sc.ParsePolygonBody());
+  if (!sc.AtEnd()) {
+    return Status::InvalidArgument("WKT: trailing characters");
+  }
+  return poly;
+}
+
+Result<std::vector<Polygon>> MultiPolygonFromWkt(const std::string& text) {
+  WktScanner sc(text);
+  if (sc.ConsumeKeyword("MULTIPOLYGON")) {
+    if (!sc.ConsumeChar('(')) {
+      return Status::InvalidArgument("WKT: expected '('");
+    }
+    std::vector<Polygon> polys;
+    for (;;) {
+      GEOALIGN_ASSIGN_OR_RETURN(Polygon poly, sc.ParsePolygonBody());
+      polys.push_back(std::move(poly));
+      if (sc.ConsumeChar(',')) continue;
+      if (sc.ConsumeChar(')')) break;
+      return Status::InvalidArgument("WKT: expected ',' or ')'");
+    }
+    if (!sc.AtEnd()) {
+      return Status::InvalidArgument("WKT: trailing characters");
+    }
+    return polys;
+  }
+  GEOALIGN_ASSIGN_OR_RETURN(Polygon poly, PolygonFromWkt(text));
+  std::vector<Polygon> polys;
+  polys.push_back(std::move(poly));
+  return polys;
+}
+
+}  // namespace geoalign::geom

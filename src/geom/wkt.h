@@ -1,0 +1,38 @@
+#ifndef GEOALIGN_GEOM_WKT_H_
+#define GEOALIGN_GEOM_WKT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/polygon.h"
+
+namespace geoalign::geom {
+
+/// Well-Known-Text serialization, the interchange format GIS tools
+/// (PostGIS, GEOS, shapely, ArcGIS) speak. Supported geometries:
+/// POINT, POLYGON (with holes), MULTIPOLYGON.
+
+/// "POINT (x y)".
+std::string ToWkt(const Point& p);
+
+/// "POLYGON ((outer...), (hole...), ...)" — rings are closed in the
+/// output (first vertex repeated at the end) per the WKT convention.
+std::string ToWkt(const Polygon& poly);
+
+/// "MULTIPOLYGON (((...)), ((...)))".
+std::string ToWkt(const std::vector<Polygon>& polys);
+
+/// Parses "POINT (x y)".
+Result<Point> PointFromWkt(const std::string& text);
+
+/// Parses "POLYGON ((...), ...)"; accepts open or closed rings.
+Result<Polygon> PolygonFromWkt(const std::string& text);
+
+/// Parses "MULTIPOLYGON (((...)), ...)"; also accepts a plain POLYGON
+/// (returned as a single-element vector).
+Result<std::vector<Polygon>> MultiPolygonFromWkt(const std::string& text);
+
+}  // namespace geoalign::geom
+
+#endif  // GEOALIGN_GEOM_WKT_H_

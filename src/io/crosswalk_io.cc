@@ -1,0 +1,120 @@
+#include "io/crosswalk_io.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "sparse/coo_builder.h"
+
+namespace geoalign::io {
+
+namespace {
+
+std::unordered_map<std::string, size_t> IndexOf(
+    const std::vector<std::string>& units) {
+  std::unordered_map<std::string, size_t> out;
+  out.reserve(units.size());
+  for (size_t i = 0; i < units.size(); ++i) out.emplace(units[i], i);
+  return out;
+}
+
+std::vector<std::string> SortedUnique(std::vector<std::string> names) {
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+}  // namespace
+
+Result<LoadedCrosswalk> CrosswalkFromTable(
+    const Table& table, const std::string& source_column,
+    const std::string& target_column, const std::string& value_column,
+    std::vector<std::string> source_units,
+    std::vector<std::string> target_units) {
+  GEOALIGN_ASSIGN_OR_RETURN(std::vector<std::string> sources,
+                            table.StringColumn(source_column));
+  GEOALIGN_ASSIGN_OR_RETURN(std::vector<std::string> targets,
+                            table.StringColumn(target_column));
+  GEOALIGN_ASSIGN_OR_RETURN(std::vector<double> values,
+                            table.NumericColumn(value_column));
+
+  LoadedCrosswalk out;
+  out.source_units =
+      source_units.empty() ? SortedUnique(sources) : std::move(source_units);
+  out.target_units =
+      target_units.empty() ? SortedUnique(targets) : std::move(target_units);
+  auto src_index = IndexOf(out.source_units);
+  auto tgt_index = IndexOf(out.target_units);
+
+  sparse::CooBuilder builder(out.source_units.size(),
+                             out.target_units.size());
+  for (size_t r = 0; r < values.size(); ++r) {
+    auto si = src_index.find(sources[r]);
+    if (si == src_index.end()) {
+      return Status::NotFound(StrFormat("crosswalk row %zu: unknown source "
+                                        "unit '%s'",
+                                        r, sources[r].c_str()));
+    }
+    auto ti = tgt_index.find(targets[r]);
+    if (ti == tgt_index.end()) {
+      return Status::NotFound(StrFormat("crosswalk row %zu: unknown target "
+                                        "unit '%s'",
+                                        r, targets[r].c_str()));
+    }
+    if (values[r] < 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("crosswalk row %zu: negative value", r));
+    }
+    builder.Add(si->second, ti->second, values[r]);
+  }
+  out.dm = builder.Build();
+  return out;
+}
+
+core::ReferenceAttribute ReferenceFromCrosswalk(std::string name,
+                                                const LoadedCrosswalk& cw) {
+  core::ReferenceAttribute ref;
+  ref.name = std::move(name);
+  ref.disaggregation = cw.dm;
+  ref.source_aggregates = cw.dm.RowSums();
+  return ref;
+}
+
+Result<linalg::Vector> AggregatesFromTable(
+    const Table& table, const std::string& unit_column,
+    const std::string& value_column,
+    const std::vector<std::string>& units) {
+  GEOALIGN_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                            table.StringColumn(unit_column));
+  GEOALIGN_ASSIGN_OR_RETURN(std::vector<double> values,
+                            table.NumericColumn(value_column));
+  auto index = IndexOf(units);
+  linalg::Vector out(units.size(), 0.0);
+  for (size_t r = 0; r < names.size(); ++r) {
+    auto it = index.find(names[r]);
+    if (it == index.end()) {
+      return Status::NotFound(StrFormat(
+          "aggregate row %zu: unknown unit '%s'", r, names[r].c_str()));
+    }
+    out[it->second] += values[r];
+  }
+  return out;
+}
+
+Table CrosswalkToTable(const LoadedCrosswalk& cw,
+                       const std::string& source_column,
+                       const std::string& target_column,
+                       const std::string& value_column) {
+  Table out({source_column, target_column, value_column});
+  for (size_t i = 0; i < cw.dm.rows(); ++i) {
+    sparse::CsrMatrix::RowView row = cw.dm.Row(i);
+    for (size_t k = 0; k < row.size; ++k) {
+      out.AppendRow({cw.source_units[i], cw.target_units[row.cols[k]],
+                     StrFormat("%.12g", row.values[k])})
+          .CheckOK();
+    }
+  }
+  return out;
+}
+
+}  // namespace geoalign::io

@@ -1,0 +1,27 @@
+#ifndef GEOALIGN_IO_CSV_H_
+#define GEOALIGN_IO_CSV_H_
+
+#include <string>
+
+#include "io/table.h"
+
+namespace geoalign::io {
+
+/// RFC-4180-style CSV: comma separated, double-quote quoting with ""
+/// escapes, first record is the header.
+
+/// Parses CSV text into a Table.
+Result<Table> ParseCsv(const std::string& text);
+
+/// Reads and parses a CSV file.
+Result<Table> ReadCsvFile(const std::string& path);
+
+/// Serializes a table as CSV (header + rows); quotes only when needed.
+std::string ToCsv(const Table& table);
+
+/// Writes a table to a file.
+Status WriteCsvFile(const Table& table, const std::string& path);
+
+}  // namespace geoalign::io
+
+#endif  // GEOALIGN_IO_CSV_H_

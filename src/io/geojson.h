@@ -1,0 +1,52 @@
+#ifndef GEOALIGN_IO_GEOJSON_H_
+#define GEOALIGN_IO_GEOJSON_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/polygon.h"
+
+namespace geoalign::io {
+
+/// One GeoJSON feature: a (multi)polygon geometry plus scalar
+/// properties. Property values are kept as strings (numbers formatted
+/// with %g) — the library consumes them as unit names and aggregate
+/// values.
+struct Feature {
+  /// Polygon parts; one entry for Polygon, several for MultiPolygon.
+  std::vector<geom::Polygon> geometry;
+  std::map<std::string, std::string> properties;
+};
+
+/// A parsed FeatureCollection.
+struct FeatureCollection {
+  std::vector<Feature> features;
+
+  /// Values of the named property across features (error if any
+  /// feature lacks it).
+  Result<std::vector<std::string>> PropertyColumn(
+      const std::string& key) const;
+};
+
+/// Parses GeoJSON text. Accepts a FeatureCollection, a single Feature,
+/// or a bare Polygon/MultiPolygon geometry (wrapped into one feature).
+/// Only polygonal geometries are supported; rings follow the RFC 7946
+/// convention (first ring outer, rest holes; closing vertex optional).
+Result<FeatureCollection> ParseGeoJson(const std::string& text);
+
+/// Reads and parses a .geojson file.
+Result<FeatureCollection> ReadGeoJsonFile(const std::string& path);
+
+/// Serializes features as a FeatureCollection (outer rings CCW, holes
+/// CW, rings closed, per RFC 7946).
+std::string ToGeoJson(const FeatureCollection& fc);
+
+/// Writes features to a file.
+Status WriteGeoJsonFile(const FeatureCollection& fc,
+                        const std::string& path);
+
+}  // namespace geoalign::io
+
+#endif  // GEOALIGN_IO_GEOJSON_H_

@@ -1,0 +1,67 @@
+#include "io/table.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace geoalign::io {
+
+Table::Table(std::vector<std::string> column_names)
+    : columns_(std::move(column_names)) {}
+
+Result<size_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (columns_[c] == name) return c;
+  }
+  return Status::NotFound("Table: no column named '" + name + "'");
+}
+
+Status Table::AppendRow(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("Table: row has %zu cells, table has %zu columns",
+                  cells.size(), columns_.size()));
+  }
+  rows_.push_back(std::move(cells));
+  return Status::OK();
+}
+
+const std::string& Table::Cell(size_t row, size_t col) const {
+  GEOALIGN_CHECK(row < rows_.size() && col < columns_.size());
+  return rows_[row][col];
+}
+
+Result<std::vector<std::string>> Table::StringColumn(
+    const std::string& name) const {
+  GEOALIGN_ASSIGN_OR_RETURN(size_t c, ColumnIndex(name));
+  std::vector<std::string> out;
+  out.reserve(rows_.size());
+  for (const auto& row : rows_) out.push_back(row[c]);
+  return out;
+}
+
+Result<std::vector<double>> Table::NumericColumn(
+    const std::string& name) const {
+  GEOALIGN_ASSIGN_OR_RETURN(size_t c, ColumnIndex(name));
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    GEOALIGN_ASSIGN_OR_RETURN(double v, ParseDouble(row[c]));
+    out.push_back(v);
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<std::string, double>>> Table::KeyValueColumn(
+    const std::string& key_column, const std::string& value_column) const {
+  GEOALIGN_ASSIGN_OR_RETURN(size_t kc, ColumnIndex(key_column));
+  GEOALIGN_ASSIGN_OR_RETURN(size_t vc, ColumnIndex(value_column));
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    GEOALIGN_ASSIGN_OR_RETURN(double v, ParseDouble(row[vc]));
+    out.emplace_back(row[kc], v);
+  }
+  return out;
+}
+
+}  // namespace geoalign::io

@@ -1,0 +1,52 @@
+#ifndef GEOALIGN_IO_TABLE_H_
+#define GEOALIGN_IO_TABLE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace geoalign::io {
+
+/// A small in-memory column table (string cells with typed accessors)
+/// — the shape of the aggregate tables the paper's pipeline consumes
+/// (unit id column + value columns, as in Fig. 1).
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::vector<std::string> column_names);
+
+  size_t NumRows() const { return rows_.size(); }
+  size_t NumColumns() const { return columns_.size(); }
+  const std::vector<std::string>& column_names() const { return columns_; }
+
+  /// Index of the named column.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Appends a row; must match the column count.
+  Status AppendRow(std::vector<std::string> cells);
+
+  const std::string& Cell(size_t row, size_t col) const;
+
+  /// Column of raw strings.
+  Result<std::vector<std::string>> StringColumn(const std::string& name) const;
+
+  /// Column parsed as doubles.
+  Result<std::vector<double>> NumericColumn(const std::string& name) const;
+
+  /// (key, value) pairs from two columns — the shape
+  /// `CrosswalkPipeline` takes.
+  Result<std::vector<std::pair<std::string, double>>> KeyValueColumn(
+      const std::string& key_column, const std::string& value_column) const;
+
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace geoalign::io
+
+#endif  // GEOALIGN_IO_TABLE_H_

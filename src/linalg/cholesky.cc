@@ -1,0 +1,54 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace geoalign::linalg {
+
+Result<CholeskyFactorization> CholeskyFactorization::Compute(
+    const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky: matrix must be square");
+  }
+  size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double acc = a(i, j);
+      for (size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (acc <= 0.0) {
+          return Status::InvalidArgument(
+              "Cholesky: matrix not positive definite");
+        }
+        l(i, j) = std::sqrt(acc);
+      } else {
+        l(i, j) = acc / l(j, j);
+      }
+    }
+  }
+  return CholeskyFactorization(std::move(l));
+}
+
+Result<Vector> CholeskyFactorization::Solve(const Vector& b) const {
+  size_t n = l_.rows();
+  if (b.size() != n) {
+    return Status::InvalidArgument("Cholesky solve: size mismatch");
+  }
+  // Forward substitution L y = b.
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (size_t j = 0; j < i; ++j) acc -= l_(i, j) * y[j];
+    y[i] = acc / l_(i, i);
+  }
+  // Back substitution L^T x = y.
+  Vector x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (size_t j = ii + 1; j < n; ++j) acc -= l_(j, ii) * x[j];
+    x[ii] = acc / l_(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace geoalign::linalg

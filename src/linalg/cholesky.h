@@ -1,0 +1,30 @@
+#ifndef GEOALIGN_LINALG_CHOLESKY_H_
+#define GEOALIGN_LINALG_CHOLESKY_H_
+
+#include "linalg/matrix.h"
+
+namespace geoalign::linalg {
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite
+/// matrix. Used to solve normal equations for small least-squares
+/// subproblems.
+class CholeskyFactorization {
+ public:
+  /// Factors symmetric positive-definite `a` (only the lower triangle
+  /// is read). Fails if a non-positive pivot is encountered.
+  static Result<CholeskyFactorization> Compute(const Matrix& a);
+
+  /// Solves A x = b.
+  Result<Vector> Solve(const Vector& b) const;
+
+  /// The lower-triangular factor L.
+  const Matrix& L() const { return l_; }
+
+ private:
+  explicit CholeskyFactorization(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;
+};
+
+}  // namespace geoalign::linalg
+
+#endif  // GEOALIGN_LINALG_CHOLESKY_H_

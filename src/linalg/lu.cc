@@ -1,0 +1,83 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+
+namespace geoalign::linalg {
+
+Result<LuFactorization> LuFactorization::Compute(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("LU: matrix must be square");
+  }
+  size_t n = a.rows();
+  Matrix lu = a;
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  int sign = 1;
+
+  for (size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |entry| in column k at or below the
+    // diagonal.
+    size_t pivot = k;
+    double best = std::fabs(lu(k, k));
+    for (size_t r = k + 1; r < n; ++r) {
+      double v = std::fabs(lu(r, k));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best == 0.0) {
+      return Status::InvalidArgument("LU: singular matrix");
+    }
+    if (pivot != k) {
+      for (size_t c = 0; c < n; ++c) std::swap(lu(k, c), lu(pivot, c));
+      std::swap(perm[k], perm[pivot]);
+      sign = -sign;
+    }
+    double inv_pivot = 1.0 / lu(k, k);
+    for (size_t r = k + 1; r < n; ++r) {
+      double m = lu(r, k) * inv_pivot;
+      lu(r, k) = m;
+      if (m == 0.0) continue;
+      for (size_t c = k + 1; c < n; ++c) {
+        lu(r, c) -= m * lu(k, c);
+      }
+    }
+  }
+  return LuFactorization(std::move(lu), std::move(perm), sign);
+}
+
+Result<Vector> LuFactorization::Solve(const Vector& b) const {
+  size_t n = lu_.rows();
+  if (b.size() != n) {
+    return Status::InvalidArgument("LU solve: size mismatch");
+  }
+  Vector x(n);
+  // Apply permutation, then forward substitution (L has unit diagonal).
+  for (size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  for (size_t i = 0; i < n; ++i) {
+    double acc = x[i];
+    for (size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Back substitution with U.
+  for (size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+double LuFactorization::Determinant() const {
+  double det = perm_sign_;
+  for (size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Result<Vector> SolveLinearSystem(const Matrix& a, const Vector& b) {
+  GEOALIGN_ASSIGN_OR_RETURN(LuFactorization lu, LuFactorization::Compute(a));
+  return lu.Solve(b);
+}
+
+}  // namespace geoalign::linalg

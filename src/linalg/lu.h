@@ -1,0 +1,42 @@
+#ifndef GEOALIGN_LINALG_LU_H_
+#define GEOALIGN_LINALG_LU_H_
+
+#include "linalg/matrix.h"
+
+namespace geoalign::linalg {
+
+/// LU factorization with partial pivoting of a square matrix.
+///
+/// Used for the symmetric-indefinite KKT systems arising in the
+/// equality-constrained least-squares subproblems of the simplex
+/// solver (the constraint row makes the system indefinite, so Cholesky
+/// does not apply).
+class LuFactorization {
+ public:
+  /// Factors `a` (must be square). Fails on (numerically) singular
+  /// input.
+  static Result<LuFactorization> Compute(const Matrix& a);
+
+  /// Solves A x = b for the factored A.
+  Result<Vector> Solve(const Vector& b) const;
+
+  /// Determinant of the factored matrix.
+  double Determinant() const;
+
+  size_t size() const { return lu_.rows(); }
+
+ private:
+  LuFactorization(Matrix lu, std::vector<size_t> perm, int sign)
+      : lu_(std::move(lu)), perm_(std::move(perm)), perm_sign_(sign) {}
+
+  Matrix lu_;                  // packed L (unit diagonal) and U
+  std::vector<size_t> perm_;   // row permutation
+  int perm_sign_ = 1;
+};
+
+/// Convenience: solves the square system a x = b in one call.
+Result<Vector> SolveLinearSystem(const Matrix& a, const Vector& b);
+
+}  // namespace geoalign::linalg
+
+#endif  // GEOALIGN_LINALG_LU_H_

@@ -1,0 +1,124 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace geoalign::linalg {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    GEOALIGN_CHECK(rows[r].size() == m.cols_) << "FromRows: ragged rows";
+    for (size_t c = 0; c < m.cols_; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::FromColumns(const std::vector<Vector>& cols) {
+  if (cols.empty()) return Matrix();
+  Matrix m(cols[0].size(), cols.size());
+  for (size_t c = 0; c < cols.size(); ++c) {
+    GEOALIGN_CHECK(cols[c].size() == m.rows_) << "FromColumns: ragged cols";
+    for (size_t r = 0; r < m.rows_; ++r) m(r, c) = cols[c][r];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Vector Matrix::Row(size_t r) const {
+  GEOALIGN_CHECK(r < rows_);
+  Vector out(cols_);
+  for (size_t c = 0; c < cols_; ++c) out[c] = (*this)(r, c);
+  return out;
+}
+
+Vector Matrix::Col(size_t c) const {
+  GEOALIGN_CHECK(c < cols_);
+  Vector out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+Vector Matrix::MatVec(const Vector& x) const {
+  GEOALIGN_CHECK(x.size() == cols_) << "MatVec: size mismatch";
+  Vector out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = data_.data() + r * cols_;
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Vector Matrix::MatTVec(const Vector& x) const {
+  GEOALIGN_CHECK(x.size() == rows_) << "MatTVec: size mismatch";
+  Vector out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    for (size_t c = 0; c < cols_; ++c) out[c] += row[c] * x[r];
+  }
+  return out;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  GEOALIGN_CHECK(cols_ == other.rows_) << "MatMul: size mismatch";
+  Matrix out(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Gram() const {
+  Matrix out(cols_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    for (size_t i = 0; i < cols_; ++i) {
+      for (size_t j = i; j < cols_; ++j) {
+        out(i, j) += row[i] * row[j];
+      }
+    }
+  }
+  for (size_t i = 0; i < cols_; ++i) {
+    for (size_t j = 0; j < i; ++j) out(i, j) = out(j, i);
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+bool Matrix::AllClose(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace geoalign::linalg

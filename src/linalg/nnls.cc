@@ -1,0 +1,105 @@
+#include "linalg/nnls.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/qr.h"
+
+namespace geoalign::linalg {
+
+namespace {
+
+// Solves the unconstrained least squares restricted to the passive
+// columns, returning a full-size vector with zeros elsewhere.
+Result<Vector> SolvePassive(const Matrix& a, const Vector& b,
+                            const std::vector<bool>& passive) {
+  size_t n = a.cols();
+  std::vector<size_t> idx;
+  for (size_t j = 0; j < n; ++j) {
+    if (passive[j]) idx.push_back(j);
+  }
+  Vector full(n, 0.0);
+  if (idx.empty()) return full;
+  Matrix sub(a.rows(), idx.size());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < idx.size(); ++c) sub(r, c) = a(r, idx[c]);
+  }
+  GEOALIGN_ASSIGN_OR_RETURN(Vector z, LeastSquaresQr(sub, b));
+  for (size_t c = 0; c < idx.size(); ++c) full[idx[c]] = z[c];
+  return full;
+}
+
+}  // namespace
+
+Result<NnlsSolution> SolveNnls(const Matrix& a, const Vector& b,
+                               const NnlsOptions& options) {
+  size_t n = a.cols();
+  if (b.size() != a.rows()) {
+    return Status::InvalidArgument("NNLS: size mismatch");
+  }
+  size_t max_iter =
+      options.max_iterations > 0 ? options.max_iterations : 3 * n + 10;
+
+  std::vector<bool> passive(n, false);
+  Vector x(n, 0.0);
+  // Gradient of ½||Ax-b||² is A^T(Ax-b); w = -gradient.
+  Vector w = a.MatTVec(Sub(b, a.MatVec(x)));
+
+  size_t outer = 0;
+  while (outer < max_iter) {
+    // Pick the most-violating zero variable.
+    double best = options.tolerance;
+    size_t best_j = n;
+    for (size_t j = 0; j < n; ++j) {
+      if (!passive[j] && w[j] > best) {
+        best = w[j];
+        best_j = j;
+      }
+    }
+    if (best_j == n) break;  // KKT satisfied
+    passive[best_j] = true;
+    ++outer;
+
+    for (;;) {
+      GEOALIGN_ASSIGN_OR_RETURN(Vector z, SolvePassive(a, b, passive));
+      // Feasible?
+      bool feasible = true;
+      for (size_t j = 0; j < n; ++j) {
+        if (passive[j] && z[j] <= 0.0) {
+          feasible = false;
+          break;
+        }
+      }
+      if (feasible) {
+        x = std::move(z);
+        break;
+      }
+      // Step toward z until the first passive variable hits zero.
+      double alpha = 1.0;
+      for (size_t j = 0; j < n; ++j) {
+        if (passive[j] && z[j] <= 0.0) {
+          double denom = x[j] - z[j];
+          if (denom > 0.0) alpha = std::min(alpha, x[j] / denom);
+        }
+      }
+      for (size_t j = 0; j < n; ++j) {
+        x[j] += alpha * (z[j] - x[j]);
+      }
+      for (size_t j = 0; j < n; ++j) {
+        if (passive[j] && x[j] <= options.tolerance) {
+          x[j] = 0.0;
+          passive[j] = false;
+        }
+      }
+    }
+    w = a.MatTVec(Sub(b, a.MatVec(x)));
+  }
+
+  NnlsSolution sol;
+  sol.residual_norm = Norm2(Sub(a.MatVec(x), b));
+  sol.x = std::move(x);
+  sol.iterations = outer;
+  return sol;
+}
+
+}  // namespace geoalign::linalg

@@ -1,0 +1,32 @@
+#ifndef GEOALIGN_LINALG_NNLS_H_
+#define GEOALIGN_LINALG_NNLS_H_
+
+#include "linalg/matrix.h"
+
+namespace geoalign::linalg {
+
+/// Options for the non-negative least squares solver.
+struct NnlsOptions {
+  /// KKT tolerance on the dual (gradient) test.
+  double tolerance = 1e-10;
+  /// Safety cap on outer iterations; 0 means 3 * #columns + 10.
+  size_t max_iterations = 0;
+};
+
+/// Solution of an NNLS problem.
+struct NnlsSolution {
+  Vector x;              ///< argmin, all entries >= 0
+  double residual_norm;  ///< ||A x - b||_2
+  size_t iterations;     ///< outer-loop iterations used
+};
+
+/// Solves min ||A x - b||_2 subject to x >= 0 with the Lawson–Hanson
+/// active-set algorithm. Exposed both as a building block and as an
+/// ablation alternative to the simplex-constrained solver (solve NNLS,
+/// then rescale to sum 1).
+Result<NnlsSolution> SolveNnls(const Matrix& a, const Vector& b,
+                               const NnlsOptions& options = {});
+
+}  // namespace geoalign::linalg
+
+#endif  // GEOALIGN_LINALG_NNLS_H_

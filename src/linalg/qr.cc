@@ -1,0 +1,98 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+
+namespace geoalign::linalg {
+
+Result<QrFactorization> QrFactorization::Compute(const Matrix& a) {
+  size_t m = a.rows();
+  size_t n = a.cols();
+  if (m < n) {
+    return Status::InvalidArgument("QR: requires rows >= cols");
+  }
+  Matrix qr = a;
+  Vector tau(n, 0.0);
+
+  for (size_t k = 0; k < n; ++k) {
+    // Householder reflector for column k below the diagonal.
+    double norm = 0.0;
+    for (size_t i = k; i < m; ++i) norm += qr(i, k) * qr(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      tau[k] = 0.0;
+      continue;
+    }
+    double alpha = qr(k, k) >= 0.0 ? -norm : norm;
+    double v0 = qr(k, k) - alpha;
+    // v = (v0, qr(k+1..m-1, k)); normalize so v[0] = 1.
+    if (v0 != 0.0) {
+      for (size_t i = k + 1; i < m; ++i) qr(i, k) /= v0;
+    }
+    // With v scaled so v[0] = 1, H = I - tau v v^T maps the column to
+    // alpha * e1 when tau = -v0 / alpha.
+    tau[k] = -v0 / alpha;
+    qr(k, k) = alpha;
+    // Apply H to the trailing columns.
+    for (size_t c = k + 1; c < n; ++c) {
+      double dot = qr(k, c);
+      for (size_t i = k + 1; i < m; ++i) dot += qr(i, k) * qr(i, c);
+      dot *= tau[k];
+      qr(k, c) -= dot;
+      for (size_t i = k + 1; i < m; ++i) qr(i, c) -= dot * qr(i, k);
+    }
+  }
+  return QrFactorization(std::move(qr), std::move(tau));
+}
+
+Result<Vector> QrFactorization::LeastSquares(const Vector& b) const {
+  size_t m = qr_.rows();
+  size_t n = qr_.cols();
+  if (b.size() != m) {
+    return Status::InvalidArgument("QR least squares: size mismatch");
+  }
+  // y = Q^T b applied reflector by reflector.
+  Vector y = b;
+  for (size_t k = 0; k < n; ++k) {
+    if (tau_[k] == 0.0) continue;
+    double dot = y[k];
+    for (size_t i = k + 1; i < m; ++i) dot += qr_(i, k) * y[i];
+    dot *= tau_[k];
+    y[k] -= dot;
+    for (size_t i = k + 1; i < m; ++i) y[i] -= dot * qr_(i, k);
+  }
+  // Back substitution R x = y[0..n). A diagonal entry negligibly
+  // small relative to the largest one signals (numerical) rank
+  // deficiency.
+  double max_diag = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    max_diag = std::max(max_diag, std::fabs(qr_(k, k)));
+  }
+  double rank_tol = 1e-12 * std::max(max_diag, 1e-300);
+  Vector x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double diag = qr_(ii, ii);
+    if (std::fabs(diag) <= rank_tol) {
+      return Status::InvalidArgument("QR least squares: rank deficient");
+    }
+    double acc = y[ii];
+    for (size_t j = ii + 1; j < n; ++j) acc -= qr_(ii, j) * x[j];
+    x[ii] = acc / diag;
+  }
+  return x;
+}
+
+Matrix QrFactorization::R() const {
+  size_t n = qr_.cols();
+  Matrix r(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) r(i, j) = qr_(i, j);
+  }
+  return r;
+}
+
+Result<Vector> LeastSquaresQr(const Matrix& a, const Vector& b) {
+  GEOALIGN_ASSIGN_OR_RETURN(QrFactorization qr, QrFactorization::Compute(a));
+  return qr.LeastSquares(b);
+}
+
+}  // namespace geoalign::linalg

@@ -1,0 +1,43 @@
+#ifndef GEOALIGN_LINALG_QR_H_
+#define GEOALIGN_LINALG_QR_H_
+
+#include "linalg/matrix.h"
+
+namespace geoalign::linalg {
+
+/// Householder QR factorization of an m x n matrix with m >= n.
+///
+/// The numerically preferred path for unconstrained least squares:
+/// `LeastSquares` solves min ||A x - b||_2 without forming the Gram
+/// matrix, keeping the conditioning of A rather than A^T A.
+class QrFactorization {
+ public:
+  /// Factors `a` (requires rows >= cols).
+  static Result<QrFactorization> Compute(const Matrix& a);
+
+  /// Solves the least-squares problem min ||A x - b||_2. Fails if A is
+  /// rank deficient (a zero diagonal appears in R).
+  Result<Vector> LeastSquares(const Vector& b) const;
+
+  /// The upper-triangular factor R (n x n).
+  Matrix R() const;
+
+  size_t rows() const { return qr_.rows(); }
+  size_t cols() const { return qr_.cols(); }
+
+ private:
+  QrFactorization(Matrix qr, Vector tau)
+      : qr_(std::move(qr)), tau_(std::move(tau)) {}
+
+  // Householder vectors stored below the diagonal of qr_, R on and
+  // above it; tau_ holds the scalar factors.
+  Matrix qr_;
+  Vector tau_;
+};
+
+/// One-call unconstrained least squares min ||A x - b||_2 via QR.
+Result<Vector> LeastSquaresQr(const Matrix& a, const Vector& b);
+
+}  // namespace geoalign::linalg
+
+#endif  // GEOALIGN_LINALG_QR_H_

@@ -1,0 +1,189 @@
+#include "linalg/simplex_ls.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "linalg/lu.h"
+
+namespace geoalign::linalg {
+
+namespace {
+
+// Solves the equality-constrained subproblem restricted to the passive
+// variables:
+//   min ||A_P z - b||²  s.t.  1^T z = 1
+// through the KKT system
+//   [ G_P  1 ] [z]   [A_P^T b]
+//   [ 1^T  0 ] [λ] = [  1    ]
+// where G_P = A_P^T A_P. On a singular KKT matrix (duplicate passive
+// columns) retries once with a small ridge on G_P.
+Result<std::pair<Vector, double>> SolveEqualitySubproblem(
+    const Matrix& gram, const Vector& atb, const std::vector<size_t>& idx,
+    double ridge) {
+  size_t p = idx.size();
+  Matrix kkt(p + 1, p + 1);
+  Vector rhs(p + 1, 0.0);
+  for (size_t i = 0; i < p; ++i) {
+    for (size_t j = 0; j < p; ++j) kkt(i, j) = gram(idx[i], idx[j]);
+    kkt(i, p) = 1.0;
+    kkt(p, i) = 1.0;
+    rhs[i] = atb[idx[i]];
+  }
+  rhs[p] = 1.0;
+
+  auto lu = LuFactorization::Compute(kkt);
+  if (!lu.ok()) {
+    // Near-duplicate columns: regularize the Gram block and retry.
+    double trace = 0.0;
+    for (size_t i = 0; i < p; ++i) trace += gram(idx[i], idx[i]);
+    double eps = ridge * std::max(trace, 1.0);
+    for (size_t i = 0; i < p; ++i) kkt(i, i) += eps;
+    GEOALIGN_ASSIGN_OR_RETURN(LuFactorization lu2,
+                              LuFactorization::Compute(kkt));
+    GEOALIGN_ASSIGN_OR_RETURN(Vector sol, lu2.Solve(rhs));
+    Vector z(sol.begin(), sol.begin() + p);
+    return std::make_pair(std::move(z), sol[p]);
+  }
+  GEOALIGN_ASSIGN_OR_RETURN(Vector sol, lu->Solve(rhs));
+  Vector z(sol.begin(), sol.begin() + p);
+  return std::make_pair(std::move(z), sol[p]);
+}
+
+// ||A beta - b||_2 from the normal-equation quantities.
+double ResidualFromNormal(const Matrix& gram, const Vector& atb, double btb,
+                          const Vector& beta) {
+  double quad = Dot(beta, gram.MatVec(beta)) - 2.0 * Dot(beta, atb) + btb;
+  return std::sqrt(std::max(0.0, quad));
+}
+
+}  // namespace
+
+Result<SimplexLsSolution> SolveSimplexLsFromNormalEquations(
+    const Matrix& gram, const Vector& atb, double btb,
+    const SimplexLsOptions& options) {
+  size_t n = gram.cols();
+  if (n == 0) return Status::InvalidArgument("SimplexLS: no columns");
+  if (gram.rows() != n || atb.size() != n) {
+    return Status::InvalidArgument("SimplexLS: normal-equation shapes");
+  }
+  if (n == 1) {
+    // The simplex is a single point.
+    SimplexLsSolution sol;
+    sol.beta = {1.0};
+    sol.residual_norm = ResidualFromNormal(gram, atb, btb, sol.beta);
+    sol.iterations = 0;
+    return sol;
+  }
+  size_t max_iter =
+      options.max_iterations > 0 ? options.max_iterations : 10 * n + 20;
+  double tol = options.tolerance;
+
+  // Feasible start: uniform weights, all variables passive.
+  std::vector<bool> passive(n, true);
+  Vector beta(n, 1.0 / static_cast<double>(n));
+
+  size_t iterations = 0;
+  while (iterations < max_iter) {
+    ++iterations;
+    std::vector<size_t> idx;
+    for (size_t j = 0; j < n; ++j) {
+      if (passive[j]) idx.push_back(j);
+    }
+    GEOALIGN_CHECK(!idx.empty()) << "SimplexLS: empty passive set";
+
+    GEOALIGN_ASSIGN_OR_RETURN(
+        auto sub, SolveEqualitySubproblem(gram, atb, idx,
+                                          options.ridge_on_singular));
+    Vector& z_sub = sub.first;
+
+    Vector z(n, 0.0);
+    bool feasible = true;
+    for (size_t k = 0; k < idx.size(); ++k) {
+      z[idx[k]] = z_sub[k];
+      if (z_sub[k] < -tol) feasible = false;
+    }
+
+    if (!feasible) {
+      // Move from the (feasible) beta toward z until the first passive
+      // variable hits zero, then fix the blockers at zero.
+      double alpha = 1.0;
+      for (size_t j : idx) {
+        if (z[j] < beta[j]) {
+          double denom = beta[j] - z[j];
+          if (z[j] < 0.0 && denom > 0.0) {
+            alpha = std::min(alpha, beta[j] / denom);
+          }
+        }
+      }
+      for (size_t j = 0; j < n; ++j) {
+        beta[j] += alpha * (z[j] - beta[j]);
+        if (beta[j] < 0.0) beta[j] = 0.0;
+      }
+      bool removed = false;
+      for (size_t j : idx) {
+        if (beta[j] <= tol) {
+          beta[j] = 0.0;
+          passive[j] = false;
+          removed = true;
+        }
+      }
+      if (!removed) {
+        // Numerical stall: clamp the most negative target to zero.
+        size_t worst = idx[0];
+        for (size_t j : idx) {
+          if (z[j] < z[worst]) worst = j;
+        }
+        beta[worst] = 0.0;
+        passive[worst] = false;
+      }
+      continue;
+    }
+
+    // Passive subproblem solved and feasible: adopt it.
+    beta = z;
+    // KKT test for the active (zero) variables. Stationarity on the
+    // passive set gives grad_j + mu = 0 with grad = G beta - A^T b;
+    // an active variable may be released when grad_j + mu < 0.
+    Vector grad = gram.MatVec(beta);
+    for (size_t j = 0; j < n; ++j) grad[j] -= atb[j];
+    double mu = 0.0;
+    // Average over passive entries for numerical robustness.
+    {
+      double acc = 0.0;
+      for (size_t j : idx) acc += -grad[j];
+      mu = acc / static_cast<double>(idx.size());
+    }
+    double worst_violation = -tol;
+    size_t worst_j = n;
+    for (size_t j = 0; j < n; ++j) {
+      if (passive[j]) continue;
+      double reduced = grad[j] + mu;
+      if (reduced < worst_violation) {
+        worst_violation = reduced;
+        worst_j = j;
+      }
+    }
+    if (worst_j == n) {
+      SimplexLsSolution sol;
+      sol.residual_norm = ResidualFromNormal(gram, atb, btb, beta);
+      sol.beta = std::move(beta);
+      sol.iterations = iterations;
+      return sol;
+    }
+    passive[worst_j] = true;
+  }
+  return Status::Internal("SimplexLS: iteration cap reached");
+}
+
+Result<SimplexLsSolution> SolveSimplexLeastSquares(
+    const Matrix& a, const Vector& b, const SimplexLsOptions& options) {
+  if (a.cols() == 0) return Status::InvalidArgument("SimplexLS: no columns");
+  if (b.size() != a.rows()) {
+    return Status::InvalidArgument("SimplexLS: size mismatch");
+  }
+  return SolveSimplexLsFromNormalEquations(a.Gram(), a.MatTVec(b), Dot(b, b),
+                                           options);
+}
+
+}  // namespace geoalign::linalg

@@ -1,0 +1,61 @@
+#include "linalg/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace geoalign::linalg {
+
+double Variance(const Vector& a) {
+  if (a.size() < 2) return 0.0;
+  double m = Mean(a);
+  double acc = 0.0;
+  for (double v : a) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(a.size() - 1);
+}
+
+double StdDev(const Vector& a) { return std::sqrt(Variance(a)); }
+
+double Covariance(const Vector& a, const Vector& b) {
+  GEOALIGN_CHECK(a.size() == b.size()) << "Covariance: size mismatch";
+  if (a.size() < 2) return 0.0;
+  double ma = Mean(a);
+  double mb = Mean(b);
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += (a[i] - ma) * (b[i] - mb);
+  return acc / static_cast<double>(a.size() - 1);
+}
+
+double PearsonCorrelation(const Vector& a, const Vector& b) {
+  double sa = StdDev(a);
+  double sb = StdDev(b);
+  if (sa == 0.0 || sb == 0.0) return 0.0;
+  return Covariance(a, b) / (sa * sb);
+}
+
+double Quantile(Vector data, double q) {
+  GEOALIGN_CHECK(!data.empty()) << "Quantile of empty sample";
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(data.begin(), data.end());
+  if (data.size() == 1) return data[0];
+  double pos = q * static_cast<double>(data.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, data.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return data[lo] * (1.0 - frac) + data[hi] * frac;
+}
+
+BoxStats ComputeBoxStats(const Vector& data) {
+  GEOALIGN_CHECK(!data.empty()) << "BoxStats of empty sample";
+  BoxStats s;
+  s.min = Min(data);
+  s.max = Max(data);
+  s.q1 = Quantile(data, 0.25);
+  s.median = Quantile(data, 0.5);
+  s.q3 = Quantile(data, 0.75);
+  s.mean = Mean(data);
+  return s;
+}
+
+}  // namespace geoalign::linalg

@@ -1,0 +1,42 @@
+#ifndef GEOALIGN_LINALG_STATS_H_
+#define GEOALIGN_LINALG_STATS_H_
+
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+namespace geoalign::linalg {
+
+/// Sample variance (denominator n-1; 0 when n < 2).
+double Variance(const Vector& a);
+
+/// Sample standard deviation.
+double StdDev(const Vector& a);
+
+/// Sample covariance of equal-length vectors (denominator n-1).
+double Covariance(const Vector& a, const Vector& b);
+
+/// Pearson correlation coefficient; 0 when either vector is constant.
+/// Used for the leave-n-out reference ranking in paper §4.4.2.
+double PearsonCorrelation(const Vector& a, const Vector& b);
+
+/// Linear-interpolated quantile of the data (q in [0,1]); requires a
+/// non-empty vector. Used to build the Fig. 7 box-plot summaries.
+double Quantile(Vector data, double q);
+
+/// Five-number summary (min, q1, median, q3, max) of a sample.
+struct BoxStats {
+  double min;
+  double q1;
+  double median;
+  double q3;
+  double max;
+  double mean;
+};
+
+/// Computes box-plot statistics; requires a non-empty sample.
+BoxStats ComputeBoxStats(const Vector& data);
+
+}  // namespace geoalign::linalg
+
+#endif  // GEOALIGN_LINALG_STATS_H_

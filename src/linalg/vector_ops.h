@@ -1,0 +1,58 @@
+#ifndef GEOALIGN_LINALG_VECTOR_OPS_H_
+#define GEOALIGN_LINALG_VECTOR_OPS_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace geoalign::linalg {
+
+/// Dense column vector. Free functions below treat it as a mathematical
+/// vector; plain std::vector keeps interop with the rest of the project
+/// trivial.
+using Vector = std::vector<double>;
+
+/// Dot product; requires equal sizes.
+double Dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double Norm2(const Vector& a);
+
+/// Max-norm (largest absolute entry; 0 for empty).
+double NormInf(const Vector& a);
+
+/// Sum of entries.
+double Sum(const Vector& a);
+
+/// Arithmetic mean (0 for empty).
+double Mean(const Vector& a);
+
+/// Largest entry; requires non-empty.
+double Max(const Vector& a);
+
+/// Smallest entry; requires non-empty.
+double Min(const Vector& a);
+
+/// y += alpha * x (sizes must match).
+void Axpy(double alpha, const Vector& x, Vector& y);
+
+/// Multiplies every entry by s.
+void Scale(Vector& a, double s);
+
+/// a - b elementwise.
+Vector Sub(const Vector& a, const Vector& b);
+
+/// a + b elementwise.
+Vector Add(const Vector& a, const Vector& b);
+
+/// Divides by the maximum entry, the normalization GeoAlign applies to
+/// reference/objective aggregate vectors (paper §3.4). Returns an error
+/// if any entry is negative or all entries are zero.
+Result<Vector> NormalizeByMax(const Vector& a);
+
+/// True when every |a[i]-b[i]| <= tol.
+bool AllClose(const Vector& a, const Vector& b, double tol);
+
+}  // namespace geoalign::linalg
+
+#endif  // GEOALIGN_LINALG_VECTOR_OPS_H_

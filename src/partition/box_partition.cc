@@ -1,0 +1,65 @@
+#include "partition/box_partition.h"
+
+#include "common/logging.h"
+
+namespace geoalign::partition {
+
+BoxPartition::BoxPartition(std::vector<IntervalPartition> axes)
+    : axes_(std::move(axes)) {
+  strides_.resize(axes_.size());
+  num_units_ = 1;
+  // Row-major: last axis varies fastest.
+  for (size_t d = axes_.size(); d-- > 0;) {
+    strides_[d] = num_units_;
+    num_units_ *= axes_[d].NumUnits();
+  }
+}
+
+Result<BoxPartition> BoxPartition::Create(
+    std::vector<IntervalPartition> axes) {
+  if (axes.empty()) {
+    return Status::InvalidArgument("BoxPartition: need at least one axis");
+  }
+  return BoxPartition(std::move(axes));
+}
+
+double BoxPartition::Measure(size_t unit) const {
+  std::vector<size_t> idx = AxisUnits(unit);
+  double m = 1.0;
+  for (size_t d = 0; d < axes_.size(); ++d) m *= axes_[d].Measure(idx[d]);
+  return m;
+}
+
+Result<size_t> BoxPartition::Locate(const std::vector<double>& coords) const {
+  if (coords.size() != axes_.size()) {
+    return Status::InvalidArgument("BoxPartition::Locate: dimension mismatch");
+  }
+  size_t unit = 0;
+  for (size_t d = 0; d < axes_.size(); ++d) {
+    GEOALIGN_ASSIGN_OR_RETURN(size_t u, axes_[d].Locate(coords[d]));
+    unit += u * strides_[d];
+  }
+  return unit;
+}
+
+size_t BoxPartition::LinearIndex(const std::vector<size_t>& axis_units) const {
+  GEOALIGN_CHECK(axis_units.size() == axes_.size());
+  size_t unit = 0;
+  for (size_t d = 0; d < axes_.size(); ++d) {
+    GEOALIGN_DCHECK(axis_units[d] < axes_[d].NumUnits());
+    unit += axis_units[d] * strides_[d];
+  }
+  return unit;
+}
+
+std::vector<size_t> BoxPartition::AxisUnits(size_t unit) const {
+  GEOALIGN_DCHECK(unit < num_units_);
+  std::vector<size_t> idx(axes_.size());
+  for (size_t d = 0; d < axes_.size(); ++d) {
+    idx[d] = unit / strides_[d];
+    unit %= strides_[d];
+  }
+  return idx;
+}
+
+}  // namespace geoalign::partition

@@ -1,0 +1,46 @@
+#ifndef GEOALIGN_PARTITION_BOX_PARTITION_H_
+#define GEOALIGN_PARTITION_BOX_PARTITION_H_
+
+#include <vector>
+
+#include "partition/interval_partition.h"
+
+namespace geoalign::partition {
+
+/// n-dimensional unit system: a product grid of per-axis interval
+/// partitions. Units are axis-aligned boxes indexed row-major over the
+/// axes. Demonstrates the paper's claim (§2.2, §3.4) that aggregate
+/// interpolation is dimension-independent — 3-D disease grids, 4-D
+/// space-time exposure grids, etc.
+class BoxPartition {
+ public:
+  /// Builds from one IntervalPartition per axis (>= 1 axis).
+  static Result<BoxPartition> Create(std::vector<IntervalPartition> axes);
+
+  size_t Dimension() const { return axes_.size(); }
+  size_t NumUnits() const { return num_units_; }
+
+  /// Volume (product of per-axis widths) of unit i.
+  double Measure(size_t unit) const;
+
+  /// Unit containing the point (one coordinate per axis).
+  Result<size_t> Locate(const std::vector<double>& coords) const;
+
+  /// Row-major linear index from per-axis unit indices.
+  size_t LinearIndex(const std::vector<size_t>& axis_units) const;
+  /// Inverse of LinearIndex.
+  std::vector<size_t> AxisUnits(size_t unit) const;
+
+  const IntervalPartition& axis(size_t d) const { return axes_[d]; }
+
+ private:
+  explicit BoxPartition(std::vector<IntervalPartition> axes);
+
+  std::vector<IntervalPartition> axes_;
+  std::vector<size_t> strides_;
+  size_t num_units_ = 0;
+};
+
+}  // namespace geoalign::partition
+
+#endif  // GEOALIGN_PARTITION_BOX_PARTITION_H_

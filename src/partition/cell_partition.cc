@@ -1,0 +1,49 @@
+#include "partition/cell_partition.h"
+
+#include "common/logging.h"
+
+namespace geoalign::partition {
+
+Result<CellPartition> CellPartition::Create(const AtomSpace* atoms,
+                                            std::vector<uint32_t> labels,
+                                            uint32_t num_units) {
+  if (atoms == nullptr) {
+    return Status::InvalidArgument("CellPartition: null atom space");
+  }
+  if (labels.size() != atoms->NumAtoms()) {
+    return Status::InvalidArgument("CellPartition: label count mismatch");
+  }
+  if (num_units == 0) {
+    return Status::InvalidArgument("CellPartition: zero units");
+  }
+  linalg::Vector unit_measures(num_units, 0.0);
+  for (size_t a = 0; a < labels.size(); ++a) {
+    if (labels[a] >= num_units) {
+      return Status::InvalidArgument("CellPartition: label out of range");
+    }
+    if (atoms->measures[a] <= 0.0) {
+      return Status::InvalidArgument("CellPartition: non-positive atom measure");
+    }
+    unit_measures[labels[a]] += atoms->measures[a];
+  }
+  for (uint32_t u = 0; u < num_units; ++u) {
+    if (unit_measures[u] == 0.0) {
+      return Status::InvalidArgument("CellPartition: empty unit");
+    }
+  }
+  return CellPartition(atoms, std::move(labels), num_units,
+                       std::move(unit_measures));
+}
+
+linalg::Vector CellPartition::AggregateAtomValues(
+    const linalg::Vector& atom_values) const {
+  GEOALIGN_CHECK(atom_values.size() == labels_.size())
+      << "AggregateAtomValues: size mismatch";
+  linalg::Vector out(num_units_, 0.0);
+  for (size_t a = 0; a < labels_.size(); ++a) {
+    out[labels_[a]] += atom_values[a];
+  }
+  return out;
+}
+
+}  // namespace geoalign::partition

@@ -1,0 +1,65 @@
+#ifndef GEOALIGN_PARTITION_CELL_PARTITION_H_
+#define GEOALIGN_PARTITION_CELL_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/vector_ops.h"
+
+namespace geoalign::partition {
+
+/// A shared set of indivisible atoms (e.g. census blocks, fine grid
+/// cells) from which unit systems are assembled. Real zip codes and
+/// counties are both unions of census blocks; modelling partitions as
+/// atom labelings makes overlays exact and geometry-free.
+struct AtomSpace {
+  /// Measure (area/length/volume) of each atom; all positive.
+  linalg::Vector measures;
+
+  size_t NumAtoms() const { return measures.size(); }
+};
+
+/// A unit system defined as a labeling of a shared `AtomSpace`: unit i
+/// is the union of atoms with label i. Every atom must be labeled
+/// (partitions cover the universe).
+class CellPartition {
+ public:
+  /// `labels[a]` is the unit of atom a; labels must cover the dense
+  /// range [0, num_units) (every unit non-empty).
+  static Result<CellPartition> Create(const AtomSpace* atoms,
+                                      std::vector<uint32_t> labels,
+                                      uint32_t num_units);
+
+  size_t NumUnits() const { return num_units_; }
+  size_t NumAtoms() const { return labels_.size(); }
+
+  uint32_t LabelOf(size_t atom) const { return labels_[atom]; }
+
+  /// Total measure of unit i.
+  double Measure(size_t i) const { return unit_measures_[i]; }
+  const linalg::Vector& unit_measures() const { return unit_measures_; }
+
+  /// Sums per-atom values into per-unit aggregates.
+  linalg::Vector AggregateAtomValues(const linalg::Vector& atom_values) const;
+
+  const std::vector<uint32_t>& labels() const { return labels_; }
+  const AtomSpace* atoms() const { return atoms_; }
+
+ private:
+  CellPartition(const AtomSpace* atoms, std::vector<uint32_t> labels,
+                uint32_t num_units, linalg::Vector unit_measures)
+      : atoms_(atoms),
+        labels_(std::move(labels)),
+        num_units_(num_units),
+        unit_measures_(std::move(unit_measures)) {}
+
+  const AtomSpace* atoms_;  // not owned
+  std::vector<uint32_t> labels_;
+  uint32_t num_units_;
+  linalg::Vector unit_measures_;
+};
+
+}  // namespace geoalign::partition
+
+#endif  // GEOALIGN_PARTITION_CELL_PARTITION_H_

@@ -1,0 +1,45 @@
+#include "partition/interval_partition.h"
+
+#include <algorithm>
+
+namespace geoalign::partition {
+
+Result<IntervalPartition> IntervalPartition::Create(
+    std::vector<double> breaks) {
+  if (breaks.size() < 2) {
+    return Status::InvalidArgument(
+        "IntervalPartition: need at least 2 breakpoints");
+  }
+  for (size_t i = 1; i < breaks.size(); ++i) {
+    if (breaks[i] <= breaks[i - 1]) {
+      return Status::InvalidArgument(
+          "IntervalPartition: breakpoints must be strictly increasing");
+    }
+  }
+  return IntervalPartition(std::move(breaks));
+}
+
+Result<IntervalPartition> IntervalPartition::Uniform(double lo, double hi,
+                                                     size_t n) {
+  if (n == 0 || hi <= lo) {
+    return Status::InvalidArgument("IntervalPartition::Uniform: bad range");
+  }
+  std::vector<double> breaks(n + 1);
+  for (size_t i = 0; i <= n; ++i) {
+    breaks[i] = lo + (hi - lo) * static_cast<double>(i) /
+                         static_cast<double>(n);
+  }
+  breaks[n] = hi;  // avoid round-off at the top end
+  return Create(std::move(breaks));
+}
+
+Result<size_t> IntervalPartition::Locate(double x) const {
+  if (x < breaks_.front() || x > breaks_.back()) {
+    return Status::OutOfRange("IntervalPartition: point outside universe");
+  }
+  if (x == breaks_.back()) return NumUnits() - 1;
+  auto it = std::upper_bound(breaks_.begin(), breaks_.end(), x);
+  return static_cast<size_t>(it - breaks_.begin()) - 1;
+}
+
+}  // namespace geoalign::partition

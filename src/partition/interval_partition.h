@@ -1,0 +1,44 @@
+#ifndef GEOALIGN_PARTITION_INTERVAL_PARTITION_H_
+#define GEOALIGN_PARTITION_INTERVAL_PARTITION_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace geoalign::partition {
+
+/// 1-D unit system: the real interval [breaks.front(), breaks.back())
+/// partitioned into units [breaks[i], breaks[i+1]). This is the
+/// histogram-realignment setting of paper Fig. 3 (age bins).
+class IntervalPartition {
+ public:
+  /// Builds from strictly increasing breakpoints (>= 2 entries).
+  static Result<IntervalPartition> Create(std::vector<double> breaks);
+
+  /// n equal-width units spanning [lo, hi).
+  static Result<IntervalPartition> Uniform(double lo, double hi, size_t n);
+
+  size_t NumUnits() const { return breaks_.size() - 1; }
+
+  /// Width of unit i.
+  double Measure(size_t i) const { return breaks_[i + 1] - breaks_[i]; }
+
+  double lower(size_t i) const { return breaks_[i]; }
+  double upper(size_t i) const { return breaks_[i + 1]; }
+
+  /// Unit containing x (half-open convention; the last unit also
+  /// contains the global upper bound). Error when x is outside the
+  /// universe.
+  Result<size_t> Locate(double x) const;
+
+  const std::vector<double>& breaks() const { return breaks_; }
+
+ private:
+  explicit IntervalPartition(std::vector<double> breaks)
+      : breaks_(std::move(breaks)) {}
+  std::vector<double> breaks_;
+};
+
+}  // namespace geoalign::partition
+
+#endif  // GEOALIGN_PARTITION_INTERVAL_PARTITION_H_

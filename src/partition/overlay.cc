@@ -1,0 +1,187 @@
+#include "partition/overlay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "geom/boolean_ops.h"
+#include "sparse/coo_builder.h"
+
+namespace geoalign::partition {
+
+sparse::CsrMatrix OverlayResult::MeasureDm() const {
+  sparse::CooBuilder builder(num_source, num_target);
+  for (const IntersectionCell& c : cells) {
+    builder.Add(c.source, c.target, c.measure);
+  }
+  return builder.Build();
+}
+
+double OverlayResult::TotalMeasure() const {
+  double acc = 0.0;
+  for (const IntersectionCell& c : cells) acc += c.measure;
+  return acc;
+}
+
+Result<OverlayResult> OverlayIntervals(const IntervalPartition& source,
+                                       const IntervalPartition& target,
+                                       double tol) {
+  const std::vector<double>& sb = source.breaks();
+  const std::vector<double>& tb = target.breaks();
+  if (std::fabs(sb.front() - tb.front()) > tol ||
+      std::fabs(sb.back() - tb.back()) > tol) {
+    return Status::InvalidArgument(
+        "OverlayIntervals: partitions span different universes");
+  }
+  OverlayResult out;
+  out.num_source = static_cast<uint32_t>(source.NumUnits());
+  out.num_target = static_cast<uint32_t>(target.NumUnits());
+
+  // Merge sweep over both breakpoint lists.
+  size_t i = 0;
+  size_t j = 0;
+  double lo = sb.front();
+  while (i < source.NumUnits() && j < target.NumUnits()) {
+    double hi = std::min(sb[i + 1], tb[j + 1]);
+    double width = hi - lo;
+    if (width > 0.0) {
+      out.cells.push_back({static_cast<uint32_t>(i),
+                           static_cast<uint32_t>(j), width});
+    }
+    // Advance whichever unit ends at hi (both, when aligned).
+    if (sb[i + 1] <= hi + tol && std::fabs(sb[i + 1] - hi) <= tol) ++i;
+    if (j < target.NumUnits() && std::fabs(tb[j + 1] - hi) <= tol) ++j;
+    lo = hi;
+  }
+  std::sort(out.cells.begin(), out.cells.end(),
+            [](const IntersectionCell& a, const IntersectionCell& b) {
+              return a.source != b.source ? a.source < b.source
+                                          : a.target < b.target;
+            });
+  return out;
+}
+
+Result<OverlayResult> OverlayBoxes(const BoxPartition& source,
+                                   const BoxPartition& target, double tol) {
+  if (source.Dimension() != target.Dimension()) {
+    return Status::InvalidArgument("OverlayBoxes: dimension mismatch");
+  }
+  size_t dim = source.Dimension();
+  // Per-axis 1-D overlays; the n-D overlay is their product.
+  std::vector<OverlayResult> axis_overlays;
+  axis_overlays.reserve(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    GEOALIGN_ASSIGN_OR_RETURN(
+        OverlayResult ov, OverlayIntervals(source.axis(d), target.axis(d),
+                                           tol));
+    axis_overlays.push_back(std::move(ov));
+  }
+
+  OverlayResult out;
+  out.num_source = static_cast<uint32_t>(source.NumUnits());
+  out.num_target = static_cast<uint32_t>(target.NumUnits());
+
+  // Cartesian product of the per-axis intersection cells.
+  std::vector<size_t> pick(dim, 0);
+  std::vector<size_t> src_idx(dim);
+  std::vector<size_t> tgt_idx(dim);
+  for (;;) {
+    double measure = 1.0;
+    for (size_t d = 0; d < dim; ++d) {
+      const IntersectionCell& c = axis_overlays[d].cells[pick[d]];
+      measure *= c.measure;
+      src_idx[d] = c.source;
+      tgt_idx[d] = c.target;
+    }
+    out.cells.push_back(
+        {static_cast<uint32_t>(source.LinearIndex(src_idx)),
+         static_cast<uint32_t>(target.LinearIndex(tgt_idx)), measure});
+    // Odometer increment.
+    size_t d = dim;
+    while (d-- > 0) {
+      if (++pick[d] < axis_overlays[d].cells.size()) break;
+      pick[d] = 0;
+      if (d == 0) {
+        std::sort(out.cells.begin(), out.cells.end(),
+                  [](const IntersectionCell& a, const IntersectionCell& b) {
+                    return a.source != b.source ? a.source < b.source
+                                                : a.target < b.target;
+                  });
+        return out;
+      }
+    }
+  }
+}
+
+Result<OverlayResult> OverlayPolygons(const PolygonPartition& source,
+                                      const PolygonPartition& target,
+                                      double min_area) {
+  OverlayResult out;
+  out.num_source = static_cast<uint32_t>(source.NumUnits());
+  out.num_target = static_cast<uint32_t>(target.NumUnits());
+  for (uint32_t j = 0; j < target.NumUnits(); ++j) {
+    const geom::Polygon& tp = target.unit(j);
+    for (uint32_t i : source.CandidatesInBox(tp.Bounds())) {
+      double inter = geom::IntersectionArea(source.unit(i), tp);
+      if (inter > min_area) {
+        out.cells.push_back({i, j, inter});
+      }
+    }
+  }
+  std::sort(out.cells.begin(), out.cells.end(),
+            [](const IntersectionCell& a, const IntersectionCell& b) {
+              return a.source != b.source ? a.source < b.source
+                                          : a.target < b.target;
+            });
+  return out;
+}
+
+Result<OverlayResult> OverlayCells(const CellPartition& source,
+                                   const CellPartition& target) {
+  if (source.atoms() != target.atoms()) {
+    return Status::InvalidArgument(
+        "OverlayCells: partitions must share one atom space");
+  }
+  size_t num_atoms = source.NumAtoms();
+  OverlayResult out;
+  out.num_source = static_cast<uint32_t>(source.NumUnits());
+  out.num_target = static_cast<uint32_t>(target.NumUnits());
+
+  // Group atoms by (source label, target label) via a hash of the
+  // packed pair, then emit sorted cells.
+  std::unordered_map<uint64_t, uint32_t> cell_of_pair;
+  out.atom_to_cell.resize(num_atoms);
+  const linalg::Vector& measures = source.atoms()->measures;
+  for (size_t a = 0; a < num_atoms; ++a) {
+    uint64_t key = (static_cast<uint64_t>(source.LabelOf(a)) << 32) |
+                   target.LabelOf(a);
+    auto [it, inserted] =
+        cell_of_pair.try_emplace(key, static_cast<uint32_t>(out.cells.size()));
+    if (inserted) {
+      out.cells.push_back({source.LabelOf(a), target.LabelOf(a), 0.0});
+    }
+    out.cells[it->second].measure += measures[a];
+    out.atom_to_cell[a] = it->second;
+  }
+
+  // Sort cells by (source, target) and remap atom_to_cell.
+  std::vector<uint32_t> order(out.cells.size());
+  for (uint32_t k = 0; k < order.size(); ++k) order[k] = k;
+  std::sort(order.begin(), order.end(), [&](uint32_t x, uint32_t y) {
+    const IntersectionCell& a = out.cells[x];
+    const IntersectionCell& b = out.cells[y];
+    return a.source != b.source ? a.source < b.source : a.target < b.target;
+  });
+  std::vector<uint32_t> rank(order.size());
+  for (uint32_t pos = 0; pos < order.size(); ++pos) rank[order[pos]] = pos;
+  std::vector<IntersectionCell> sorted_cells(out.cells.size());
+  for (uint32_t k = 0; k < out.cells.size(); ++k) {
+    sorted_cells[rank[k]] = out.cells[k];
+  }
+  out.cells = std::move(sorted_cells);
+  for (uint32_t& c : out.atom_to_cell) c = rank[c];
+  return out;
+}
+
+}  // namespace geoalign::partition

@@ -1,0 +1,71 @@
+#ifndef GEOALIGN_PARTITION_OVERLAY_H_
+#define GEOALIGN_PARTITION_OVERLAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/box_partition.h"
+#include "partition/cell_partition.h"
+#include "partition/interval_partition.h"
+#include "partition/polygon_partition.h"
+#include "sparse/csr_matrix.h"
+
+namespace geoalign::partition {
+
+/// One intersection unit u^st_k = u^s_i ∩ u^t_j with its measure.
+struct IntersectionCell {
+  uint32_t source;
+  uint32_t target;
+  double measure;
+};
+
+/// The intersection unit system U^st of a source and a target unit
+/// system (paper §3.1), with measures. This is the geometric half of
+/// what an ArcGIS-style overlay produces; attribute disaggregation
+/// matrices are built on top of it (disaggregation.h).
+struct OverlayResult {
+  uint32_t num_source = 0;
+  uint32_t num_target = 0;
+
+  /// Non-empty intersection units, sorted by (source, target).
+  std::vector<IntersectionCell> cells;
+
+  /// For cell-partition overlays: atom -> index into `cells`; empty
+  /// for geometric overlays.
+  std::vector<uint32_t> atom_to_cell;
+
+  /// The measure (area) disaggregation matrix DM_area[i,j] =
+  /// |u^s_i ∩ u^t_j| — the reference the areal weighting method uses.
+  sparse::CsrMatrix MeasureDm() const;
+
+  /// Sum of cell measures (should equal the universe measure).
+  double TotalMeasure() const;
+};
+
+/// Exact 1-D overlay by merging breakpoints. Both partitions must span
+/// the same universe interval (within `tol`).
+Result<OverlayResult> OverlayIntervals(const IntervalPartition& source,
+                                       const IntervalPartition& target,
+                                       double tol = 1e-9);
+
+/// Exact n-D product-grid overlay (per-axis interval overlays
+/// combined). Partitions must have equal dimension and spans.
+Result<OverlayResult> OverlayBoxes(const BoxPartition& source,
+                                   const BoxPartition& target,
+                                   double tol = 1e-9);
+
+/// Geometric 2-D overlay: for every bbox-candidate pair (via the
+/// source R-tree) the polygon intersection area is computed; cells
+/// with area <= `min_area` are dropped.
+Result<OverlayResult> OverlayPolygons(const PolygonPartition& source,
+                                      const PolygonPartition& target,
+                                      double min_area = 0.0);
+
+/// Exact label-join overlay of two partitions of the SAME atom space:
+/// cell (i, j) collects atoms with source label i and target label j.
+Result<OverlayResult> OverlayCells(const CellPartition& source,
+                                   const CellPartition& target);
+
+}  // namespace geoalign::partition
+
+#endif  // GEOALIGN_PARTITION_OVERLAY_H_

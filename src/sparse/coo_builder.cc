@@ -1,0 +1,41 @@
+#include "sparse/coo_builder.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace geoalign::sparse {
+
+void CooBuilder::Add(size_t r, size_t c, double value) {
+  GEOALIGN_DCHECK(r < rows_ && c < cols_);
+  entries_.push_back({r, c, value});
+}
+
+CsrMatrix CooBuilder::Build() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  CsrMatrix out(rows_, cols_);
+  size_t i = 0;
+  for (size_t r = 0; r < rows_; ++r) {
+    while (i < entries_.size() && entries_[i].row == r) {
+      size_t c = entries_[i].col;
+      double acc = 0.0;
+      while (i < entries_.size() && entries_[i].row == r &&
+             entries_[i].col == c) {
+        acc += entries_[i].value;
+        ++i;
+      }
+      if (acc != 0.0) {
+        out.col_idx_.push_back(c);
+        out.values_.push_back(acc);
+      }
+    }
+    out.row_ptr_[r + 1] = out.col_idx_.size();
+  }
+  entries_.clear();
+  return out;
+}
+
+}  // namespace geoalign::sparse

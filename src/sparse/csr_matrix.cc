@@ -1,0 +1,213 @@
+#include "sparse/csr_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace geoalign::sparse {
+
+CsrMatrix::CsrMatrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
+
+Result<CsrMatrix> CsrMatrix::FromCsrArrays(size_t rows, size_t cols,
+                                           std::vector<size_t> row_ptr,
+                                           std::vector<size_t> col_idx,
+                                           std::vector<double> values) {
+  if (row_ptr.size() != rows + 1) {
+    return Status::InvalidArgument("CSR: row_ptr must have rows+1 entries");
+  }
+  if (row_ptr.front() != 0 || row_ptr.back() != col_idx.size() ||
+      col_idx.size() != values.size()) {
+    return Status::InvalidArgument("CSR: inconsistent array lengths");
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    if (row_ptr[r] > row_ptr[r + 1]) {
+      return Status::InvalidArgument("CSR: row_ptr not monotone");
+    }
+    for (size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      if (col_idx[k] >= cols) {
+        return Status::InvalidArgument("CSR: column index out of range");
+      }
+      if (k > row_ptr[r] && col_idx[k] <= col_idx[k - 1]) {
+        return Status::InvalidArgument(
+            "CSR: column indices must be strictly increasing per row");
+      }
+    }
+  }
+  CsrMatrix m(rows, cols);
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  return m;
+}
+
+CsrMatrix CsrMatrix::FromDense(const linalg::Matrix& m, double prune_below) {
+  CsrMatrix out(m.rows(), m.cols());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      double v = m(r, c);
+      if (v != 0.0 && std::fabs(v) > prune_below) {
+        out.col_idx_.push_back(c);
+        out.values_.push_back(v);
+      }
+    }
+    out.row_ptr_[r + 1] = out.col_idx_.size();
+  }
+  return out;
+}
+
+double CsrMatrix::At(size_t r, size_t c) const {
+  GEOALIGN_DCHECK(r < rows_ && c < cols_);
+  const size_t* begin = col_idx_.data() + row_ptr_[r];
+  const size_t* end = col_idx_.data() + row_ptr_[r + 1];
+  const size_t* it = std::lower_bound(begin, end, c);
+  if (it != end && *it == c) {
+    return values_[static_cast<size_t>(it - col_idx_.data())];
+  }
+  return 0.0;
+}
+
+CsrMatrix::RowView CsrMatrix::Row(size_t r) const {
+  GEOALIGN_DCHECK(r < rows_);
+  RowView v;
+  v.cols = col_idx_.data() + row_ptr_[r];
+  v.values = values_.data() + row_ptr_[r];
+  v.size = row_ptr_[r + 1] - row_ptr_[r];
+  return v;
+}
+
+linalg::Vector CsrMatrix::RowSums() const {
+  linalg::Vector out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) acc += values_[k];
+    out[r] = acc;
+  }
+  return out;
+}
+
+linalg::Vector CsrMatrix::ColSums() const {
+  linalg::Vector out(cols_, 0.0);
+  for (size_t k = 0; k < values_.size(); ++k) out[col_idx_[k]] += values_[k];
+  return out;
+}
+
+double CsrMatrix::Total() const {
+  double acc = 0.0;
+  for (double v : values_) acc += v;
+  return acc;
+}
+
+linalg::Vector CsrMatrix::MatVec(const linalg::Vector& x) const {
+  GEOALIGN_CHECK(x.size() == cols_) << "CSR MatVec: size mismatch";
+  linalg::Vector out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc += values_[k] * x[col_idx_[k]];
+    }
+    out[r] = acc;
+  }
+  return out;
+}
+
+linalg::Vector CsrMatrix::MatTVec(const linalg::Vector& x) const {
+  GEOALIGN_CHECK(x.size() == rows_) << "CSR MatTVec: size mismatch";
+  linalg::Vector out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double xr = x[r];
+    if (xr == 0.0) continue;
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      out[col_idx_[k]] += values_[k] * xr;
+    }
+  }
+  return out;
+}
+
+void CsrMatrix::ScaleRows(const linalg::Vector& s) {
+  GEOALIGN_CHECK(s.size() == rows_) << "CSR ScaleRows: size mismatch";
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      values_[k] *= s[r];
+    }
+  }
+}
+
+void CsrMatrix::Scale(double s) {
+  for (double& v : values_) v *= s;
+}
+
+CsrMatrix CsrMatrix::Transposed() const {
+  CsrMatrix out(cols_, rows_);
+  // Count entries per output row (input column).
+  std::vector<size_t> counts(cols_, 0);
+  for (size_t c : col_idx_) ++counts[c];
+  out.row_ptr_.assign(cols_ + 1, 0);
+  for (size_t c = 0; c < cols_; ++c) {
+    out.row_ptr_[c + 1] = out.row_ptr_[c] + counts[c];
+  }
+  out.col_idx_.resize(nnz());
+  out.values_.resize(nnz());
+  std::vector<size_t> next(out.row_ptr_.begin(), out.row_ptr_.end() - 1);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      size_t pos = next[col_idx_[k]]++;
+      out.col_idx_[pos] = r;
+      out.values_[pos] = values_[k];
+    }
+  }
+  return out;
+}
+
+linalg::Matrix CsrMatrix::ToDense() const {
+  linalg::Matrix out(rows_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      out(r, col_idx_[k]) = values_[k];
+    }
+  }
+  return out;
+}
+
+void CsrMatrix::Prune(double threshold) {
+  std::vector<size_t> new_row_ptr(rows_ + 1, 0);
+  std::vector<size_t> new_cols;
+  std::vector<double> new_vals;
+  new_cols.reserve(nnz());
+  new_vals.reserve(nnz());
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      if (std::fabs(values_[k]) > threshold) {
+        new_cols.push_back(col_idx_[k]);
+        new_vals.push_back(values_[k]);
+      }
+    }
+    new_row_ptr[r + 1] = new_cols.size();
+  }
+  row_ptr_ = std::move(new_row_ptr);
+  col_idx_ = std::move(new_cols);
+  values_ = std::move(new_vals);
+}
+
+bool CsrMatrix::AllClose(const CsrMatrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t r = 0; r < rows_; ++r) {
+    RowView a = Row(r);
+    RowView b = other.Row(r);
+    size_t ia = 0;
+    size_t ib = 0;
+    while (ia < a.size || ib < b.size) {
+      size_t ca = ia < a.size ? a.cols[ia] : SIZE_MAX;
+      size_t cb = ib < b.size ? b.cols[ib] : SIZE_MAX;
+      double va = 0.0;
+      double vb = 0.0;
+      if (ca <= cb) va = a.values[ia++];
+      if (cb <= ca) vb = b.values[ib++];
+      if (std::fabs(va - vb) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace geoalign::sparse

@@ -1,0 +1,99 @@
+#ifndef GEOALIGN_SPARSE_CSR_MATRIX_H_
+#define GEOALIGN_SPARSE_CSR_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace geoalign::sparse {
+
+/// Compressed-sparse-row matrix of doubles.
+///
+/// Disaggregation matrices are |U^s| x |U^t| and extremely sparse (a
+/// zip code intersects a handful of counties), so the paper stores
+/// them sparse (§4.3); this is the equivalent of the SciPy CSR matrix
+/// used there. Column indices within each row are kept sorted and
+/// unique.
+class CsrMatrix {
+ public:
+  /// Empty rows x cols matrix (no stored entries).
+  CsrMatrix(size_t rows, size_t cols);
+  CsrMatrix() : CsrMatrix(0, 0) {}
+
+  /// Builds directly from CSR arrays. `row_ptr` must have rows+1
+  /// monotone entries; column indices must be < cols and strictly
+  /// increasing within each row.
+  static Result<CsrMatrix> FromCsrArrays(size_t rows, size_t cols,
+                                         std::vector<size_t> row_ptr,
+                                         std::vector<size_t> col_idx,
+                                         std::vector<double> values);
+
+  /// Densifies `m` (intended for tests and small examples).
+  static CsrMatrix FromDense(const linalg::Matrix& m,
+                             double prune_below = 0.0);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t nnz() const { return values_.size(); }
+
+  /// Value at (r, c); 0 for entries not stored. O(log nnz(row)).
+  double At(size_t r, size_t c) const;
+
+  /// Row r as (col, value) spans.
+  struct RowView {
+    const size_t* cols;
+    const double* values;
+    size_t size;
+  };
+  RowView Row(size_t r) const;
+
+  /// Sum over each row / column.
+  linalg::Vector RowSums() const;
+  linalg::Vector ColSums() const;
+
+  /// Sum of all stored values.
+  double Total() const;
+
+  /// this * x (x has cols() entries).
+  linalg::Vector MatVec(const linalg::Vector& x) const;
+  /// this^T * x (x has rows() entries).
+  linalg::Vector MatTVec(const linalg::Vector& x) const;
+
+  /// Multiplies every stored entry of row r by s[r].
+  void ScaleRows(const linalg::Vector& s);
+  /// Multiplies every stored entry by s.
+  void Scale(double s);
+
+  /// Transposed copy.
+  CsrMatrix Transposed() const;
+
+  /// Dense copy (tests / small problems only).
+  linalg::Matrix ToDense() const;
+
+  /// Removes stored entries with |value| <= threshold.
+  void Prune(double threshold);
+
+  /// True when shapes match and every (implicitly zero) entry differs
+  /// by at most tol.
+  bool AllClose(const CsrMatrix& other, double tol) const;
+
+  const std::vector<size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<size_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+ private:
+  friend class CooBuilder;
+
+  size_t rows_;
+  size_t cols_;
+  std::vector<size_t> row_ptr_;
+  std::vector<size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace geoalign::sparse
+
+#endif  // GEOALIGN_SPARSE_CSR_MATRIX_H_

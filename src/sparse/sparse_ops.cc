@@ -1,0 +1,83 @@
+#include "sparse/sparse_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace geoalign::sparse {
+
+Result<CsrMatrix> Add(const CsrMatrix& a, const CsrMatrix& b, double alpha,
+                      double beta) {
+  return WeightedSum({&a, &b}, {alpha, beta});
+}
+
+Result<CsrMatrix> WeightedSum(const std::vector<const CsrMatrix*>& mats,
+                              const linalg::Vector& weights) {
+  if (mats.empty()) {
+    return Status::InvalidArgument("WeightedSum: no matrices");
+  }
+  if (mats.size() != weights.size()) {
+    return Status::InvalidArgument("WeightedSum: weight count mismatch");
+  }
+  size_t rows = mats[0]->rows();
+  size_t cols = mats[0]->cols();
+  for (const CsrMatrix* m : mats) {
+    if (m->rows() != rows || m->cols() != cols) {
+      return Status::InvalidArgument("WeightedSum: shape mismatch");
+    }
+  }
+
+  CsrMatrix out(rows, cols);
+  std::vector<size_t> out_rowptr(rows + 1, 0);
+  std::vector<size_t> out_cols;
+  std::vector<double> out_vals;
+
+  // Scatter-gather row merge using a dense accumulator over columns
+  // touched in the current row.
+  std::vector<double> acc(cols, 0.0);
+  std::vector<size_t> touched;
+  for (size_t r = 0; r < rows; ++r) {
+    touched.clear();
+    for (size_t mi = 0; mi < mats.size(); ++mi) {
+      double w = weights[mi];
+      if (w == 0.0) continue;
+      CsrMatrix::RowView row = mats[mi]->Row(r);
+      for (size_t k = 0; k < row.size; ++k) {
+        size_t c = row.cols[k];
+        if (acc[c] == 0.0) touched.push_back(c);
+        acc[c] += w * row.values[k];
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (size_t c : touched) {
+      if (acc[c] != 0.0) {
+        out_cols.push_back(c);
+        out_vals.push_back(acc[c]);
+      }
+      acc[c] = 0.0;
+    }
+    out_rowptr[r + 1] = out_cols.size();
+  }
+  return CsrMatrix::FromCsrArrays(rows, cols, std::move(out_rowptr),
+                                  std::move(out_cols), std::move(out_vals));
+}
+
+void DivideRowsOrZero(CsrMatrix& m, const linalg::Vector& denom,
+                      double zero_tol, std::vector<size_t>* zero_rows) {
+  GEOALIGN_CHECK(denom.size() == m.rows())
+      << "DivideRowsOrZero: size mismatch";
+  linalg::Vector scale(m.rows(), 0.0);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    if (std::fabs(denom[r]) <= zero_tol) {
+      if (zero_rows != nullptr) zero_rows->push_back(r);
+      scale[r] = 0.0;
+    } else {
+      scale[r] = 1.0 / denom[r];
+    }
+  }
+  m.ScaleRows(scale);
+  m.Prune(0.0);
+}
+
+}  // namespace geoalign::sparse

@@ -1,0 +1,30 @@
+#ifndef GEOALIGN_SPARSE_SPARSE_OPS_H_
+#define GEOALIGN_SPARSE_SPARSE_OPS_H_
+
+#include <vector>
+
+#include "sparse/csr_matrix.h"
+
+namespace geoalign::sparse {
+
+/// alpha * a + beta * b elementwise (shapes must match).
+Result<CsrMatrix> Add(const CsrMatrix& a, const CsrMatrix& b,
+                      double alpha = 1.0, double beta = 1.0);
+
+/// Weighted sum  sum_k weights[k] * mats[k]  of same-shaped matrices.
+/// This is the "Σ β_k DM_rk" inner step of paper Eq. 14; implemented
+/// as one row-merge pass over all operands rather than repeated
+/// pairwise adds.
+Result<CsrMatrix> WeightedSum(const std::vector<const CsrMatrix*>& mats,
+                              const linalg::Vector& weights);
+
+/// Divides every entry of row r by denom[r]. Rows whose denominator is
+/// (absolutely) below `zero_tol` are set entirely to zero and reported
+/// in `zero_rows` when non-null — the paper's "otherwise 0" branch of
+/// Eq. 14.
+void DivideRowsOrZero(CsrMatrix& m, const linalg::Vector& denom,
+                      double zero_tol, std::vector<size_t>* zero_rows);
+
+}  // namespace geoalign::sparse
+
+#endif  // GEOALIGN_SPARSE_SPARSE_OPS_H_

@@ -1,0 +1,93 @@
+#include "spatial/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace geoalign::spatial {
+
+PointGridIndex::PointGridIndex(const std::vector<geom::Point>& points,
+                               const geom::BBox& bounds,
+                               double target_per_cell)
+    : points_(points), bounds_(bounds) {
+  double span = std::max(bounds.width(), bounds.height());
+  if (span <= 0.0) span = 1.0;
+  double cells = std::max(
+      1.0, static_cast<double>(points.size()) / std::max(1.0, target_per_cell));
+  double per_axis = std::sqrt(cells);
+  cell_size_ = std::max(span / per_axis, span * 1e-9);
+  nx_ = std::max(1, static_cast<int>(std::ceil(bounds.width() / cell_size_)));
+  ny_ = std::max(1, static_cast<int>(std::ceil(bounds.height() / cell_size_)));
+  buckets_.resize(static_cast<size_t>(nx_) * ny_);
+  for (uint32_t i = 0; i < points_.size(); ++i) {
+    CellCoord c = CellOf(points_[i]);
+    buckets_[static_cast<size_t>(c.y) * nx_ + c.x].push_back(i);
+  }
+}
+
+PointGridIndex::CellCoord PointGridIndex::CellOf(const geom::Point& p) const {
+  int cx = static_cast<int>((p.x - bounds_.min_x) / cell_size_);
+  int cy = static_cast<int>((p.y - bounds_.min_y) / cell_size_);
+  cx = std::clamp(cx, 0, nx_ - 1);
+  cy = std::clamp(cy, 0, ny_ - 1);
+  return {cx, cy};
+}
+
+const std::vector<uint32_t>& PointGridIndex::Bucket(int cx, int cy) const {
+  return buckets_[static_cast<size_t>(cy) * nx_ + cx];
+}
+
+uint32_t PointGridIndex::Nearest(const geom::Point& q) const {
+  GEOALIGN_CHECK(!points_.empty()) << "Nearest on empty index";
+  CellCoord c = CellOf(q);
+  double best_d2 = std::numeric_limits<double>::infinity();
+  uint32_t best = 0;
+  int max_radius = std::max(nx_, ny_);
+  for (int radius = 0; radius <= max_radius; ++radius) {
+    // Once a hit is found, one more ring guarantees correctness
+    // (points in farther rings are at least (radius-1)*cell_size away).
+    if (best_d2 < std::numeric_limits<double>::infinity()) {
+      double min_ring = (radius - 1) * cell_size_;
+      if (min_ring > 0.0 && min_ring * min_ring > best_d2) break;
+    }
+    for (int by = c.y - radius; by <= c.y + radius; ++by) {
+      if (by < 0 || by >= ny_) continue;
+      for (int bx = c.x - radius; bx <= c.x + radius; ++bx) {
+        if (bx < 0 || bx >= nx_) continue;
+        if (std::max(std::abs(bx - c.x), std::abs(by - c.y)) != radius) {
+          continue;
+        }
+        for (uint32_t i : Bucket(bx, by)) {
+          double d2 = geom::DistanceSquared(q, points_[i]);
+          if (d2 < best_d2 || (d2 == best_d2 && i < best)) {
+            best_d2 = d2;
+            best = i;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<uint32_t> PointGridIndex::WithinRadius(const geom::Point& q,
+                                                   double radius) const {
+  std::vector<uint32_t> out;
+  if (points_.empty() || radius < 0.0) return out;
+  CellCoord lo = CellOf({q.x - radius, q.y - radius});
+  CellCoord hi = CellOf({q.x + radius, q.y + radius});
+  double r2 = radius * radius;
+  for (int by = lo.y; by <= hi.y; ++by) {
+    for (int bx = lo.x; bx <= hi.x; ++bx) {
+      for (uint32_t i : Bucket(bx, by)) {
+        if (geom::DistanceSquared(q, points_[i]) <= r2) out.push_back(i);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace geoalign::spatial

@@ -1,0 +1,48 @@
+#ifndef GEOALIGN_SPATIAL_GRID_INDEX_H_
+#define GEOALIGN_SPATIAL_GRID_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/bbox.h"
+
+namespace geoalign::spatial {
+
+/// Uniform grid over points, for nearest-site assignment and cheap
+/// range queries when items are (approximately) evenly distributed.
+class PointGridIndex {
+ public:
+  /// Builds over `points` contained in `bounds`, with roughly
+  /// `target_per_cell` items per grid cell.
+  PointGridIndex(const std::vector<geom::Point>& points,
+                 const geom::BBox& bounds, double target_per_cell = 4.0);
+
+  /// Index of the point nearest to `q` (ties broken by lower index).
+  /// Requires a non-empty index.
+  uint32_t Nearest(const geom::Point& q) const;
+
+  /// Indices of points within `radius` of `q`.
+  std::vector<uint32_t> WithinRadius(const geom::Point& q,
+                                     double radius) const;
+
+  size_t size() const { return points_.size(); }
+
+ private:
+  struct CellCoord {
+    int x;
+    int y;
+  };
+  CellCoord CellOf(const geom::Point& p) const;
+  const std::vector<uint32_t>& Bucket(int cx, int cy) const;
+
+  std::vector<geom::Point> points_;
+  geom::BBox bounds_;
+  double cell_size_ = 1.0;
+  int nx_ = 1;
+  int ny_ = 1;
+  std::vector<std::vector<uint32_t>> buckets_;
+};
+
+}  // namespace geoalign::spatial
+
+#endif  // GEOALIGN_SPATIAL_GRID_INDEX_H_

@@ -1,0 +1,148 @@
+#include "spatial/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geoalign::spatial {
+
+RTree::RTree(const std::vector<geom::BBox>& boxes,
+             size_t max_entries_per_node) {
+  item_count_ = boxes.size();
+  item_boxes_ = boxes;
+  if (boxes.empty()) return;
+  size_t cap = std::max<size_t>(2, max_entries_per_node);
+
+  // STR packing: sort by center-x, slice into vertical strips, sort
+  // each strip by center-y, chunk into leaves.
+  std::vector<uint32_t> order(boxes.size());
+  for (uint32_t i = 0; i < boxes.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return boxes[a].Center().x < boxes[b].Center().x;
+  });
+
+  size_t n = boxes.size();
+  size_t leaf_count = (n + cap - 1) / cap;
+  size_t strips = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(leaf_count))));
+  size_t per_strip = (n + strips - 1) / strips;
+
+  items_.reserve(n);
+  // Current level under construction: node indices.
+  std::vector<Node> level_nodes;
+  for (size_t s = 0; s < strips; ++s) {
+    size_t begin = s * per_strip;
+    if (begin >= n) break;
+    size_t end = std::min(begin + per_strip, n);
+    std::sort(order.begin() + begin, order.begin() + end,
+              [&](uint32_t a, uint32_t b) {
+                return boxes[a].Center().y < boxes[b].Center().y;
+              });
+    for (size_t i = begin; i < end; i += cap) {
+      Node leaf;
+      leaf.leaf = true;
+      leaf.first = static_cast<uint32_t>(items_.size());
+      size_t chunk_end = std::min(i + cap, end);
+      for (size_t k = i; k < chunk_end; ++k) {
+        items_.push_back(order[k]);
+        leaf.box.Expand(boxes[order[k]]);
+      }
+      leaf.count = static_cast<uint32_t>(chunk_end - i);
+      level_nodes.push_back(leaf);
+    }
+  }
+  height_ = 1;
+
+  // Pack upper levels until a single root remains. Nodes are appended
+  // level by level; children of each internal node are contiguous.
+  // We build bottom-up into a temporary list, then reverse levels so
+  // the root lands at index 0.
+  std::vector<std::vector<Node>> levels;
+  levels.push_back(std::move(level_nodes));
+  while (levels.back().size() > 1) {
+    const std::vector<Node>& below = levels.back();
+    std::vector<Node> above;
+    for (size_t i = 0; i < below.size(); i += cap) {
+      Node internal;
+      internal.leaf = false;
+      internal.first = static_cast<uint32_t>(i);
+      internal.count =
+          static_cast<uint32_t>(std::min(cap, below.size() - i));
+      for (uint32_t k = 0; k < internal.count; ++k) {
+        internal.box.Expand(below[i + k].box);
+      }
+      above.push_back(internal);
+    }
+    levels.push_back(std::move(above));
+    ++height_;
+  }
+
+  // Flatten: root level first. Child indices are offset by the start
+  // of the level below.
+  nodes_.clear();
+  size_t offset = 0;
+  for (size_t li = levels.size(); li-- > 0;) {
+    offset += levels[li].size();
+  }
+  nodes_.reserve(offset);
+  std::vector<size_t> level_start(levels.size());
+  size_t pos = 0;
+  for (size_t li = levels.size(); li-- > 0;) {
+    level_start[li] = pos;
+    pos += levels[li].size();
+  }
+  nodes_.resize(pos);
+  for (size_t li = levels.size(); li-- > 0;) {
+    for (size_t k = 0; k < levels[li].size(); ++k) {
+      Node node = levels[li][k];
+      if (!node.leaf) {
+        node.first += static_cast<uint32_t>(level_start[li - 1]);
+      }
+      nodes_[level_start[li] + k] = node;
+    }
+  }
+}
+
+void RTree::VisitNode(uint32_t node_idx, const geom::BBox& query,
+                      const std::function<bool(uint32_t)>& fn,
+                      bool* stop) const {
+  const Node& node = nodes_[node_idx];
+  if (*stop || !node.box.Intersects(query)) return;
+  if (node.leaf) {
+    for (uint32_t k = 0; k < node.count; ++k) {
+      uint32_t item = items_[node.first + k];
+      if (item_boxes_[item].Intersects(query)) {
+        if (!fn(item)) {
+          *stop = true;
+          return;
+        }
+      }
+    }
+    return;
+  }
+  for (uint32_t k = 0; k < node.count; ++k) {
+    VisitNode(node.first + k, query, fn, stop);
+    if (*stop) return;
+  }
+}
+
+void RTree::Visit(const geom::BBox& query,
+                  const std::function<bool(uint32_t)>& fn) const {
+  if (nodes_.empty()) return;
+  bool stop = false;
+  VisitNode(0, query, fn, &stop);
+}
+
+std::vector<uint32_t> RTree::Query(const geom::BBox& query) const {
+  std::vector<uint32_t> out;
+  Visit(query, [&out](uint32_t id) {
+    out.push_back(id);
+    return true;
+  });
+  return out;
+}
+
+std::vector<uint32_t> RTree::QueryPoint(const geom::Point& p) const {
+  return Query(geom::BBox(p.x, p.y, p.x, p.y));
+}
+
+}  // namespace geoalign::spatial

@@ -1,0 +1,60 @@
+#ifndef GEOALIGN_SPATIAL_RTREE_H_
+#define GEOALIGN_SPATIAL_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geom/bbox.h"
+
+namespace geoalign::spatial {
+
+/// Static R-tree over rectangles, bulk-loaded with Sort-Tile-Recursive
+/// (STR) packing. Built once over a unit system's bounding boxes and
+/// queried for candidate intersecting pairs during overlays.
+class RTree {
+ public:
+  /// Bulk-loads the boxes; item i keeps identifier i. Empty input
+  /// builds an empty (always-miss) tree.
+  explicit RTree(const std::vector<geom::BBox>& boxes,
+                 size_t max_entries_per_node = 16);
+
+  /// Identifiers of items whose box intersects `query`.
+  std::vector<uint32_t> Query(const geom::BBox& query) const;
+
+  /// Identifiers of items whose box contains `p`.
+  std::vector<uint32_t> QueryPoint(const geom::Point& p) const;
+
+  /// Visits each hit without materializing a vector; `fn` returns
+  /// false to stop early.
+  void Visit(const geom::BBox& query,
+             const std::function<bool(uint32_t)>& fn) const;
+
+  size_t size() const { return item_count_; }
+
+  /// Height of the tree (0 for empty).
+  size_t Height() const { return height_; }
+
+ private:
+  struct Node {
+    geom::BBox box;
+    // Children are a contiguous range in nodes_ (internal) or item ids
+    // in a contiguous range of items_ (leaf).
+    uint32_t first = 0;
+    uint32_t count = 0;
+    bool leaf = true;
+  };
+
+  void VisitNode(uint32_t node_idx, const geom::BBox& query,
+                 const std::function<bool(uint32_t)>& fn, bool* stop) const;
+
+  std::vector<Node> nodes_;      // root is nodes_[0] when non-empty
+  std::vector<uint32_t> items_;  // leaf item ids
+  std::vector<geom::BBox> item_boxes_;
+  size_t item_count_ = 0;
+  size_t height_ = 0;
+};
+
+}  // namespace geoalign::spatial
+
+#endif  // GEOALIGN_SPATIAL_RTREE_H_

@@ -1,0 +1,57 @@
+#ifndef GEOALIGN_SYNTH_DATASET_SUITE_H_
+#define GEOALIGN_SYNTH_DATASET_SUITE_H_
+
+#include <string>
+#include <vector>
+
+#include "partition/overlay.h"
+#include "synth/geography.h"
+
+namespace geoalign::synth {
+
+/// One synthetic attribute with everything the experiments need: raw
+/// atom-level values (the "individual-level data"), exact aggregates
+/// at zip (source) and county (target) level, and the exact
+/// disaggregation matrix between them.
+struct Dataset {
+  std::string name;
+  linalg::Vector atom_values;
+  linalg::Vector source;      ///< zip aggregates a^s
+  linalg::Vector target;      ///< county aggregates a^t (ground truth)
+  sparse::CsrMatrix dm;       ///< zip × county disaggregation matrix
+};
+
+/// Which of the paper's two dataset collections to synthesize.
+enum class SuiteKind {
+  /// The 8 New York State datasets of Fig. 5a: Attorney Registration,
+  /// DMV License Facilities, Food Service Inspections, Liquor
+  /// Licenses, New York State Restaurants, Population, USPS Business
+  /// Address, USPS Residential Address.
+  kNewYorkState,
+  /// The 10 United States datasets of Fig. 5b: Accidents, Area (Sq.
+  /// Miles), Cemeteries, Population, Public Buildings, Shopping
+  /// Centers, Starbucks, USA Uninhabited Places, USPS Business
+  /// Address, USPS Residential Address.
+  kUnitedStates,
+};
+
+/// Population intensity at each atom: a Gaussian-mixture surface over
+/// the geography's city centers (plus a small rural base), normalized
+/// to max 1. All other layers are transformations of this surface,
+/// which pins down the cross-dataset correlation structure the paper's
+/// robustness analysis (§4.4.2) depends on.
+linalg::Vector PopulationIntensity(const SyntheticGeography& geo);
+
+/// Synthesizes the named dataset collection over `geo`. `overlay` must
+/// be the zips×counties overlay of the same geography (used to build
+/// exact DMs). Deterministic in `seed`.
+Result<std::vector<Dataset>> GenerateDatasets(
+    const SyntheticGeography& geo, const partition::OverlayResult& overlay,
+    SuiteKind kind, uint64_t seed);
+
+/// Dataset names of a suite, in generation order.
+std::vector<std::string> SuiteDatasetNames(SuiteKind kind);
+
+}  // namespace geoalign::synth
+
+#endif  // GEOALIGN_SYNTH_DATASET_SUITE_H_

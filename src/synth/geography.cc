@@ -1,0 +1,192 @@
+#include "synth/geography.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "spatial/grid_index.h"
+
+namespace geoalign::synth {
+
+namespace {
+
+// Assigns each atom center to its nearest seed and compacts away seeds
+// that captured no atom. Returns the number of units actually used.
+uint32_t AssignNearestSeed(const std::vector<geom::Point>& centers,
+                           size_t begin, size_t end,
+                           const std::vector<geom::Point>& seeds,
+                           const geom::BBox& bounds, uint32_t label_offset,
+                           std::vector<uint32_t>* labels) {
+  spatial::PointGridIndex index(seeds, bounds);
+  std::vector<uint32_t> raw(end - begin);
+  std::vector<uint32_t> used(seeds.size(), 0);
+  for (size_t a = begin; a < end; ++a) {
+    uint32_t s = index.Nearest(centers[a]);
+    raw[a - begin] = s;
+    used[s] = 1;
+  }
+  // Compact to the dense range of seeds that captured atoms.
+  std::vector<uint32_t> remap(seeds.size(), 0);
+  uint32_t next = 0;
+  for (size_t s = 0; s < seeds.size(); ++s) {
+    if (used[s]) remap[s] = next++;
+  }
+  for (size_t a = begin; a < end; ++a) {
+    (*labels)[a] = label_offset + remap[raw[a - begin]];
+  }
+  return next;
+}
+
+// Samples unit seeds with a population-skewed density: with
+// probability `city_frac` a seed is drawn around a city (sigma widened
+// so seed clusters are looser than the density peaks themselves),
+// otherwise uniformly. Real zip codes and counties are laid out for
+// roughly balanced population, so urban units are small and rural
+// units large — the size heterogeneity that separates area-based from
+// reference-based interpolation.
+std::vector<geom::Point> SampleSeeds(const geom::BBox& tile, size_t n,
+                                     const std::vector<GaussianCluster>& cities,
+                                     double city_frac, Rng& rng) {
+  std::vector<double> weights;
+  weights.reserve(cities.size());
+  for (const GaussianCluster& c : cities) weights.push_back(c.weight);
+  std::vector<geom::Point> seeds;
+  seeds.reserve(n);
+  while (seeds.size() < n) {
+    if (cities.empty() || !rng.Bernoulli(city_frac)) {
+      seeds.push_back({rng.Uniform(tile.min_x, tile.max_x),
+                       rng.Uniform(tile.min_y, tile.max_y)});
+      continue;
+    }
+    const GaussianCluster& c = cities[rng.Categorical(weights)];
+    geom::Point p{rng.Gaussian(c.center.x, 1.8 * c.sigma),
+                  rng.Gaussian(c.center.y, 1.8 * c.sigma)};
+    if (tile.Contains(p)) seeds.push_back(p);
+  }
+  return seeds;
+}
+
+}  // namespace
+
+Result<SyntheticGeography> SyntheticGeography::Build(
+    const GeographyParams& params) {
+  if (params.num_states == 0) {
+    return Status::InvalidArgument("Geography: need at least one state");
+  }
+  if (params.zips_per_state.size() != params.num_states ||
+      params.counties_per_state.size() != params.num_states) {
+    return Status::InvalidArgument(
+        "Geography: per-state unit counts must match num_states");
+  }
+  if (params.state_size <= 0.0 || params.atoms_per_zip < 1.0) {
+    return Status::InvalidArgument("Geography: bad sizes");
+  }
+
+  SyntheticGeography geo;
+  geo.params_ = params;
+  Rng rng(params.seed);
+
+  // Lay out state tiles and size each state's atom raster.
+  size_t total_atoms = 0;
+  for (size_t s = 0; s < params.num_states; ++s) {
+    size_t col = s % params.grid_cols;
+    size_t row = s / params.grid_cols;
+    geom::BBox tile(col * params.state_size, row * params.state_size,
+                    (col + 1) * params.state_size,
+                    (row + 1) * params.state_size);
+    geo.state_bounds_.push_back(tile);
+
+    double want_atoms =
+        static_cast<double>(params.zips_per_state[s]) * params.atoms_per_zip;
+    size_t side = std::max<size_t>(
+        8, static_cast<size_t>(std::ceil(std::sqrt(want_atoms))));
+    StateRaster raster;
+    raster.nx = side;
+    raster.ny = side;
+    raster.atom_offset = total_atoms;
+    geo.rasters_.push_back(raster);
+    total_atoms += side * side;
+  }
+
+  // Materialize atoms (centers + uniform measures within a state).
+  geo.atoms_ = std::make_unique<partition::AtomSpace>();
+  geo.atoms_->measures.resize(total_atoms);
+  geo.atom_centers_.resize(total_atoms);
+  geo.atom_states_.resize(total_atoms);
+  for (size_t s = 0; s < params.num_states; ++s) {
+    const StateRaster& raster = geo.rasters_[s];
+    const geom::BBox& tile = geo.state_bounds_[s];
+    double dx = tile.width() / static_cast<double>(raster.nx);
+    double dy = tile.height() / static_cast<double>(raster.ny);
+    double measure = dx * dy;
+    for (size_t y = 0; y < raster.ny; ++y) {
+      for (size_t x = 0; x < raster.nx; ++x) {
+        size_t a = raster.atom_offset + y * raster.nx + x;
+        geo.atom_centers_[a] = {tile.min_x + (x + 0.5) * dx,
+                                tile.min_y + (y + 0.5) * dy};
+        geo.atoms_->measures[a] = measure;
+        geo.atom_states_[a] = static_cast<uint32_t>(s);
+      }
+    }
+  }
+
+  // Grow zip and county partitions per state from independent seed
+  // sets; labels are globally dense.
+  std::vector<uint32_t> zip_labels(total_atoms);
+  std::vector<uint32_t> county_labels(total_atoms);
+  uint32_t zip_count = 0;
+  uint32_t county_count = 0;
+  for (size_t s = 0; s < params.num_states; ++s) {
+    const StateRaster& raster = geo.rasters_[s];
+    const geom::BBox& tile = geo.state_bounds_[s];
+    size_t begin = raster.atom_offset;
+    size_t end = begin + raster.nx * raster.ny;
+
+    // Population centers first (seed placement depends on them): one
+    // dominant metro plus towns. The metro is heavy and compact, so
+    // density contrasts within units are strong enough to break the
+    // homogeneity assumption (the regime the paper evaluates in).
+    std::vector<GaussianCluster> state_cities;
+    for (size_t c = 0; c < params.cities_per_state; ++c) {
+      GaussianCluster city;
+      city.center = {rng.Uniform(tile.min_x + 0.1 * tile.width(),
+                                 tile.max_x - 0.1 * tile.width()),
+                     rng.Uniform(tile.min_y + 0.1 * tile.height(),
+                                 tile.max_y - 0.1 * tile.height())};
+      bool metro = (c == 0);
+      city.sigma = params.state_size *
+                   (metro ? rng.Uniform(0.025, 0.035)
+                          : rng.Uniform(0.012, 0.03));
+      city.weight = metro ? rng.Uniform(50.0, 90.0) : rng.Uniform(0.15, 0.7);
+      state_cities.push_back(city);
+      geo.cities_.push_back(city);
+    }
+
+    std::vector<geom::Point> zip_seeds = SampleSeeds(
+        tile, std::max<size_t>(1, params.zips_per_state[s]), state_cities,
+        /*city_frac=*/0.10, rng);
+    zip_count += AssignNearestSeed(geo.atom_centers_, begin, end, zip_seeds,
+                                   tile, zip_count, &zip_labels);
+    std::vector<geom::Point> county_seeds = SampleSeeds(
+        tile, std::max<size_t>(1, params.counties_per_state[s]), state_cities,
+        /*city_frac=*/0.35, rng);
+    county_count +=
+        AssignNearestSeed(geo.atom_centers_, begin, end, county_seeds, tile,
+                          county_count, &county_labels);
+  }
+
+  auto zips = partition::CellPartition::Create(geo.atoms_.get(),
+                                               std::move(zip_labels),
+                                               zip_count);
+  GEOALIGN_RETURN_NOT_OK(zips.status());
+  auto counties = partition::CellPartition::Create(
+      geo.atoms_.get(), std::move(county_labels), county_count);
+  GEOALIGN_RETURN_NOT_OK(counties.status());
+  geo.zips_ = std::make_unique<partition::CellPartition>(
+      std::move(zips).value());
+  geo.counties_ = std::make_unique<partition::CellPartition>(
+      std::move(counties).value());
+  return geo;
+}
+
+}  // namespace geoalign::synth

@@ -1,0 +1,94 @@
+#ifndef GEOALIGN_SYNTH_GEOGRAPHY_H_
+#define GEOALIGN_SYNTH_GEOGRAPHY_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "partition/cell_partition.h"
+#include "synth/point_process.h"
+
+namespace geoalign::synth {
+
+/// Parameters of a synthetic multi-state geography.
+struct GeographyParams {
+  /// States used; laid out on a row-major grid of square tiles,
+  /// `grid_cols` tiles per row.
+  size_t num_states = 1;
+  size_t grid_cols = 7;
+  /// Side length of each state tile.
+  double state_size = 100.0;
+  /// Atom-grid resolution is chosen so each zip averages about this
+  /// many atoms.
+  double atoms_per_zip = 10.0;
+  /// Requested unit counts per state (size num_states). Actual counts
+  /// may come out slightly lower when a seed captures no atom.
+  std::vector<size_t> zips_per_state;
+  std::vector<size_t> counties_per_state;
+  /// Population centers per state (one dominant metro + towns).
+  size_t cities_per_state = 8;
+  uint64_t seed = 42;
+};
+
+/// Synthetic stand-in for the paper's real geographies (see DESIGN.md
+/// §3): the universe is a union of square state tiles, each rasterized
+/// into a fine atom grid (atoms model census blocks). Zip-code and
+/// county partitions are independent seed-grown unions of atoms within
+/// each state — two genuinely unaligned partitions that never straddle
+/// state lines, so any prefix of states is itself a valid universe
+/// (the paper's nested NY ⊂ Mid-Atlantic ⊂ ... ⊂ US hierarchy).
+class SyntheticGeography {
+ public:
+  static Result<SyntheticGeography> Build(const GeographyParams& params);
+
+  SyntheticGeography(const SyntheticGeography&) = delete;
+  SyntheticGeography& operator=(const SyntheticGeography&) = delete;
+  SyntheticGeography(SyntheticGeography&&) = default;
+  SyntheticGeography& operator=(SyntheticGeography&&) = default;
+
+  const partition::AtomSpace& atoms() const { return *atoms_; }
+  const partition::CellPartition& zips() const { return *zips_; }
+  const partition::CellPartition& counties() const { return *counties_; }
+
+  /// Geometric center of each atom (index-aligned with the atom space).
+  const std::vector<geom::Point>& atom_centers() const {
+    return atom_centers_;
+  }
+
+  /// Population centers (Gaussian components of the population
+  /// intensity surface) across all states.
+  const std::vector<GaussianCluster>& cities() const { return cities_; }
+
+  size_t NumStates() const { return state_bounds_.size(); }
+  const geom::BBox& state_bounds(size_t s) const { return state_bounds_[s]; }
+  /// State owning each atom.
+  const std::vector<uint32_t>& atom_states() const { return atom_states_; }
+
+  /// Raster shape of one state's atom block (atoms of a state are
+  /// contiguous, row-major within the state tile).
+  struct StateRaster {
+    size_t nx = 0;
+    size_t ny = 0;
+    size_t atom_offset = 0;
+  };
+  const StateRaster& state_raster(size_t s) const { return rasters_[s]; }
+
+  const GeographyParams& params() const { return params_; }
+
+ private:
+  SyntheticGeography() = default;
+
+  GeographyParams params_;
+  std::unique_ptr<partition::AtomSpace> atoms_;
+  std::unique_ptr<partition::CellPartition> zips_;
+  std::unique_ptr<partition::CellPartition> counties_;
+  std::vector<geom::Point> atom_centers_;
+  std::vector<GaussianCluster> cities_;
+  std::vector<geom::BBox> state_bounds_;
+  std::vector<uint32_t> atom_states_;
+  std::vector<StateRaster> rasters_;
+};
+
+}  // namespace geoalign::synth
+
+#endif  // GEOALIGN_SYNTH_GEOGRAPHY_H_

@@ -1,0 +1,181 @@
+#include "synth/geometric_universe.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "geom/voronoi.h"
+#include "partition/disaggregation.h"
+#include "synth/point_process.h"
+
+namespace geoalign::synth {
+
+namespace {
+
+// Voronoi layer over sites sampled with probability `city_frac` around
+// the cities (population-balanced units) and uniformly otherwise.
+Result<partition::PolygonPartition> VoronoiLayer(
+    const geom::BBox& world, size_t n,
+    const std::vector<GaussianCluster>& cities, double city_frac, Rng& rng) {
+  std::vector<double> weights;
+  for (const GaussianCluster& c : cities) weights.push_back(c.weight);
+  std::vector<geom::Point> sites;
+  sites.reserve(n);
+  while (sites.size() < n) {
+    if (cities.empty() || !rng.Bernoulli(city_frac)) {
+      sites.push_back({rng.Uniform(world.min_x, world.max_x),
+                       rng.Uniform(world.min_y, world.max_y)});
+      continue;
+    }
+    const GaussianCluster& c = cities[rng.Categorical(weights)];
+    geom::Point p{rng.Gaussian(c.center.x, 2.0 * c.sigma),
+                  rng.Gaussian(c.center.y, 2.0 * c.sigma)};
+    if (world.Contains(p)) sites.push_back(p);
+  }
+  GEOALIGN_ASSIGN_OR_RETURN(std::vector<geom::Ring> rings,
+                            geom::VoronoiCells(sites, world));
+  std::vector<geom::Polygon> polys;
+  polys.reserve(rings.size());
+  for (geom::Ring& ring : rings) {
+    if (ring.size() >= 3) polys.emplace_back(std::move(ring));
+  }
+  return partition::PolygonPartition::Create(std::move(polys));
+}
+
+// Builds a point-backed dataset; aggregates come from the DM marginals
+// so source/target/dm are exactly consistent even if a stray boundary
+// point fails to locate in one layer.
+Result<Dataset> PointDataset(std::string name,
+                             const partition::PolygonPartition& zips,
+                             const partition::PolygonPartition& counties,
+                             const std::vector<geom::Point>& points) {
+  linalg::Vector ones(points.size(), 1.0);
+  Dataset d;
+  d.name = std::move(name);
+  GEOALIGN_ASSIGN_OR_RETURN(
+      d.dm, partition::DmFromPoints(zips, counties, points, ones));
+  d.source = d.dm.RowSums();
+  d.target = d.dm.ColSums();
+  return d;
+}
+
+}  // namespace
+
+Result<core::CrosswalkInput> GeometricUniverse::MakeLeaveOneOutInput(
+    size_t test_index) const {
+  if (test_index >= datasets.size()) {
+    return Status::OutOfRange("GeometricUniverse: bad dataset index");
+  }
+  core::CrosswalkInput input;
+  input.objective_source = datasets[test_index].source;
+  for (size_t k = 0; k < datasets.size(); ++k) {
+    if (k == test_index) continue;
+    core::ReferenceAttribute ref;
+    ref.name = datasets[k].name;
+    ref.source_aggregates = datasets[k].source;
+    ref.disaggregation = datasets[k].dm;
+    input.references.push_back(std::move(ref));
+  }
+  return input;
+}
+
+Result<GeometricUniverse> BuildGeometricUniverse(
+    const GeometricUniverseOptions& options) {
+  if (options.num_zips < 4 || options.num_counties < 2 ||
+      options.num_counties >= options.num_zips) {
+    return Status::InvalidArgument(
+        "GeometricUniverse: need counties < zips and sane counts");
+  }
+  Rng rng(options.seed);
+  geom::BBox world(0, 0, options.world_size, options.world_size);
+
+  // Population intensity mixture: one metro + towns.
+  std::vector<GaussianCluster> cities;
+  for (size_t c = 0; c < options.num_cities; ++c) {
+    GaussianCluster city;
+    city.center = {rng.Uniform(0.1 * options.world_size,
+                               0.9 * options.world_size),
+                   rng.Uniform(0.1 * options.world_size,
+                               0.9 * options.world_size)};
+    bool metro = (c == 0);
+    city.sigma = options.world_size *
+                 (metro ? rng.Uniform(0.04, 0.06) : rng.Uniform(0.015, 0.04));
+    city.weight = metro ? rng.Uniform(20.0, 40.0) : rng.Uniform(0.2, 1.0);
+    cities.push_back(city);
+  }
+
+  GeometricUniverse uni;
+  GEOALIGN_ASSIGN_OR_RETURN(
+      partition::PolygonPartition zips,
+      VoronoiLayer(world, options.num_zips, cities, 0.25, rng));
+  uni.zips =
+      std::make_unique<partition::PolygonPartition>(std::move(zips));
+  GEOALIGN_ASSIGN_OR_RETURN(
+      partition::PolygonPartition counties,
+      VoronoiLayer(world, options.num_counties, cities, 0.15, rng));
+  uni.counties =
+      std::make_unique<partition::PolygonPartition>(std::move(counties));
+
+  GEOALIGN_ASSIGN_OR_RETURN(
+      uni.overlay,
+      partition::OverlayPolygons(*uni.zips, *uni.counties,
+                                 /*min_area=*/1e-9));
+  uni.measure_dm = uni.overlay.MeasureDm();
+
+  // Point layers. Population mixes the city mixture with a uniform
+  // rural component.
+  size_t n_pop = options.population_points;
+  std::vector<geom::Point> population =
+      SampleGaussianMixture(world, cities, n_pop - n_pop / 8, rng);
+  {
+    std::vector<geom::Point> rural = SampleUniform(world, n_pop / 8, rng);
+    population.insert(population.end(), rural.begin(), rural.end());
+  }
+  std::vector<geom::Point> residential =
+      ThinPoints(population, 0.55, options.world_size * 0.002, world, rng);
+  // Business: CBD-offset compact cores.
+  std::vector<GaussianCluster> cores;
+  for (size_t c = 0; c < std::min<size_t>(3, cities.size()); ++c) {
+    GaussianCluster core = cities[c];
+    core.center.x += 0.8 * core.sigma;
+    core.sigma *= 0.45;
+    cores.push_back(core);
+  }
+  std::vector<geom::Point> business =
+      SampleGaussianMixture(world, cores, n_pop / 5, rng);
+  std::vector<geom::Point> restaurants =
+      ThinPoints(business, 0.12, options.world_size * 0.004, world, rng);
+  std::vector<geom::Point> cemeteries =
+      SampleThomasProcess(world, 60, 4.0, options.world_size * 0.01, rng);
+
+  GEOALIGN_ASSIGN_OR_RETURN(
+      Dataset pop_ds,
+      PointDataset("Population", *uni.zips, *uni.counties, population));
+  uni.datasets.push_back(std::move(pop_ds));
+  GEOALIGN_ASSIGN_OR_RETURN(
+      Dataset res_ds, PointDataset("USPS Residential Address", *uni.zips,
+                                   *uni.counties, residential));
+  uni.datasets.push_back(std::move(res_ds));
+  GEOALIGN_ASSIGN_OR_RETURN(
+      Dataset bus_ds, PointDataset("USPS Business Address", *uni.zips,
+                                   *uni.counties, business));
+  uni.datasets.push_back(std::move(bus_ds));
+  GEOALIGN_ASSIGN_OR_RETURN(
+      Dataset rest_ds,
+      PointDataset("Restaurants", *uni.zips, *uni.counties, restaurants));
+  uni.datasets.push_back(std::move(rest_ds));
+  GEOALIGN_ASSIGN_OR_RETURN(
+      Dataset cem_ds,
+      PointDataset("Cemeteries", *uni.zips, *uni.counties, cemeteries));
+  uni.datasets.push_back(std::move(cem_ds));
+
+  // Area dataset straight from the geometric overlay.
+  Dataset area;
+  area.name = "Area (Sq. Miles)";
+  area.dm = uni.measure_dm;
+  area.source = area.dm.RowSums();
+  area.target = area.dm.ColSums();
+  uni.datasets.push_back(std::move(area));
+  return uni;
+}
+
+}  // namespace geoalign::synth

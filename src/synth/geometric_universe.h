@@ -1,0 +1,55 @@
+#ifndef GEOALIGN_SYNTH_GEOMETRIC_UNIVERSE_H_
+#define GEOALIGN_SYNTH_GEOMETRIC_UNIVERSE_H_
+
+#include <memory>
+
+#include "core/crosswalk_input.h"
+#include "partition/overlay.h"
+#include "partition/polygon_partition.h"
+#include "synth/dataset_suite.h"
+
+namespace geoalign::synth {
+
+/// Options for the geometric-path universe.
+struct GeometricUniverseOptions {
+  size_t num_zips = 400;
+  size_t num_counties = 30;
+  double world_size = 100.0;
+  /// Population points (the densest layer; others are derived).
+  size_t population_points = 150000;
+  /// City count for the intensity mixture.
+  size_t num_cities = 8;
+  uint64_t seed = 4242;
+};
+
+/// A universe built entirely through the GEOMETRIC pipeline — the
+/// ArcGIS-style path the paper's authors used to prepare their data
+/// (§4.1): Voronoi zip polygons and coarser Voronoi county polygons
+/// are overlaid with the R-tree + clipping machinery, and every
+/// dataset is an actual point set located in both layers. Complements
+/// the cell-partition universes (universe.h), which model the
+/// crosswalk-file path; integration tests check the two paths agree.
+struct GeometricUniverse {
+  std::unique_ptr<partition::PolygonPartition> zips;
+  std::unique_ptr<partition::PolygonPartition> counties;
+  partition::OverlayResult overlay;  ///< geometric overlay (areas)
+  sparse::CsrMatrix measure_dm;      ///< area reference
+  /// Point-backed datasets (atom_values left empty; source/target/dm
+  /// are exact aggregates of the generated points).
+  std::vector<Dataset> datasets;
+
+  size_t NumZips() const { return zips->NumUnits(); }
+  size_t NumCounties() const { return counties->NumUnits(); }
+
+  /// Leave-one-out input, as in Universe::MakeLeaveOneOutInput.
+  Result<core::CrosswalkInput> MakeLeaveOneOutInput(size_t test_index) const;
+};
+
+/// Builds the universe deterministically. Point counts scale with
+/// `population_points`; generation cost is O(points · log units).
+Result<GeometricUniverse> BuildGeometricUniverse(
+    const GeometricUniverseOptions& options);
+
+}  // namespace geoalign::synth
+
+#endif  // GEOALIGN_SYNTH_GEOMETRIC_UNIVERSE_H_

@@ -1,0 +1,103 @@
+#include "synth/point_process.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace geoalign::synth {
+
+std::vector<geom::Point> SampleUniform(const geom::BBox& bounds, size_t n,
+                                       Rng& rng) {
+  std::vector<geom::Point> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back({rng.Uniform(bounds.min_x, bounds.max_x),
+                   rng.Uniform(bounds.min_y, bounds.max_y)});
+  }
+  return out;
+}
+
+std::vector<geom::Point> SampleGaussianMixture(
+    const geom::BBox& bounds, const std::vector<GaussianCluster>& mixture,
+    size_t n, Rng& rng) {
+  GEOALIGN_CHECK(!mixture.empty()) << "SampleGaussianMixture: empty mixture";
+  std::vector<double> weights;
+  weights.reserve(mixture.size());
+  for (const GaussianCluster& c : mixture) weights.push_back(c.weight);
+  std::vector<geom::Point> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const GaussianCluster& c = mixture[rng.Categorical(weights)];
+    geom::Point p{rng.Gaussian(c.center.x, c.sigma),
+                  rng.Gaussian(c.center.y, c.sigma)};
+    if (bounds.Contains(p)) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<geom::Point> SampleThomasProcess(const geom::BBox& bounds,
+                                             size_t num_parents,
+                                             double mean_children,
+                                             double sigma, Rng& rng) {
+  std::vector<geom::Point> parents = SampleUniform(bounds, num_parents, rng);
+  std::vector<geom::Point> out;
+  for (const geom::Point& parent : parents) {
+    int64_t children = rng.Poisson(mean_children);
+    for (int64_t c = 0; c < children; ++c) {
+      // A bounded number of rejection retries keeps edge parents from
+      // spinning; dropped offspring just thin the process slightly.
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        geom::Point p{rng.Gaussian(parent.x, sigma),
+                      rng.Gaussian(parent.y, sigma)};
+        if (bounds.Contains(p)) {
+          out.push_back(p);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<geom::Point> SampleCorridors(
+    const geom::BBox& bounds,
+    const std::vector<std::pair<geom::Point, geom::Point>>& segments,
+    double width, size_t n, Rng& rng) {
+  GEOALIGN_CHECK(!segments.empty()) << "SampleCorridors: no segments";
+  std::vector<double> lengths;
+  lengths.reserve(segments.size());
+  for (const auto& [a, b] : segments) {
+    lengths.push_back(std::max(geom::Distance(a, b), 1e-12));
+  }
+  std::vector<geom::Point> out;
+  out.reserve(n);
+  size_t guard = 0;
+  while (out.size() < n && guard < 64 * n + 1024) {
+    ++guard;
+    const auto& [a, b] = segments[rng.Categorical(lengths)];
+    double t = rng.NextDouble();
+    geom::Point base{a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)};
+    geom::Point p{rng.Gaussian(base.x, width), rng.Gaussian(base.y, width)};
+    if (bounds.Contains(p)) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<geom::Point> ThinPoints(const std::vector<geom::Point>& points,
+                                    double keep_prob, double jitter_sigma,
+                                    const geom::BBox& bounds, Rng& rng) {
+  std::vector<geom::Point> out;
+  out.reserve(static_cast<size_t>(points.size() * keep_prob) + 1);
+  for (const geom::Point& p : points) {
+    if (!rng.Bernoulli(keep_prob)) continue;
+    geom::Point q{rng.Gaussian(p.x, jitter_sigma),
+                  rng.Gaussian(p.y, jitter_sigma)};
+    q.x = std::clamp(q.x, bounds.min_x, bounds.max_x);
+    q.y = std::clamp(q.y, bounds.min_y, bounds.max_y);
+    out.push_back(q);
+  }
+  return out;
+}
+
+}  // namespace geoalign::synth

@@ -1,0 +1,61 @@
+#ifndef GEOALIGN_SYNTH_POINT_PROCESS_H_
+#define GEOALIGN_SYNTH_POINT_PROCESS_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "geom/bbox.h"
+#include "geom/point.h"
+
+namespace geoalign::synth {
+
+/// Spatial point processes used to synthesize the individual-level
+/// layers the paper aggregates (restaurant inspections, Starbucks
+/// locations, accidents, ...). All samplers are deterministic given
+/// the Rng state.
+
+/// One Gaussian component of a population-like intensity surface.
+struct GaussianCluster {
+  geom::Point center;
+  double sigma;
+  double weight;  ///< relative mass of the component
+};
+
+/// n i.i.d. uniform points in `bounds`.
+std::vector<geom::Point> SampleUniform(const geom::BBox& bounds, size_t n,
+                                       Rng& rng);
+
+/// n points from a Gaussian mixture, rejection-sampled into `bounds`.
+/// Requires a non-empty mixture with positive weights.
+std::vector<geom::Point> SampleGaussianMixture(
+    const geom::BBox& bounds, const std::vector<GaussianCluster>& mixture,
+    size_t n, Rng& rng);
+
+/// Thomas cluster process: `num_parents` uniform parents each spawn
+/// Poisson(mean_children) offspring displaced by N(0, sigma²),
+/// rejection-sampled into `bounds`. Models clustered urban phenomena.
+std::vector<geom::Point> SampleThomasProcess(const geom::BBox& bounds,
+                                             size_t num_parents,
+                                             double mean_children,
+                                             double sigma, Rng& rng);
+
+/// n points spread along the given segments (e.g. roads between
+/// cities) with Gaussian cross-road jitter of `width`, rejected into
+/// `bounds`. Segments are chosen proportionally to their length.
+std::vector<geom::Point> SampleCorridors(
+    const geom::BBox& bounds,
+    const std::vector<std::pair<geom::Point, geom::Point>>& segments,
+    double width, size_t n, Rng& rng);
+
+/// Independent thinning + jitter: keeps each input point with
+/// probability `keep_prob`, displaced by N(0, jitter_sigma²), clamped
+/// into `bounds`. Produces layers strongly correlated with the input
+/// (the USPS-residential-vs-population relationship).
+std::vector<geom::Point> ThinPoints(const std::vector<geom::Point>& points,
+                                    double keep_prob, double jitter_sigma,
+                                    const geom::BBox& bounds, Rng& rng);
+
+}  // namespace geoalign::synth
+
+#endif  // GEOALIGN_SYNTH_POINT_PROCESS_H_

@@ -1,0 +1,127 @@
+#include "synth/universe.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geoalign::synth {
+
+std::vector<UniverseId> AllUniverses() {
+  return {UniverseId::kNewYork,     UniverseId::kMidAtlantic,
+          UniverseId::kNortheast,   UniverseId::kEasternTime,
+          UniverseId::kNonWest,     UniverseId::kUnitedStates};
+}
+
+const char* UniverseName(UniverseId id) {
+  switch (id) {
+    case UniverseId::kNewYork:
+      return "New York State";
+    case UniverseId::kMidAtlantic:
+      return "Mid-Atlantic States";
+    case UniverseId::kNortheast:
+      return "Northeast States";
+    case UniverseId::kEasternTime:
+      return "Eastern Time Zone States";
+    case UniverseId::kNonWest:
+      return "Non-West States";
+    case UniverseId::kUnitedStates:
+      return "United States";
+  }
+  return "?";
+}
+
+size_t UniverseStateCount(UniverseId id) {
+  switch (id) {
+    case UniverseId::kNewYork:
+      return 1;
+    case UniverseId::kMidAtlantic:
+      return 3;
+    case UniverseId::kNortheast:
+      return 9;
+    case UniverseId::kEasternTime:
+      return 17;
+    case UniverseId::kNonWest:
+      return 37;
+    case UniverseId::kUnitedStates:
+      return 49;
+  }
+  return 0;
+}
+
+Result<size_t> Universe::FindDataset(const std::string& name) const {
+  for (size_t i = 0; i < datasets.size(); ++i) {
+    if (datasets[i].name == name) return i;
+  }
+  return Status::NotFound("no dataset named '" + name + "'");
+}
+
+Result<core::CrosswalkInput> Universe::MakeLeaveOneOutInput(
+    size_t test_index) const {
+  if (test_index >= datasets.size()) {
+    return Status::OutOfRange("MakeLeaveOneOutInput: bad dataset index");
+  }
+  core::CrosswalkInput input;
+  input.objective_source = datasets[test_index].source;
+  for (size_t k = 0; k < datasets.size(); ++k) {
+    if (k == test_index) continue;
+    core::ReferenceAttribute ref;
+    ref.name = datasets[k].name;
+    ref.source_aggregates = datasets[k].source;
+    ref.disaggregation = datasets[k].dm;
+    input.references.push_back(std::move(ref));
+  }
+  return input;
+}
+
+Result<Universe> BuildUniverse(UniverseId id, const UniverseOptions& options) {
+  if (options.scale <= 0.0 || options.scale > 4.0) {
+    return Status::InvalidArgument("BuildUniverse: scale out of range");
+  }
+  size_t num_states = UniverseStateCount(id);
+
+  // Per-state unit counts come from a fixed master stream so every
+  // universe sees the same values for its shared states (the paper's
+  // nesting / factor-control argument, §4.3). State 0 is pinned to
+  // New York's real counts.
+  GeographyParams params;
+  params.num_states = num_states;
+  params.seed = options.seed;
+  Rng counts_rng(options.seed ^ 0x9e3779b97f4a7c15ULL);
+  for (size_t s = 0; s < num_states; ++s) {
+    size_t zips;
+    size_t counties;
+    if (s == 0) {
+      zips = 1763;
+      counties = 62;
+    } else {
+      zips = 450 + counts_rng.UniformInt(uint64_t{330});
+      counties = 44 + counts_rng.UniformInt(uint64_t{42});
+    }
+    zips = std::max<size_t>(
+        8, static_cast<size_t>(std::llround(zips * options.scale)));
+    counties = std::max<size_t>(
+        2, static_cast<size_t>(std::llround(counties * options.scale)));
+    params.zips_per_state.push_back(zips);
+    params.counties_per_state.push_back(counties);
+  }
+
+  Universe uni;
+  uni.name = UniverseName(id);
+  GEOALIGN_ASSIGN_OR_RETURN(SyntheticGeography geo,
+                            SyntheticGeography::Build(params));
+  uni.geography = std::make_unique<SyntheticGeography>(std::move(geo));
+  GEOALIGN_ASSIGN_OR_RETURN(
+      uni.overlay, partition::OverlayCells(uni.geography->zips(),
+                                           uni.geography->counties()));
+  uni.measure_dm = uni.overlay.MeasureDm();
+
+  SuiteKind suite = options.suite.value_or(id == UniverseId::kNewYork
+                                               ? SuiteKind::kNewYorkState
+                                               : SuiteKind::kUnitedStates);
+  GEOALIGN_ASSIGN_OR_RETURN(
+      uni.datasets,
+      GenerateDatasets(*uni.geography, uni.overlay, suite,
+                       options.seed ^ 0xda3e39cb94b95bdbULL));
+  return uni;
+}
+
+}  // namespace geoalign::synth

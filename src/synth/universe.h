@@ -1,0 +1,76 @@
+#ifndef GEOALIGN_SYNTH_UNIVERSE_H_
+#define GEOALIGN_SYNTH_UNIVERSE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/crosswalk_input.h"
+#include "synth/dataset_suite.h"
+
+namespace geoalign::synth {
+
+/// The six nested universes of the paper's scalability study (§4.3):
+/// New York ⊂ Mid-Atlantic ⊂ Northeast ⊂ Eastern Time Zone ⊂ Non-West
+/// ⊂ United States. Each is a prefix of the same deterministic state
+/// sequence, so a smaller universe's geography and data are exactly a
+/// subset of a larger one's.
+enum class UniverseId {
+  kNewYork,
+  kMidAtlantic,
+  kNortheast,
+  kEasternTime,
+  kNonWest,
+  kUnitedStates,
+};
+
+/// All universes in ascending size order.
+std::vector<UniverseId> AllUniverses();
+
+/// Display name used in reports ("New York State", ...).
+const char* UniverseName(UniverseId id);
+
+/// Number of state tiles in the universe (1, 3, 9, 17, 37, 49).
+size_t UniverseStateCount(UniverseId id);
+
+/// Options for building a universe.
+struct UniverseOptions {
+  uint64_t seed = 2018;
+  /// Multiplies per-state zip/county counts (and with them the atom
+  /// grid). 1.0 reproduces paper-scale unit counts (US ≈ 30k zips /
+  /// 3.1k counties); tests use small fractions.
+  double scale = 1.0;
+  /// Dataset collection; defaults to the NY suite for kNewYork and the
+  /// US suite otherwise (the scalability benchmark overrides this to
+  /// use the US suite everywhere, like the paper's §4.3 subsetting).
+  std::optional<SuiteKind> suite;
+};
+
+/// A fully materialized experimental universe: geography, zip×county
+/// overlay, area DM, and the dataset collection.
+struct Universe {
+  std::string name;
+  std::unique_ptr<SyntheticGeography> geography;
+  partition::OverlayResult overlay;
+  sparse::CsrMatrix measure_dm;  ///< area reference (areal weighting)
+  std::vector<Dataset> datasets;
+
+  size_t NumZips() const { return geography->zips().NumUnits(); }
+  size_t NumCounties() const { return geography->counties().NumUnits(); }
+
+  /// Index of the dataset with the given name.
+  Result<size_t> FindDataset(const std::string& name) const;
+
+  /// Builds the cross-validation input for `test_index`: the test
+  /// dataset's source vector is the objective; every other dataset
+  /// becomes a reference (paper §4.1).
+  Result<core::CrosswalkInput> MakeLeaveOneOutInput(size_t test_index) const;
+};
+
+/// Builds the universe deterministically from options.
+Result<Universe> BuildUniverse(UniverseId id, const UniverseOptions& options);
+
+}  // namespace geoalign::synth
+
+#endif  // GEOALIGN_SYNTH_UNIVERSE_H_

@@ -1,0 +1,101 @@
+// End-to-end test of the geoalign_cli binary: writes CSV fixtures,
+// invokes the tool as a subprocess, and checks the realigned output.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "io/csv.h"
+
+namespace geoalign {
+namespace {
+
+// The CLI binary lives next to the test tree in the build directory;
+// tests run with CWD = build/tests (gtest_discover_tests default).
+std::string CliPath() {
+  for (const char* candidate :
+       {"../tools/geoalign_cli", "build/tools/geoalign_cli",
+        "./tools/geoalign_cli"}) {
+    std::ifstream probe(candidate);
+    if (probe.good()) return candidate;
+  }
+  return "";
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out.good()) << path;
+  out << content;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cli_ = CliPath();
+    if (cli_.empty()) {
+      GTEST_SKIP() << "geoalign_cli binary not found relative to CWD";
+    }
+    dir_ = ::testing::TempDir() + "/geoalign_cli_test";
+    std::string mkdir = "mkdir -p " + dir_;
+    ASSERT_EQ(std::system(mkdir.c_str()), 0);
+    WriteFile(dir_ + "/steam.csv",
+              "unit,value\n10001,100\n10002,60\n");
+    WriteFile(dir_ + "/pop.csv",
+              "source,target,value\n"
+              "10001,A,10000\n10001,B,15000\n10002,B,5000\n");
+  }
+
+  int RunCli(const std::string& args, const std::string& out_csv) {
+    std::string cmd = cli_ + " --objective " + dir_ + "/steam.csv " + args +
+                      " --out " + out_csv + " 2>/dev/null";
+    return std::system(cmd.c_str());
+  }
+
+  std::string cli_;
+  std::string dir_;
+};
+
+TEST_F(CliTest, GeoAlignRealignsAndPreservesMass) {
+  std::string out = dir_ + "/out.csv";
+  ASSERT_EQ(RunCli("--ref population=" + dir_ + "/pop.csv", out), 0);
+  auto table = std::move(io::ReadCsvFile(out)).ValueOrDie();
+  auto kv = std::move(table.KeyValueColumn("unit", "value")).ValueOrDie();
+  ASSERT_EQ(kv.size(), 2u);
+  // The paper's intro split: 100 -> 40/60, plus 60 entirely in B.
+  EXPECT_EQ(kv[0].first, "A");
+  EXPECT_NEAR(kv[0].second, 40.0, 1e-6);
+  EXPECT_EQ(kv[1].first, "B");
+  EXPECT_NEAR(kv[1].second, 120.0, 1e-6);
+}
+
+TEST_F(CliTest, DasymetricMethodSelection) {
+  std::string out = dir_ + "/out_dasy.csv";
+  ASSERT_EQ(RunCli("--ref population=" + dir_ + "/pop.csv "
+                   "--method dasymetric=population",
+                   out),
+            0);
+  auto table = std::move(io::ReadCsvFile(out)).ValueOrDie();
+  EXPECT_EQ(table.NumRows(), 2u);
+}
+
+TEST_F(CliTest, BadUsageFailsNonZero) {
+  // Missing --ref.
+  std::string cmd = cli_ + " --objective " + dir_ + "/steam.csv 2>/dev/null";
+  EXPECT_NE(std::system(cmd.c_str()), 0);
+  // Unknown method.
+  EXPECT_NE(RunCli("--ref population=" + dir_ + "/pop.csv --method nope",
+                   dir_ + "/x.csv"),
+            0);
+  // Objective unit missing from the crosswalk universe.
+  WriteFile(dir_ + "/bad_obj.csv", "unit,value\n99999,5\n");
+  std::string cmd2 = cli_ + " --objective " + dir_ +
+                     "/bad_obj.csv --ref population=" + dir_ +
+                     "/pop.csv 2>/dev/null >/dev/null";
+  EXPECT_NE(std::system(cmd2.c_str()), 0);
+}
+
+}  // namespace
+}  // namespace geoalign

@@ -1,0 +1,258 @@
+// Unit & property tests for the Greiner–Hormann boolean-geometry
+// clipper, cross-validated against the exact measure-only operators,
+// plus convex hull and ring simplification.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "geom/boolean_ops.h"
+#include "geom/clip_polygon.h"
+#include "geom/hull.h"
+#include "geom/predicates.h"
+
+namespace geoalign::geom {
+namespace {
+
+double TotalArea(const std::vector<Ring>& rings) { return RingsArea(rings); }
+
+TEST(ClipPolygons, OverlappingSquares) {
+  Polygon a({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  Polygon b({{1, 1}, {3, 1}, {3, 3}, {1, 3}});
+  auto inter = std::move(ClipPolygons(a, b, BooleanOp::kIntersection)).ValueOrDie();
+  ASSERT_EQ(inter.size(), 1u);
+  EXPECT_NEAR(RingArea(inter[0]), 1.0, 1e-12);
+  auto uni = std::move(ClipPolygons(a, b, BooleanOp::kUnion)).ValueOrDie();
+  ASSERT_EQ(uni.size(), 1u);
+  EXPECT_NEAR(RingArea(uni[0]), 7.0, 1e-12);
+  auto diff = std::move(ClipPolygons(a, b, BooleanOp::kDifference)).ValueOrDie();
+  EXPECT_NEAR(TotalArea(diff), 3.0, 1e-12);
+}
+
+TEST(ClipPolygons, ResultRingsAreCcw) {
+  Polygon a({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  Polygon b({{1, 1}, {3, 1}, {3, 3}, {1, 3}});
+  for (BooleanOp op : {BooleanOp::kIntersection, BooleanOp::kUnion,
+                       BooleanOp::kDifference}) {
+    auto res = std::move(ClipPolygons(a, b, op)).ValueOrDie();
+    for (const Ring& r : res) {
+      EXPECT_GT(SignedRingArea(r), 0.0);
+    }
+  }
+}
+
+TEST(ClipPolygons, DisjointCases) {
+  Polygon a({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  Polygon b({{5, 5}, {6, 5}, {6, 6}, {5, 6}});
+  EXPECT_TRUE(std::move(ClipPolygons(a, b, BooleanOp::kIntersection)).ValueOrDie().empty());
+  EXPECT_EQ(std::move(ClipPolygons(a, b, BooleanOp::kUnion)).ValueOrDie().size(), 2u);
+  auto diff = std::move(ClipPolygons(a, b, BooleanOp::kDifference)).ValueOrDie();
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_NEAR(RingArea(diff[0]), 1.0, 1e-12);
+}
+
+TEST(ClipPolygons, ContainmentCases) {
+  Polygon outer({{0, 0}, {4, 0}, {4, 4}, {0, 4}});
+  Polygon inner({{1, 1}, {2, 1}, {2, 2}, {1, 2}});
+  auto inter = std::move(ClipPolygons(outer, inner, BooleanOp::kIntersection)).ValueOrDie();
+  ASSERT_EQ(inter.size(), 1u);
+  EXPECT_NEAR(RingArea(inter[0]), 1.0, 1e-12);
+  auto uni = std::move(ClipPolygons(inner, outer, BooleanOp::kUnion)).ValueOrDie();
+  ASSERT_EQ(uni.size(), 1u);
+  EXPECT_NEAR(RingArea(uni[0]), 16.0, 1e-12);
+  // A \ B with B strictly inside A needs holes -> explicit error.
+  EXPECT_FALSE(ClipPolygons(outer, inner, BooleanOp::kDifference).ok());
+  // A strictly inside B: difference is empty.
+  EXPECT_TRUE(std::move(ClipPolygons(inner, outer, BooleanOp::kDifference)).ValueOrDie().empty());
+}
+
+TEST(ClipPolygons, DifferenceCanSplitIntoMultipleRings) {
+  // A horizontal bar minus a vertical bar -> two pieces.
+  Polygon bar({{0, 1}, {5, 1}, {5, 2}, {0, 2}});
+  Polygon cutter({{2, -1}, {3, -1}, {3, 4}, {2, 4}});
+  auto diff = std::move(ClipPolygons(bar, cutter, BooleanOp::kDifference)).ValueOrDie();
+  EXPECT_EQ(diff.size(), 2u);
+  EXPECT_NEAR(TotalArea(diff), 5.0 - 1.0, 1e-12);
+}
+
+TEST(ClipPolygons, DegenerateContactRejected) {
+  // Shared edge.
+  Polygon a({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  Polygon b({{1, 0}, {2, 0}, {2, 1}, {1, 1}});
+  auto res = ClipPolygons(a, b, BooleanOp::kIntersection);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kFailedPrecondition);
+  // Vertex exactly on the other boundary.
+  Polygon touching({{1, 0.5}, {3, 0.2}, {3, 0.8}});
+  EXPECT_FALSE(ClipPolygons(a, touching, BooleanOp::kIntersection).ok());
+}
+
+TEST(ClipPolygons, HolesUnsupported) {
+  Ring outer = {{0, 0}, {4, 0}, {4, 4}, {0, 4}};
+  Ring hole = {{1, 1}, {2, 1}, {2, 2}, {1, 2}};
+  Polygon donut = std::move(Polygon::Create(outer, {hole})).ValueOrDie();
+  Polygon plain({{0, 0}, {1, 0}, {0, 1}});
+  EXPECT_EQ(
+      ClipPolygons(donut, plain, BooleanOp::kIntersection).status().code(),
+      StatusCode::kUnimplemented);
+}
+
+TEST(ClipPolygons, PerturbRingEscapesDegeneracy) {
+  Polygon a({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  // Vertex exactly on a's right edge.
+  Ring bad = {{2.0, 1.0}, {4.0, 0.5}, {4.0, 1.5}};
+  EXPECT_FALSE(ClipPolygons(a, Polygon(bad), BooleanOp::kIntersection).ok());
+  Ring jittered = PerturbRing(bad, 1e-9, 7);
+  auto res = ClipPolygons(a, Polygon(jittered), BooleanOp::kIntersection);
+  EXPECT_TRUE(res.ok());
+}
+
+// Property sweep: areas of the traversal output must match the exact
+// measure operators for random convex and star-shaped operand pairs.
+class ClipPolygonsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClipPolygonsPropertyTest, AreasMatchMeasureOracle) {
+  Rng rng(4200 + GetParam());
+  auto random_poly = [&rng]() {
+    // Star-shaped (possibly non-convex) polygon around a center.
+    Point c{rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)};
+    int n = 5 + static_cast<int>(rng.UniformInt(uint64_t{8}));
+    Ring ring;
+    for (int i = 0; i < n; ++i) {
+      double ang = 2.0 * M_PI * i / n + rng.Uniform(0.0, 0.3);
+      double rad = rng.Uniform(0.6, 2.0);
+      ring.push_back({c.x + rad * std::cos(ang), c.y + rad * std::sin(ang)});
+    }
+    return Polygon(ring);
+  };
+  Polygon a = random_poly();
+  Polygon b = random_poly();
+  struct Case {
+    BooleanOp op;
+    double want;
+  };
+  const Case cases[] = {
+      {BooleanOp::kIntersection, IntersectionArea(a, b)},
+      {BooleanOp::kUnion, UnionArea(a, b)},
+      {BooleanOp::kDifference, DifferenceArea(a, b)},
+  };
+  for (const Case& c : cases) {
+    auto res = ClipPolygons(a, b, c.op);
+    if (!res.ok()) {
+      // Degenerate random contact is legitimate to reject — but must
+      // be the documented error, not a wrong answer.
+      EXPECT_EQ(res.status().code(), StatusCode::kFailedPrecondition);
+      continue;
+    }
+    EXPECT_NEAR(TotalArea(*res), c.want, 1e-9 + 1e-9 * c.want)
+        << "op " << static_cast<int>(c.op);
+    // Every result vertex lies on a boundary or inside both/either.
+    for (const Ring& ring : *res) {
+      EXPECT_GE(ring.size(), 3u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ClipPolygonsPropertyTest,
+                         ::testing::Range(0, 40));
+
+TEST(ClipPolygons, UnionWithEnclosedHole) {
+  // Two interlocking C shapes whose union encloses a void: the result
+  // must carry a CW hole ring that RingsArea subtracts and
+  // AssembleRings nests.
+  Polygon left_c({{0, 0}, {3, 0}, {3, 0.9}, {1, 0.9}, {1, 2.1}, {3, 2.1},
+                  {3, 3}, {0, 3}});
+  Polygon right_c({{3.2, -0.2}, {4, -0.2}, {4, 3.2}, {0.5, 3.2},
+                   {0.5, 2.5}, {3.2, 2.5}});
+  // Shift/shape the second so the pair interlocks around (2, 1.5).
+  Polygon ring_closer({{2.5, 0.4}, {4, 0.4}, {4, 2.6}, {2.5, 2.6},
+                       {2.5, 1.9}, {3.4, 1.9}, {3.4, 1.1}, {2.5, 1.1}});
+  auto uni = ClipPolygons(left_c, ring_closer, BooleanOp::kUnion);
+  ASSERT_TRUE(uni.ok()) << uni.status().ToString();
+  EXPECT_NEAR(RingsArea(*uni), UnionArea(left_c, ring_closer), 1e-9);
+  bool has_hole = false;
+  for (const Ring& r : *uni) {
+    if (SignedRingArea(r) < 0.0) has_hole = true;
+  }
+  EXPECT_TRUE(has_hole);
+  auto polys = AssembleRings(*uni);
+  ASSERT_TRUE(polys.ok()) << polys.status().ToString();
+  double area = 0.0;
+  for (const Polygon& p : *polys) area += p.Area();
+  EXPECT_NEAR(area, UnionArea(left_c, ring_closer), 1e-9);
+}
+
+TEST(ClipPolygons, AssembleRingsRejectsOrphanHole) {
+  Ring cw = {{0, 0}, {0, 1}, {1, 1}, {1, 0}};  // clockwise
+  EXPECT_FALSE(AssembleRings({cw}).ok());
+}
+
+TEST(ConvexHull, KnownSquareWithInteriorPoints) {
+  std::vector<Point> pts = {{0, 0}, {2, 0}, {2, 2}, {0, 2},
+                            {1, 1}, {0.5, 1.2}, {1.7, 0.3}};
+  Ring hull = ConvexHull(pts);
+  EXPECT_EQ(hull.size(), 4u);
+  EXPECT_NEAR(RingArea(hull), 4.0, 1e-12);
+  EXPECT_GT(SignedRingArea(hull), 0.0);  // CCW
+}
+
+TEST(ConvexHull, CollinearPointsDropped) {
+  std::vector<Point> pts = {{0, 0}, {1, 0}, {2, 0}, {2, 2}, {1, 1}};
+  Ring hull = ConvexHull(pts);
+  EXPECT_EQ(hull.size(), 3u);
+}
+
+TEST(ConvexHull, DegenerateInputs) {
+  EXPECT_TRUE(ConvexHull({}).empty());
+  EXPECT_EQ(ConvexHull({{1, 1}, {1, 1}}).size(), 1u);
+  EXPECT_EQ(ConvexHull({{0, 0}, {1, 1}}).size(), 2u);
+}
+
+TEST(ConvexHull, ContainsAllInputPoints) {
+  Rng rng(5);
+  std::vector<Point> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back({rng.Gaussian(0.0, 2.0), rng.Gaussian(0.0, 2.0)});
+  }
+  Ring hull = ConvexHull(pts);
+  Polygon hull_poly(hull);
+  EXPECT_TRUE(hull_poly.IsConvex());
+  for (const Point& p : pts) {
+    EXPECT_TRUE(PointInRing(p, hull));
+  }
+}
+
+TEST(SimplifyRing, DropsNearCollinearVertices) {
+  Ring ring = {{0, 0},   {1, 0.001}, {2, 0},   {2, 1},
+               {2, 2},   {1, 2.001}, {0, 2},   {0, 1}};
+  Ring simple = SimplifyRing(ring, 0.01);
+  EXPECT_LT(simple.size(), ring.size());
+  EXPECT_NEAR(RingArea(simple), RingArea(ring), 0.05);
+  // Tight tolerance keeps every vertex that deviates at all; the two
+  // exactly-collinear vertices ((2,1) and (0,1)) are always dropped.
+  EXPECT_EQ(SimplifyRing(ring, 1e-9).size(), 6u);
+}
+
+TEST(SimplifyRing, NeverBelowTriangle) {
+  Ring ring = {{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  Ring simple = SimplifyRing(ring, 100.0);
+  EXPECT_GE(simple.size(), 3u);
+}
+
+TEST(SimplifyRing, PreservesAreaWithinTolerance) {
+  // A circle sampled densely simplifies to far fewer vertices with
+  // bounded area loss.
+  Ring circle;
+  for (int i = 0; i < 360; ++i) {
+    double t = i * M_PI / 180.0;
+    circle.push_back({10.0 * std::cos(t), 10.0 * std::sin(t)});
+  }
+  Ring simple = SimplifyRing(circle, 0.05);
+  EXPECT_LT(simple.size(), 120u);
+  EXPECT_NEAR(RingArea(simple), RingArea(circle),
+              0.01 * RingArea(circle));
+}
+
+}  // namespace
+}  // namespace geoalign::geom

@@ -1,0 +1,155 @@
+// Property sweeps over randomly generated universes: the algebraic
+// invariants every volume-preserving interpolator must satisfy, and
+// GeoAlign-specific behavioural properties, checked across many
+// random geographies and dataset mixes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "core/dasymetric.h"
+#include "core/geoalign.h"
+#include "eval/metrics.h"
+#include "synth/universe.h"
+
+namespace geoalign {
+namespace {
+
+struct RandomWorld {
+  synth::Universe universe;
+  core::CrosswalkInput input;  // leave-one-out for dataset 0
+  linalg::Vector truth;        // dataset 0 target ground truth
+};
+
+RandomWorld MakeWorld(uint64_t seed) {
+  synth::UniverseOptions opts;
+  opts.seed = seed;
+  opts.scale = 0.03 + static_cast<double>(seed % 5) * 0.02;
+  opts.suite = (seed % 2 == 0) ? synth::SuiteKind::kUnitedStates
+                               : synth::SuiteKind::kNewYorkState;
+  RandomWorld w{
+      std::move(synth::BuildUniverse(
+                    (seed % 3 == 0) ? synth::UniverseId::kMidAtlantic
+                                    : synth::UniverseId::kNewYork,
+                    opts)).ValueOrDie(),
+      {},
+      {}};
+  size_t test_idx = seed % w.universe.datasets.size();
+  w.input = std::move(w.universe.MakeLeaveOneOutInput(test_idx)).ValueOrDie();
+  w.truth = w.universe.datasets[test_idx].target;
+  return w;
+}
+
+class CorePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorePropertyTest, GeoAlignInvariants) {
+  RandomWorld w = MakeWorld(9000 + GetParam());
+  core::GeoAlign geoalign;
+  auto res = std::move(geoalign.Crosswalk(w.input)).ValueOrDie();
+
+  // (1) Weights on the simplex.
+  EXPECT_NEAR(linalg::Sum(res.weights), 1.0, 1e-8);
+  for (double b : res.weights) EXPECT_GE(b, -1e-10);
+
+  // (2) Volume preservation on supported rows; rows without reference
+  // support (reported in zero_rows) carry exactly zero.
+  {
+    linalg::Vector row_sums = res.estimated_dm.RowSums();
+    std::vector<bool> is_zero(row_sums.size(), false);
+    for (size_t r : res.zero_rows) is_zero[r] = true;
+    for (size_t r = 0; r < row_sums.size(); ++r) {
+      double want = is_zero[r] ? 0.0 : w.input.objective_source[r];
+      EXPECT_NEAR(row_sums[r], want,
+                  1e-6 * std::max(1.0, w.input.objective_source[r]))
+          << "row " << r;
+    }
+  }
+
+  // (3) Non-negative estimates.
+  for (double v : res.target_estimates) EXPECT_GE(v, 0.0);
+
+  // (4) Support: the estimated DM only places mass where some
+  // reference has support.
+  const sparse::CsrMatrix& dm = res.estimated_dm;
+  for (size_t r = 0; r < dm.rows(); ++r) {
+    sparse::CsrMatrix::RowView row = dm.Row(r);
+    for (size_t k = 0; k < row.size; ++k) {
+      double ref_mass = 0.0;
+      for (const auto& ref : w.input.references) {
+        ref_mass += ref.disaggregation.At(r, row.cols[k]);
+      }
+      EXPECT_GT(ref_mass, 0.0) << "mass without reference support";
+    }
+  }
+}
+
+TEST_P(CorePropertyTest, ScaleInvarianceOfObjective) {
+  // Scaling the objective by c scales the estimates by c (the learned
+  // weights are scale-free thanks to max-normalization).
+  RandomWorld w = MakeWorld(9100 + GetParam());
+  core::GeoAlign geoalign;
+  auto base = std::move(geoalign.Crosswalk(w.input)).ValueOrDie();
+  core::CrosswalkInput scaled = w.input;
+  linalg::Scale(scaled.objective_source, 7.5);
+  auto res = std::move(geoalign.Crosswalk(scaled)).ValueOrDie();
+  for (size_t j = 0; j < res.target_estimates.size(); ++j) {
+    EXPECT_NEAR(res.target_estimates[j], 7.5 * base.target_estimates[j],
+                1e-6 * std::max(1.0, 7.5 * base.target_estimates[j]));
+  }
+}
+
+TEST_P(CorePropertyTest, ReferenceOrderIrrelevant) {
+  RandomWorld w = MakeWorld(9200 + GetParam());
+  core::GeoAlign geoalign;
+  auto base = std::move(geoalign.Crosswalk(w.input)).ValueOrDie();
+  // Reverse the reference list.
+  core::CrosswalkInput reversed = w.input;
+  std::reverse(reversed.references.begin(), reversed.references.end());
+  auto res = std::move(geoalign.Crosswalk(reversed)).ValueOrDie();
+  EXPECT_TRUE(linalg::AllClose(res.target_estimates, base.target_estimates,
+                               1e-6));
+  // Weights permute accordingly.
+  size_t n = base.weights.size();
+  for (size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(res.weights[k], base.weights[n - 1 - k], 1e-6);
+  }
+}
+
+TEST_P(CorePropertyTest, SingleReferenceEqualsDasymetric) {
+  // With exactly one reference GeoAlign degenerates to the dasymetric
+  // method (beta = 1).
+  RandomWorld w = MakeWorld(9300 + GetParam());
+  core::CrosswalkInput single = w.input;
+  single.references.resize(1);
+  core::GeoAlign geoalign;
+  core::Dasymetric dasy(size_t{0});
+  auto ga = std::move(geoalign.Crosswalk(single)).ValueOrDie();
+  auto da = std::move(dasy.Crosswalk(single)).ValueOrDie();
+  EXPECT_TRUE(linalg::AllClose(ga.target_estimates, da.target_estimates,
+                               1e-6));
+}
+
+TEST_P(CorePropertyTest, GeoAlignAtLeastMatchesWorstReference) {
+  // Sanity floor: GeoAlign should essentially never be worse than the
+  // WORST single-reference dasymetric estimate (it can always put all
+  // weight on any one reference).
+  RandomWorld w = MakeWorld(9400 + GetParam());
+  core::GeoAlign geoalign;
+  auto ga = std::move(geoalign.Crosswalk(w.input)).ValueOrDie();
+  double ga_err = eval::Rmse(ga.target_estimates, w.truth);
+  double worst = 0.0;
+  for (size_t k = 0; k < w.input.references.size(); ++k) {
+    core::Dasymetric dasy(k);
+    auto res = std::move(dasy.Crosswalk(w.input)).ValueOrDie();
+    worst = std::max(worst, eval::Rmse(res.target_estimates, w.truth));
+  }
+  EXPECT_LE(ga_err, worst * 1.05 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorlds, CorePropertyTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace geoalign

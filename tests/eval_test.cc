@@ -1,0 +1,216 @@
+// Unit tests for the evaluation harness: metrics, noise injection,
+// cross-validation, reference selection, report tables.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/cross_validation.h"
+#include "eval/metrics.h"
+#include "eval/noise.h"
+#include "eval/reference_selection.h"
+#include "eval/report.h"
+#include "sparse/coo_builder.h"
+
+namespace geoalign::eval {
+namespace {
+
+using linalg::Vector;
+
+TEST(Metrics, RmseKnownValues) {
+  EXPECT_DOUBLE_EQ(Rmse({1.0, 2.0}, {1.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Rmse({0.0, 0.0}, {3.0, 4.0}), std::sqrt(12.5));
+}
+
+TEST(Metrics, NrmseNormalizesByTruthMean) {
+  Vector truth = {10.0, 30.0};  // mean 20
+  Vector est = {14.0, 27.0};    // errors 4, -3 -> rmse = sqrt(12.5)
+  EXPECT_NEAR(Nrmse(est, truth), std::sqrt(12.5) / 20.0, 1e-12);
+}
+
+TEST(Metrics, MaeAndMax) {
+  Vector truth = {1.0, 2.0, 3.0};
+  Vector est = {2.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(Mae(est, truth), 1.0);
+  EXPECT_DOUBLE_EQ(MaxAbsError(est, truth), 2.0);
+}
+
+TEST(Noise, PerturbVectorLevels) {
+  Rng rng(1);
+  Vector v = {10.0, 20.0, 30.0, 40.0};
+  Vector noisy = PerturbVector(v, 10.0, rng);
+  ASSERT_EQ(noisy.size(), v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    // Each entry is exactly (1 +/- 0.1) * v[i].
+    double up = 1.1 * v[i];
+    double down = 0.9 * v[i];
+    EXPECT_TRUE(std::fabs(noisy[i] - up) < 1e-12 ||
+                std::fabs(noisy[i] - down) < 1e-12)
+        << i;
+  }
+}
+
+TEST(Noise, ZeroLevelIsIdentity) {
+  Rng rng(2);
+  Vector v = {1.0, 2.0};
+  EXPECT_EQ(PerturbVector(v, 0.0, rng), v);
+}
+
+TEST(Noise, SignsAreRandomPerEntry) {
+  Rng rng(3);
+  Vector v(1000, 1.0);
+  Vector noisy = PerturbVector(v, 50.0, rng);
+  int ups = 0;
+  for (double x : noisy) {
+    if (x > 1.0) ++ups;
+  }
+  EXPECT_GT(ups, 400);
+  EXPECT_LT(ups, 600);
+}
+
+TEST(Noise, NeverNegativeForLevelsUpTo100) {
+  Rng rng(4);
+  Vector v = {5.0, 0.0, 100.0};
+  Vector noisy = PerturbVector(v, 100.0, rng);
+  for (double x : noisy) EXPECT_GE(x, 0.0);
+}
+
+TEST(Noise, PerturbReferencesKeepsObjectiveAndDms) {
+  core::CrosswalkInput input;
+  input.objective_source = {1.0, 2.0};
+  core::ReferenceAttribute ref;
+  ref.name = "r";
+  ref.source_aggregates = {10.0, 20.0};
+  sparse::CooBuilder b(2, 1);
+  b.Add(0, 0, 10.0);
+  b.Add(1, 0, 20.0);
+  ref.disaggregation = b.Build();
+  input.references.push_back(ref);
+  Rng rng(5);
+  core::CrosswalkInput noisy = PerturbReferences(input, 20.0, rng);
+  EXPECT_EQ(noisy.objective_source, input.objective_source);
+  EXPECT_TRUE(noisy.references[0].disaggregation.AllClose(
+      input.references[0].disaggregation, 0.0));
+  EXPECT_NE(noisy.references[0].source_aggregates,
+            input.references[0].source_aggregates);
+}
+
+class CvFixture : public ::testing::Test {
+ protected:
+  static const synth::Universe& GetUniverse() {
+    static synth::Universe* uni = [] {
+      synth::UniverseOptions opts;
+      opts.scale = 0.15;
+      opts.seed = 11;
+      opts.suite = synth::SuiteKind::kUnitedStates;
+      return new synth::Universe(std::move(
+          synth::BuildUniverse(synth::UniverseId::kNewYork, opts)).ValueOrDie());
+    }();
+    return *uni;
+  }
+};
+
+TEST_F(CvFixture, ReportShapeAndSkips) {
+  auto report = std::move(RunCrossValidation(GetUniverse())).ValueOrDie();
+  // 10 datasets x (GeoAlign + 3 dasymetric + areal weighting).
+  EXPECT_EQ(report.cells.size(), 10u * 5u);
+  // Population test skips dasymetric(Population).
+  EXPECT_TRUE(std::isnan(report.Lookup("Population",
+                                       "dasymetric(Population)")));
+  EXPECT_FALSE(std::isnan(report.Lookup("Population", "GeoAlign")));
+  // Area test skips areal weighting.
+  EXPECT_TRUE(std::isnan(report.Lookup("Area (Sq. Miles)",
+                                       "areal_weighting")));
+  // Unknown lookups are NaN.
+  EXPECT_TRUE(std::isnan(report.Lookup("Nope", "GeoAlign")));
+}
+
+TEST_F(CvFixture, GeoAlignCompetitiveWithBaselines) {
+  auto report = std::move(RunCrossValidation(GetUniverse())).ValueOrDie();
+  double ga = report.MeanNrmse("GeoAlign");
+  EXPECT_GT(ga, 0.0);
+  EXPECT_LT(ga, 0.5);
+  // GeoAlign competitive on average with every dasymetric baseline
+  // (the paper's headline claim at full scale; at this reduced test
+  // scale we allow some slack) and strictly better than areal
+  // weighting.
+  for (const char* m :
+       {"dasymetric(Population)", "dasymetric(USPS Residential Address)",
+        "dasymetric(USPS Business Address)"}) {
+    EXPECT_LE(ga, report.MeanNrmse(m) * 1.5 + 0.01) << m;
+  }
+  EXPECT_LT(ga, report.MeanNrmse("areal_weighting"));
+}
+
+TEST_F(CvFixture, MissingDasymetricReferenceIsAnError) {
+  CvOptions opts;
+  opts.dasymetric_references = {"No Such Dataset"};
+  EXPECT_FALSE(RunCrossValidation(GetUniverse(), opts).ok());
+}
+
+TEST_F(CvFixture, ArealWeightingCanBeDisabled) {
+  CvOptions opts;
+  opts.run_areal_weighting = false;
+  auto report = std::move(RunCrossValidation(GetUniverse(), opts)).ValueOrDie();
+  EXPECT_EQ(report.cells.size(), 10u * 4u);
+}
+
+TEST(ReferenceSelection, PolicyLabels) {
+  EXPECT_EQ(PolicyLabel(SubsetPolicy::kAll, 0), "using all references");
+  EXPECT_EQ(PolicyLabel(SubsetPolicy::kLeastRelatedOut, 1),
+            "leave 1 least related reference out");
+  EXPECT_EQ(PolicyLabel(SubsetPolicy::kMostRelatedOut, 2),
+            "leave 2 most related references out");
+}
+
+TEST(ReferenceSelection, SelectsByCorrelation) {
+  core::CrosswalkInput input;
+  input.objective_source = {1.0, 2.0, 3.0, 4.0};
+  auto add_ref = [&input](const char* name, Vector v) {
+    core::ReferenceAttribute ref;
+    ref.name = name;
+    ref.source_aggregates = std::move(v);
+    ref.disaggregation = sparse::CsrMatrix(4, 2);
+    input.references.push_back(std::move(ref));
+  };
+  add_ref("perfect", {2.0, 4.0, 6.0, 8.0});     // corr 1
+  add_ref("noise", {5.0, 1.0, 4.0, 2.0});       // low corr
+  add_ref("anti", {4.0, 3.0, 2.0, 1.0});        // corr -1 (|corr| = 1)
+  auto all = SelectReferences(input, SubsetPolicy::kAll, 0);
+  EXPECT_EQ(all.size(), 3u);
+  auto least_out = SelectReferences(input, SubsetPolicy::kLeastRelatedOut, 1);
+  EXPECT_EQ(least_out, (std::vector<size_t>{0, 2}));  // drops "noise"
+  auto most_out = SelectReferences(input, SubsetPolicy::kMostRelatedOut, 2);
+  EXPECT_EQ(most_out, (std::vector<size_t>{1}));  // keeps only "noise"
+  // n_out >= size degenerates to all.
+  EXPECT_EQ(SelectReferences(input, SubsetPolicy::kMostRelatedOut, 5).size(),
+            3u);
+}
+
+TEST_F(CvFixture, ReferenceSelectionRuns) {
+  auto cells = std::move(RunReferenceSelection(GetUniverse())).ValueOrDie();
+  // 10 datasets x 5 policies.
+  EXPECT_EQ(cells.size(), 50u);
+  for (const SelectionCell& c : cells) {
+    EXPECT_GE(c.nrmse, 0.0);
+    EXPECT_FALSE(c.used_references.empty());
+    if (c.policy == SubsetPolicy::kAll) {
+      EXPECT_EQ(c.used_references.size(), 9u);
+    } else {
+      EXPECT_EQ(c.used_references.size(), 9u - c.n_out);
+    }
+  }
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.Row().Text("alpha").Num(1.25);
+  table.Row().Text("b").Num(std::nan(""));
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("alpha  1.25"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("b      -"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geoalign::eval

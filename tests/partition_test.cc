@@ -1,0 +1,342 @@
+// Unit tests for the partition/overlay substrate, covering all four
+// unit-system representations and the overlay invariants GeoAlign's
+// correctness depends on (measure conservation, DM consistency).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "geom/voronoi.h"
+#include "partition/box_partition.h"
+#include "partition/cell_partition.h"
+#include "partition/disaggregation.h"
+#include "partition/interval_partition.h"
+#include "partition/overlay.h"
+#include "partition/polygon_partition.h"
+#include "sparse/coo_builder.h"
+
+namespace geoalign::partition {
+namespace {
+
+using geom::BBox;
+using geom::Point;
+using geom::Polygon;
+
+TEST(IntervalPartition, CreateValidates) {
+  EXPECT_FALSE(IntervalPartition::Create({1.0}).ok());
+  EXPECT_FALSE(IntervalPartition::Create({1.0, 1.0}).ok());
+  EXPECT_FALSE(IntervalPartition::Create({2.0, 1.0}).ok());
+  EXPECT_TRUE(IntervalPartition::Create({0.0, 1.0, 3.0}).ok());
+}
+
+TEST(IntervalPartition, UniformAndMeasure) {
+  auto p = std::move(IntervalPartition::Uniform(0.0, 10.0, 5)).ValueOrDie();
+  EXPECT_EQ(p.NumUnits(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(p.Measure(i), 2.0);
+  EXPECT_DOUBLE_EQ(p.lower(2), 4.0);
+  EXPECT_DOUBLE_EQ(p.upper(2), 6.0);
+}
+
+TEST(IntervalPartition, LocateHalfOpenSemantics) {
+  auto p = std::move(IntervalPartition::Create({0.0, 1.0, 2.0})).ValueOrDie();
+  EXPECT_EQ(std::move(p.Locate(0.0)).ValueOrDie(), 0u);
+  EXPECT_EQ(std::move(p.Locate(0.99)).ValueOrDie(), 0u);
+  EXPECT_EQ(std::move(p.Locate(1.0)).ValueOrDie(), 1u);
+  EXPECT_EQ(std::move(p.Locate(2.0)).ValueOrDie(), 1u);  // top endpoint
+  EXPECT_FALSE(p.Locate(-0.1).ok());
+  EXPECT_FALSE(p.Locate(2.1).ok());
+}
+
+TEST(OverlayIntervals, KnownExample) {
+  // The paper's Fig. 3 setting: narrow vs wide age bins.
+  auto narrow =
+      std::move(IntervalPartition::Create({0, 10, 20, 30, 40, 60})).ValueOrDie();
+  auto wide = std::move(IntervalPartition::Create({0, 25, 60})).ValueOrDie();
+  auto ov = std::move(OverlayIntervals(narrow, wide)).ValueOrDie();
+  // Intersections: [0,10),[10,20),[20,25) in wide0; [25,30),[30,40),[40,60).
+  EXPECT_EQ(ov.cells.size(), 6u);
+  EXPECT_NEAR(ov.TotalMeasure(), 60.0, 1e-12);
+  sparse::CsrMatrix dm = ov.MeasureDm();
+  EXPECT_DOUBLE_EQ(dm.At(2, 0), 5.0);  // [20,30) splits 5/5
+  EXPECT_DOUBLE_EQ(dm.At(2, 1), 5.0);
+  EXPECT_DOUBLE_EQ(dm.At(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(dm.At(4, 1), 20.0);
+}
+
+TEST(OverlayIntervals, RejectsMismatchedUniverse) {
+  auto a = std::move(IntervalPartition::Uniform(0, 10, 2)).ValueOrDie();
+  auto b = std::move(IntervalPartition::Uniform(0, 12, 3)).ValueOrDie();
+  EXPECT_FALSE(OverlayIntervals(a, b).ok());
+}
+
+TEST(OverlayIntervals, RandomizedMeasureConservation) {
+  Rng rng(61);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto make = [&rng]() {
+      std::vector<double> breaks = {0.0};
+      size_t n = 2 + rng.UniformInt(uint64_t{30});
+      for (size_t i = 0; i < n; ++i) {
+        breaks.push_back(breaks.back() + rng.Uniform(0.1, 3.0));
+      }
+      // Rescale to span [0, 100] exactly.
+      double scale = 100.0 / breaks.back();
+      for (double& v : breaks) v *= scale;
+      return std::move(IntervalPartition::Create(breaks)).ValueOrDie();
+    };
+    IntervalPartition s = make();
+    IntervalPartition t = make();
+    auto ov = std::move(OverlayIntervals(s, t)).ValueOrDie();
+    EXPECT_NEAR(ov.TotalMeasure(), 100.0, 1e-9);
+    // Row sums of the measure DM reproduce source unit widths.
+    linalg::Vector rows = ov.MeasureDm().RowSums();
+    for (size_t i = 0; i < s.NumUnits(); ++i) {
+      EXPECT_NEAR(rows[i], s.Measure(i), 1e-9);
+    }
+  }
+}
+
+TEST(BoxPartition, IndexingRoundTrip) {
+  auto x = std::move(IntervalPartition::Uniform(0, 4, 4)).ValueOrDie();
+  auto y = std::move(IntervalPartition::Uniform(0, 3, 3)).ValueOrDie();
+  auto z = std::move(IntervalPartition::Uniform(0, 2, 2)).ValueOrDie();
+  auto box = std::move(BoxPartition::Create({x, y, z})).ValueOrDie();
+  EXPECT_EQ(box.Dimension(), 3u);
+  EXPECT_EQ(box.NumUnits(), 24u);
+  for (size_t u = 0; u < box.NumUnits(); ++u) {
+    EXPECT_EQ(box.LinearIndex(box.AxisUnits(u)), u);
+    EXPECT_DOUBLE_EQ(box.Measure(u), 1.0);
+  }
+}
+
+TEST(BoxPartition, Locate3d) {
+  auto x = std::move(IntervalPartition::Uniform(0, 10, 2)).ValueOrDie();
+  auto box = std::move(BoxPartition::Create({x, x, x})).ValueOrDie();
+  auto unit = box.Locate({7.0, 2.0, 7.0});
+  ASSERT_TRUE(unit.ok());
+  EXPECT_EQ(box.AxisUnits(*unit), (std::vector<size_t>{1, 0, 1}));
+  EXPECT_FALSE(box.Locate({7.0, 2.0}).ok());
+  EXPECT_FALSE(box.Locate({7.0, 2.0, 11.0}).ok());
+}
+
+TEST(OverlayBoxes, MatchesProductOfAxisOverlays) {
+  auto sx = std::move(IntervalPartition::Create({0, 3, 10})).ValueOrDie();
+  auto sy = std::move(IntervalPartition::Create({0, 5, 10})).ValueOrDie();
+  auto tx = std::move(IntervalPartition::Create({0, 6, 10})).ValueOrDie();
+  auto ty = std::move(IntervalPartition::Create({0, 2, 10})).ValueOrDie();
+  auto s = std::move(BoxPartition::Create({sx, sy})).ValueOrDie();
+  auto t = std::move(BoxPartition::Create({tx, ty})).ValueOrDie();
+  auto ov = std::move(OverlayBoxes(s, t)).ValueOrDie();
+  EXPECT_NEAR(ov.TotalMeasure(), 100.0, 1e-9);
+  // Check one cell: source unit (x in [0,3), y in [0,5)) x target unit
+  // (x in [0,6), y in [0,2)) -> 3 * 2 = 6.
+  sparse::CsrMatrix dm = ov.MeasureDm();
+  size_t s_unit = s.LinearIndex({0, 0});
+  size_t t_unit = t.LinearIndex({0, 0});
+  EXPECT_DOUBLE_EQ(dm.At(s_unit, t_unit), 6.0);
+}
+
+TEST(OverlayBoxes, DimensionMismatchRejected) {
+  auto x = std::move(IntervalPartition::Uniform(0, 1, 2)).ValueOrDie();
+  auto a = std::move(BoxPartition::Create({x})).ValueOrDie();
+  auto b = std::move(BoxPartition::Create({x, x})).ValueOrDie();
+  EXPECT_FALSE(OverlayBoxes(a, b).ok());
+}
+
+PolygonPartition MakeGridLayer(double x0, double y0, size_t nx, size_t ny,
+                               double cell) {
+  std::vector<Polygon> polys;
+  for (size_t j = 0; j < ny; ++j) {
+    for (size_t i = 0; i < nx; ++i) {
+      polys.push_back(Polygon::FromBBox(BBox(
+          x0 + i * cell, y0 + j * cell, x0 + (i + 1) * cell,
+          y0 + (j + 1) * cell)));
+    }
+  }
+  return std::move(PolygonPartition::Create(std::move(polys))).ValueOrDie();
+}
+
+TEST(PolygonPartition, LocateAndMeasure) {
+  PolygonPartition layer = MakeGridLayer(0, 0, 3, 2, 1.0);
+  EXPECT_EQ(layer.NumUnits(), 6u);
+  EXPECT_DOUBLE_EQ(layer.TotalMeasure(), 6.0);
+  EXPECT_EQ(std::move(layer.Locate({2.5, 1.5})).ValueOrDie(), 5u);
+  EXPECT_FALSE(layer.Locate({10.0, 10.0}).ok());
+}
+
+TEST(PolygonPartition, ValidateDisjointDetectsOverlap) {
+  PolygonPartition good = MakeGridLayer(0, 0, 2, 2, 1.0);
+  EXPECT_TRUE(good.ValidateDisjoint().ok());
+  std::vector<Polygon> bad = {
+      Polygon::FromBBox(BBox(0, 0, 2, 2)),
+      Polygon::FromBBox(BBox(1, 1, 3, 3)),
+  };
+  auto layer = std::move(PolygonPartition::Create(bad)).ValueOrDie();
+  EXPECT_FALSE(layer.ValidateDisjoint().ok());
+}
+
+TEST(OverlayPolygons, ShiftedGridsProduceQuarterCells) {
+  // 2x2 unit grid vs the same grid shifted by (0.5, 0.5): interior
+  // intersections are 0.5 x 0.5 squares.
+  PolygonPartition source = MakeGridLayer(0, 0, 2, 2, 1.0);
+  PolygonPartition target = MakeGridLayer(0.5, 0.5, 2, 2, 1.0);
+  auto ov = std::move(OverlayPolygons(source, target, 1e-9)).ValueOrDie();
+  // Shared region is [0.5,2]x[0.5,2] = 2.25.
+  EXPECT_NEAR(ov.TotalMeasure(), 2.25, 1e-9);
+  for (const IntersectionCell& c : ov.cells) {
+    EXPECT_GT(c.measure, 0.0);
+    EXPECT_LE(c.measure, 1.0 + 1e-12);
+  }
+  // Source unit 3 ([1,2]x[1,2]) intersects all four shifted units.
+  sparse::CsrMatrix dm = ov.MeasureDm();
+  EXPECT_NEAR(dm.At(3, 0), 0.25, 1e-9);
+  EXPECT_NEAR(dm.At(3, 3), 0.25, 1e-9);
+}
+
+TEST(OverlayPolygons, VoronoiVsGridConservesArea) {
+  Rng rng(71);
+  BBox box(0, 0, 8, 8);
+  std::vector<Point> sites;
+  for (int i = 0; i < 30; ++i) {
+    sites.push_back({rng.Uniform(0.0, 8.0), rng.Uniform(0.0, 8.0)});
+  }
+  auto cells = std::move(geom::VoronoiCells(sites, box)).ValueOrDie();
+  std::vector<Polygon> polys;
+  for (auto& ring : cells) {
+    if (ring.size() >= 3) polys.emplace_back(std::move(ring));
+  }
+  auto vor = std::move(PolygonPartition::Create(std::move(polys))).ValueOrDie();
+  PolygonPartition grid = MakeGridLayer(0, 0, 4, 4, 2.0);
+  auto ov = std::move(OverlayPolygons(vor, grid, 1e-12)).ValueOrDie();
+  EXPECT_NEAR(ov.TotalMeasure(), 64.0, 1e-6);
+  // Row sums equal Voronoi cell areas; column sums equal grid areas.
+  sparse::CsrMatrix dm = ov.MeasureDm();
+  linalg::Vector rows = dm.RowSums();
+  for (size_t i = 0; i < vor.NumUnits(); ++i) {
+    EXPECT_NEAR(rows[i], vor.Measure(i), 1e-6);
+  }
+  linalg::Vector cols = dm.ColSums();
+  for (size_t j = 0; j < grid.NumUnits(); ++j) {
+    EXPECT_NEAR(cols[j], 4.0, 1e-6);
+  }
+}
+
+AtomSpace MakeAtoms(size_t n, double measure = 1.0) {
+  AtomSpace atoms;
+  atoms.measures.assign(n, measure);
+  return atoms;
+}
+
+TEST(CellPartition, CreateValidates) {
+  AtomSpace atoms = MakeAtoms(4);
+  EXPECT_FALSE(CellPartition::Create(nullptr, {0, 0, 1, 1}, 2).ok());
+  EXPECT_FALSE(CellPartition::Create(&atoms, {0, 0, 1}, 2).ok());
+  EXPECT_FALSE(CellPartition::Create(&atoms, {0, 0, 1, 2}, 2).ok());
+  EXPECT_FALSE(CellPartition::Create(&atoms, {0, 0, 0, 0}, 2).ok());  // empty unit 1
+  EXPECT_TRUE(CellPartition::Create(&atoms, {0, 0, 1, 1}, 2).ok());
+}
+
+TEST(CellPartition, MeasuresAndAggregation) {
+  AtomSpace atoms;
+  atoms.measures = {1.0, 2.0, 3.0, 4.0};
+  auto p = std::move(CellPartition::Create(&atoms, {0, 1, 0, 1}, 2)).ValueOrDie();
+  EXPECT_DOUBLE_EQ(p.Measure(0), 4.0);
+  EXPECT_DOUBLE_EQ(p.Measure(1), 6.0);
+  linalg::Vector agg = p.AggregateAtomValues({10.0, 20.0, 30.0, 40.0});
+  EXPECT_EQ(agg, (linalg::Vector{40.0, 60.0}));
+}
+
+TEST(OverlayCells, ExactLabelJoin) {
+  AtomSpace atoms = MakeAtoms(6);
+  auto s = std::move(CellPartition::Create(&atoms, {0, 0, 1, 1, 2, 2}, 3)).ValueOrDie();
+  auto t = std::move(CellPartition::Create(&atoms, {0, 1, 1, 1, 1, 0}, 2)).ValueOrDie();
+  auto ov = std::move(OverlayCells(s, t)).ValueOrDie();
+  EXPECT_EQ(ov.num_source, 3u);
+  EXPECT_EQ(ov.num_target, 2u);
+  // Cells: (0,0):1, (0,1):1, (1,1):2, (2,0):1, (2,1):1 -> 5 cells.
+  EXPECT_EQ(ov.cells.size(), 5u);
+  EXPECT_NEAR(ov.TotalMeasure(), 6.0, 1e-12);
+  // Sorted by (source, target).
+  for (size_t k = 1; k < ov.cells.size(); ++k) {
+    const auto& a = ov.cells[k - 1];
+    const auto& b = ov.cells[k];
+    EXPECT_TRUE(a.source < b.source ||
+                (a.source == b.source && a.target < b.target));
+  }
+  // atom_to_cell consistency.
+  ASSERT_EQ(ov.atom_to_cell.size(), 6u);
+  for (size_t a = 0; a < 6; ++a) {
+    const IntersectionCell& c = ov.cells[ov.atom_to_cell[a]];
+    EXPECT_EQ(c.source, s.LabelOf(a));
+    EXPECT_EQ(c.target, t.LabelOf(a));
+  }
+}
+
+TEST(OverlayCells, RequiresSharedAtomSpace) {
+  AtomSpace a1 = MakeAtoms(2);
+  AtomSpace a2 = MakeAtoms(2);
+  auto s = std::move(CellPartition::Create(&a1, {0, 1}, 2)).ValueOrDie();
+  auto t = std::move(CellPartition::Create(&a2, {0, 1}, 2)).ValueOrDie();
+  EXPECT_FALSE(OverlayCells(s, t).ok());
+}
+
+TEST(Disaggregation, DmFromAtomValuesIsExact) {
+  AtomSpace atoms = MakeAtoms(6);
+  auto s = std::move(CellPartition::Create(&atoms, {0, 0, 1, 1, 2, 2}, 3)).ValueOrDie();
+  auto t = std::move(CellPartition::Create(&atoms, {0, 1, 1, 1, 1, 0}, 2)).ValueOrDie();
+  auto ov = std::move(OverlayCells(s, t)).ValueOrDie();
+  linalg::Vector values = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  auto dm = std::move(DmFromAtomValues(ov, values)).ValueOrDie();
+  EXPECT_DOUBLE_EQ(dm.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(dm.At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(dm.At(1, 1), 7.0);
+  EXPECT_DOUBLE_EQ(dm.At(2, 0), 6.0);
+  EXPECT_DOUBLE_EQ(dm.At(2, 1), 5.0);
+  // Row sums match source aggregates; column sums match target.
+  EXPECT_TRUE(linalg::AllClose(dm.RowSums(), s.AggregateAtomValues(values),
+                               1e-12));
+  EXPECT_TRUE(linalg::AllClose(dm.ColSums(), t.AggregateAtomValues(values),
+                               1e-12));
+}
+
+TEST(Disaggregation, DmFromPointsMatchesManualCount) {
+  PolygonPartition source = MakeGridLayer(0, 0, 2, 1, 1.0);  // two columns
+  PolygonPartition target = MakeGridLayer(0, 0, 1, 2, 0.5);  // 1x2 of 0.5...
+  // target: cells [0,0.5]x[0,0.5] and [0,0.5]x[0.5,1].
+  std::vector<Point> pts = {{0.25, 0.25}, {0.25, 0.75}, {0.3, 0.2}};
+  linalg::Vector w = {1.0, 1.0, 2.0};
+  size_t dropped = 0;
+  auto dm = std::move(DmFromPoints(source, target, pts, w, &dropped)).ValueOrDie();
+  EXPECT_EQ(dropped, 0u);
+  EXPECT_DOUBLE_EQ(dm.At(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(dm.At(0, 1), 1.0);
+  // Points outside the target layer are dropped.
+  std::vector<Point> outside = {{1.5, 0.9}};
+  auto dm2 = std::move(DmFromPoints(source, target, outside, {1.0}, &dropped)).ValueOrDie();
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_EQ(dm2.nnz(), 0u);
+}
+
+TEST(Disaggregation, AggregatePoints) {
+  PolygonPartition layer = MakeGridLayer(0, 0, 2, 2, 1.0);
+  std::vector<Point> pts = {{0.5, 0.5}, {1.5, 0.5}, {1.5, 1.5}, {9.0, 9.0}};
+  linalg::Vector w = {1.0, 2.0, 3.0, 4.0};
+  size_t dropped = 0;
+  linalg::Vector agg = AggregatePoints(layer, pts, w, &dropped);
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_EQ(agg, (linalg::Vector{1.0, 2.0, 0.0, 3.0}));
+}
+
+TEST(Disaggregation, CheckDmConsistency) {
+  sparse::CooBuilder b(2, 2);
+  b.Add(0, 0, 1.0);
+  b.Add(0, 1, 2.0);
+  b.Add(1, 0, 5.0);
+  sparse::CsrMatrix dm = b.Build();
+  EXPECT_TRUE(CheckDmConsistency(dm, {3.0, 5.0}).ok());
+  EXPECT_FALSE(CheckDmConsistency(dm, {3.0, 6.0}).ok());
+  EXPECT_FALSE(CheckDmConsistency(dm, {3.0}).ok());
+}
+
+}  // namespace
+}  // namespace geoalign::partition

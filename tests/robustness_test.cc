@@ -1,0 +1,145 @@
+// Failure-injection and fuzz-style robustness tests: parsers must
+// return error Statuses (never crash or hang) on arbitrary garbage,
+// and fatal-check macros must abort loudly on contract violations.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "geom/wkt.h"
+#include "io/csv.h"
+#include "io/geojson.h"
+#include "io/json.h"
+
+namespace geoalign {
+namespace {
+
+// Deterministic garbage generator: random bytes biased toward
+// structural characters so parsers reach deep states.
+std::string RandomGarbage(Rng& rng, size_t max_len) {
+  static constexpr char kAlphabet[] =
+      "{}[]\",:0123456789.eE+-abc POLYGON()\\n\t\r";
+  size_t len = rng.UniformInt(uint64_t{max_len});
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    if (rng.Bernoulli(0.05)) {
+      out += static_cast<char>(rng.UniformInt(uint64_t{256}));
+    } else {
+      out += kAlphabet[rng.UniformInt(uint64_t{sizeof(kAlphabet) - 1})];
+    }
+  }
+  return out;
+}
+
+// Mutates a valid document at random positions (closer to real-world
+// corruption than pure noise).
+std::string Mutate(std::string text, Rng& rng) {
+  size_t edits = 1 + rng.UniformInt(uint64_t{4});
+  for (size_t e = 0; e < edits && !text.empty(); ++e) {
+    size_t pos = rng.UniformInt(uint64_t{text.size()});
+    switch (rng.UniformInt(uint64_t{3})) {
+      case 0:
+        text.erase(pos, 1);
+        break;
+      case 1:
+        text.insert(pos, 1,
+                    static_cast<char>(rng.UniformInt(uint64_t{128})));
+        break;
+      default:
+        text[pos] = static_cast<char>(rng.UniformInt(uint64_t{128}));
+    }
+  }
+  return text;
+}
+
+TEST(Fuzz, JsonParserNeverCrashes) {
+  Rng rng(101);
+  const std::string seed_doc =
+      R"({"type":"FeatureCollection","features":[{"a":[1,2,3],"b":"x"}]})";
+  for (int i = 0; i < 2000; ++i) {
+    std::string input = (i % 2 == 0) ? RandomGarbage(rng, 200)
+                                     : Mutate(seed_doc, rng);
+    auto result = io::ParseJson(input);
+    if (result.ok()) {
+      // Whatever parsed must re-serialize and re-parse.
+      auto back = io::ParseJson(result->Dump());
+      EXPECT_TRUE(back.ok()) << input;
+    }
+  }
+}
+
+TEST(Fuzz, CsvParserNeverCrashes) {
+  Rng rng(102);
+  const std::string seed_doc = "a,b,c\n1,\"x,y\",3\n4,5,6\n";
+  for (int i = 0; i < 2000; ++i) {
+    std::string input = (i % 2 == 0) ? RandomGarbage(rng, 200)
+                                     : Mutate(seed_doc, rng);
+    auto result = io::ParseCsv(input);
+    if (result.ok()) {
+      auto back = io::ParseCsv(io::ToCsv(*result));
+      EXPECT_TRUE(back.ok());
+      EXPECT_EQ(back->NumRows(), result->NumRows());
+    }
+  }
+}
+
+TEST(Fuzz, WktParserNeverCrashes) {
+  Rng rng(103);
+  const std::string seed_doc =
+      "MULTIPOLYGON (((0 0, 4 0, 4 4, 0 4, 0 0), (1 1, 2 1, 2 2, 1 2)))";
+  for (int i = 0; i < 2000; ++i) {
+    std::string input = (i % 2 == 0) ? RandomGarbage(rng, 120)
+                                     : Mutate(seed_doc, rng);
+    auto poly = geom::MultiPolygonFromWkt(input);
+    if (poly.ok()) {
+      for (const geom::Polygon& p : *poly) {
+        EXPECT_GE(p.outer().size(), 3u);
+      }
+    }
+    (void)geom::PointFromWkt(input);
+  }
+}
+
+TEST(Fuzz, GeoJsonParserNeverCrashes) {
+  Rng rng(104);
+  const std::string seed_doc =
+      R"({"type":"Feature","geometry":{"type":"Polygon",)"
+      R"("coordinates":[[[0,0],[1,0],[0,1]]]},"properties":{"n":"x"}})";
+  for (int i = 0; i < 1000; ++i) {
+    std::string input = Mutate(seed_doc, rng);
+    auto fc = io::ParseGeoJson(input);
+    if (fc.ok()) {
+      for (const io::Feature& f : fc->features) {
+        for (const geom::Polygon& p : f.geometry) {
+          EXPECT_GT(p.Area(), 0.0);
+        }
+      }
+    }
+  }
+}
+
+using RobustnessDeathTest = ::testing::Test;
+
+TEST(RobustnessDeathTest, CheckAbortsWithMessage) {
+  EXPECT_DEATH({ GEOALIGN_CHECK(1 == 2) << "impossible"; },
+               "Check failed: 1 == 2");
+}
+
+TEST(RobustnessDeathTest, StatusCheckOkAborts) {
+  EXPECT_DEATH(Status::Internal("boom").CheckOK(), "boom");
+}
+
+TEST(RobustnessDeathTest, ResultValueOnErrorAborts) {
+  EXPECT_DEATH(
+      {
+        Result<int> r = Status::NotFound("missing");
+        (void)*r;
+      },
+      "missing");
+}
+
+}  // namespace
+}  // namespace geoalign

@@ -1,0 +1,293 @@
+// Unit tests for the synthetic data substrate: point processes,
+// geography construction, dataset suites, universes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "linalg/stats.h"
+#include "synth/dataset_suite.h"
+#include "synth/geography.h"
+#include "synth/point_process.h"
+#include "synth/universe.h"
+
+namespace geoalign::synth {
+namespace {
+
+using geom::BBox;
+using geom::Point;
+
+TEST(PointProcess, UniformStaysInBounds) {
+  Rng rng(1);
+  BBox box(2, 3, 5, 7);
+  auto pts = SampleUniform(box, 500, rng);
+  ASSERT_EQ(pts.size(), 500u);
+  for (const Point& p : pts) EXPECT_TRUE(box.Contains(p));
+}
+
+TEST(PointProcess, GaussianMixtureConcentratesAroundCenters) {
+  Rng rng(2);
+  BBox box(0, 0, 10, 10);
+  std::vector<GaussianCluster> mix = {{{2.0, 2.0}, 0.3, 1.0}};
+  auto pts = SampleGaussianMixture(box, mix, 1000, rng);
+  double mean_d = 0.0;
+  for (const Point& p : pts) mean_d += Distance(p, {2.0, 2.0});
+  mean_d /= pts.size();
+  EXPECT_LT(mean_d, 1.0);
+}
+
+TEST(PointProcess, ThomasProcessClusters) {
+  Rng rng(3);
+  BBox box(0, 0, 100, 100);
+  auto pts = SampleThomasProcess(box, 10, 50.0, 1.0, rng);
+  EXPECT_GT(pts.size(), 200u);
+  for (const Point& p : pts) EXPECT_TRUE(box.Contains(p));
+}
+
+TEST(PointProcess, CorridorsHugSegments) {
+  Rng rng(4);
+  BBox box(0, 0, 10, 10);
+  std::vector<std::pair<Point, Point>> roads = {{{0, 5}, {10, 5}}};
+  auto pts = SampleCorridors(box, roads, 0.2, 400, rng);
+  ASSERT_EQ(pts.size(), 400u);
+  int near = 0;
+  for (const Point& p : pts) {
+    if (std::fabs(p.y - 5.0) < 0.6) ++near;
+  }
+  EXPECT_GT(near, 380);
+}
+
+TEST(PointProcess, ThinPointsKeepsFraction) {
+  Rng rng(5);
+  BBox box(0, 0, 1, 1);
+  std::vector<Point> pts(2000, Point{0.5, 0.5});
+  auto thinned = ThinPoints(pts, 0.25, 0.01, box, rng);
+  EXPECT_NEAR(static_cast<double>(thinned.size()) / pts.size(), 0.25, 0.05);
+  for (const Point& p : thinned) EXPECT_TRUE(box.Contains(p));
+}
+
+GeographyParams SmallParams(size_t states = 2) {
+  GeographyParams params;
+  params.num_states = states;
+  params.zips_per_state.assign(states, 60);
+  params.counties_per_state.assign(states, 8);
+  params.seed = 99;
+  return params;
+}
+
+TEST(Geography, BuildValidates) {
+  GeographyParams bad = SmallParams();
+  bad.zips_per_state.pop_back();
+  EXPECT_FALSE(SyntheticGeography::Build(bad).ok());
+  bad = SmallParams();
+  bad.num_states = 0;
+  EXPECT_FALSE(SyntheticGeography::Build(bad).ok());
+  bad = SmallParams();
+  bad.atoms_per_zip = 0.5;
+  EXPECT_FALSE(SyntheticGeography::Build(bad).ok());
+}
+
+TEST(Geography, StructuralInvariants) {
+  auto geo = std::move(SyntheticGeography::Build(SmallParams())).ValueOrDie();
+  EXPECT_EQ(geo.NumStates(), 2u);
+  size_t num_atoms = geo.atoms().NumAtoms();
+  EXPECT_EQ(geo.atom_centers().size(), num_atoms);
+  EXPECT_EQ(geo.atom_states().size(), num_atoms);
+  // Every atom center lies in its state's tile.
+  for (size_t a = 0; a < num_atoms; ++a) {
+    EXPECT_TRUE(geo.state_bounds(geo.atom_states()[a])
+                    .Contains(geo.atom_centers()[a]));
+  }
+  // Unit counts close to (and not above) the request.
+  EXPECT_LE(geo.zips().NumUnits(), 120u);
+  EXPECT_GE(geo.zips().NumUnits(), 90u);
+  EXPECT_LE(geo.counties().NumUnits(), 16u);
+  // Total measure = sum of state tile areas.
+  double total = 0.0;
+  for (double m : geo.atoms().measures) total += m;
+  EXPECT_NEAR(total, 2.0 * 100.0 * 100.0, 1e-6);
+}
+
+TEST(Geography, UnitsNeverStraddleStates) {
+  auto geo = std::move(SyntheticGeography::Build(SmallParams())).ValueOrDie();
+  // Each zip/county label appears in exactly one state.
+  std::map<uint32_t, std::set<uint32_t>> zip_states;
+  for (size_t a = 0; a < geo.atoms().NumAtoms(); ++a) {
+    zip_states[geo.zips().LabelOf(a)].insert(geo.atom_states()[a]);
+  }
+  for (const auto& [zip, states] : zip_states) {
+    EXPECT_EQ(states.size(), 1u) << "zip " << zip;
+  }
+}
+
+TEST(Geography, DeterministicAcrossBuilds) {
+  auto a = std::move(SyntheticGeography::Build(SmallParams())).ValueOrDie();
+  auto b = std::move(SyntheticGeography::Build(SmallParams())).ValueOrDie();
+  EXPECT_EQ(a.zips().labels(), b.zips().labels());
+  EXPECT_EQ(a.counties().labels(), b.counties().labels());
+}
+
+TEST(Geography, PrefixStatesAreIdenticalAcrossSizes) {
+  // The nesting property behind the paper's universe hierarchy: a
+  // 1-state build equals the first state of a 2-state build.
+  GeographyParams one = SmallParams(1);
+  GeographyParams two = SmallParams(2);
+  auto g1 = std::move(SyntheticGeography::Build(one)).ValueOrDie();
+  auto g2 = std::move(SyntheticGeography::Build(two)).ValueOrDie();
+  size_t atoms1 = g1.atoms().NumAtoms();
+  for (size_t a = 0; a < atoms1; ++a) {
+    EXPECT_EQ(g1.zips().LabelOf(a), g2.zips().LabelOf(a));
+    EXPECT_EQ(g1.counties().LabelOf(a), g2.counties().LabelOf(a));
+  }
+}
+
+TEST(DatasetSuite, NamesMatchThePaper) {
+  auto ny = SuiteDatasetNames(SuiteKind::kNewYorkState);
+  EXPECT_EQ(ny.size(), 8u);
+  EXPECT_EQ(ny.front(), "Attorney Registration");
+  auto us = SuiteDatasetNames(SuiteKind::kUnitedStates);
+  EXPECT_EQ(us.size(), 10u);
+  EXPECT_TRUE(std::find(us.begin(), us.end(), "Area (Sq. Miles)") !=
+              us.end());
+  EXPECT_TRUE(std::find(us.begin(), us.end(), "USA Uninhabited Places") !=
+              us.end());
+}
+
+class UniverseFixture : public ::testing::Test {
+ protected:
+  static const Universe& GetUniverse() {
+    static Universe* uni = [] {
+      UniverseOptions opts;
+      opts.scale = 0.05;
+      opts.seed = 404;
+      return new Universe(
+          std::move(BuildUniverse(UniverseId::kMidAtlantic, opts)).ValueOrDie());
+    }();
+    return *uni;
+  }
+};
+
+TEST_F(UniverseFixture, DatasetsAreConsistent) {
+  const Universe& uni = GetUniverse();
+  EXPECT_EQ(uni.datasets.size(), 10u);  // US suite by default
+  for (const Dataset& d : uni.datasets) {
+    EXPECT_EQ(d.source.size(), uni.NumZips());
+    EXPECT_EQ(d.target.size(), uni.NumCounties());
+    EXPECT_EQ(d.dm.rows(), uni.NumZips());
+    EXPECT_EQ(d.dm.cols(), uni.NumCounties());
+    // DM marginals equal the aggregate vectors exactly.
+    EXPECT_TRUE(linalg::AllClose(d.dm.RowSums(), d.source, 1e-6))
+        << d.name;
+    EXPECT_TRUE(linalg::AllClose(d.dm.ColSums(), d.target, 1e-6))
+        << d.name;
+    // All values non-negative.
+    for (double v : d.source) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST_F(UniverseFixture, MeasureDmMatchesPartitions) {
+  const Universe& uni = GetUniverse();
+  linalg::Vector rows = uni.measure_dm.RowSums();
+  for (size_t i = 0; i < uni.NumZips(); ++i) {
+    EXPECT_NEAR(rows[i], uni.geography->zips().Measure(i), 1e-9);
+  }
+  linalg::Vector cols = uni.measure_dm.ColSums();
+  for (size_t j = 0; j < uni.NumCounties(); ++j) {
+    EXPECT_NEAR(cols[j], uni.geography->counties().Measure(j), 1e-9);
+  }
+}
+
+TEST_F(UniverseFixture, LeaveOneOutInputValidates) {
+  const Universe& uni = GetUniverse();
+  for (size_t t = 0; t < uni.datasets.size(); ++t) {
+    auto input = std::move(uni.MakeLeaveOneOutInput(t)).ValueOrDie();
+    EXPECT_EQ(input.references.size(), uni.datasets.size() - 1);
+    EXPECT_TRUE(input.Validate().ok()) << uni.datasets[t].name;
+  }
+  EXPECT_FALSE(uni.MakeLeaveOneOutInput(99).ok());
+}
+
+TEST_F(UniverseFixture, FindDataset) {
+  const Universe& uni = GetUniverse();
+  auto idx = uni.FindDataset("Population");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(uni.datasets[*idx].name, "Population");
+  EXPECT_FALSE(uni.FindDataset("Nope").ok());
+}
+
+TEST_F(UniverseFixture, CorrelationStructureMatchesDesign) {
+  // The USPS residential layer must be nearly collinear with
+  // population (the paper's ~96% pair), and uninhabited places must be
+  // negatively or weakly correlated with population.
+  const Universe& uni = GetUniverse();
+  const auto& ds = uni.datasets;
+  auto source_of = [&](const char* name) {
+    return ds[std::move(uni.FindDataset(name)).ValueOrDie()].source;
+  };
+  double res_pop = linalg::PearsonCorrelation(
+      source_of("USPS Residential Address"), source_of("Population"));
+  EXPECT_GT(res_pop, 0.9);
+  double unin_pop = linalg::PearsonCorrelation(
+      source_of("USA Uninhabited Places"), source_of("Population"));
+  EXPECT_LT(unin_pop, 0.3);
+}
+
+TEST(Universe, RegistryIsConsistent) {
+  auto all = AllUniverses();
+  EXPECT_EQ(all.size(), 6u);
+  size_t prev = 0;
+  for (UniverseId id : all) {
+    EXPECT_GT(UniverseStateCount(id), prev);
+    prev = UniverseStateCount(id);
+    EXPECT_NE(std::string(UniverseName(id)), "?");
+  }
+  EXPECT_EQ(UniverseStateCount(UniverseId::kUnitedStates), 49u);
+}
+
+TEST(Universe, NySuiteDefaultForNewYork) {
+  UniverseOptions opts;
+  opts.scale = 0.05;
+  auto uni = std::move(BuildUniverse(UniverseId::kNewYork, opts)).ValueOrDie();
+  EXPECT_EQ(uni.datasets.size(), 8u);
+  EXPECT_EQ(uni.name, "New York State");
+}
+
+TEST(Universe, SuiteOverride) {
+  UniverseOptions opts;
+  opts.scale = 0.05;
+  opts.suite = SuiteKind::kUnitedStates;
+  auto uni = std::move(BuildUniverse(UniverseId::kNewYork, opts)).ValueOrDie();
+  EXPECT_EQ(uni.datasets.size(), 10u);
+}
+
+TEST(Universe, ScaleControlsSize) {
+  UniverseOptions small;
+  small.scale = 0.02;
+  UniverseOptions larger;
+  larger.scale = 0.06;
+  auto a = std::move(BuildUniverse(UniverseId::kNewYork, small)).ValueOrDie();
+  auto b = std::move(BuildUniverse(UniverseId::kNewYork, larger)).ValueOrDie();
+  EXPECT_LT(a.NumZips(), b.NumZips());
+  EXPECT_FALSE(BuildUniverse(UniverseId::kNewYork,
+                             UniverseOptions{.seed = 1, .scale = 0.0, .suite = {}})
+                   .ok());
+}
+
+TEST(Universe, DeterministicGivenSeed) {
+  UniverseOptions opts;
+  opts.scale = 0.03;
+  opts.seed = 777;
+  auto a = std::move(BuildUniverse(UniverseId::kNewYork, opts)).ValueOrDie();
+  auto b = std::move(BuildUniverse(UniverseId::kNewYork, opts)).ValueOrDie();
+  ASSERT_EQ(a.datasets.size(), b.datasets.size());
+  for (size_t d = 0; d < a.datasets.size(); ++d) {
+    EXPECT_EQ(a.datasets[d].source, b.datasets[d].source);
+    EXPECT_EQ(a.datasets[d].target, b.datasets[d].target);
+  }
+}
+
+}  // namespace
+}  // namespace geoalign::synth

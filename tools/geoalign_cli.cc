@@ -1,0 +1,200 @@
+// geoalign_cli — command-line crosswalk over CSV files.
+//
+// Usage:
+//   geoalign_cli --objective <unit,value csv>
+//                --ref <name>=<crosswalk csv> [--ref ...]
+//                [--method geoalign|dasymetric=<ref>|areal|regression]
+//                [--out <path>]        (default: stdout)
+//                [--weights]           (print learned weights to stderr)
+//
+// Crosswalk CSVs are long-form: columns `source,target,value` (one row
+// per non-empty intersection; the reference's source aggregates are
+// the row sums). The objective CSV has columns `unit,value`. The unit
+// universes are derived from the union of the crosswalk files; every
+// objective unit must appear there.
+//
+// Example:
+//   geoalign_cli --objective steam.csv
+//                --ref population=pop_crosswalk.csv
+//                --ref addresses=usps_crosswalk.csv > steam_by_county.csv
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/areal_weighting.h"
+#include "core/dasymetric.h"
+#include "core/geoalign.h"
+#include "core/regression.h"
+#include "io/crosswalk_io.h"
+#include "io/csv.h"
+
+namespace geoalign {
+namespace {
+
+struct CliArgs {
+  std::string objective_path;
+  std::vector<std::pair<std::string, std::string>> refs;  // name -> path
+  std::string method = "geoalign";
+  std::string out_path;
+  bool print_weights = false;
+};
+
+Result<CliArgs> ParseArgs(int argc, char** argv) {
+  CliArgs args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> Result<std::string> {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("missing value after " + arg);
+      }
+      return std::string(argv[++i]);
+    };
+    if (arg == "--objective") {
+      GEOALIGN_ASSIGN_OR_RETURN(args.objective_path, next());
+    } else if (arg == "--ref") {
+      GEOALIGN_ASSIGN_OR_RETURN(std::string spec, next());
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("--ref expects <name>=<csv path>");
+      }
+      args.refs.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--method") {
+      GEOALIGN_ASSIGN_OR_RETURN(args.method, next());
+    } else if (arg == "--out") {
+      GEOALIGN_ASSIGN_OR_RETURN(args.out_path, next());
+    } else if (arg == "--weights") {
+      args.print_weights = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return Status::InvalidArgument("help requested");
+    } else {
+      return Status::InvalidArgument("unknown flag: " + arg);
+    }
+  }
+  if (args.objective_path.empty()) {
+    return Status::InvalidArgument("--objective is required");
+  }
+  if (args.refs.empty()) {
+    return Status::InvalidArgument("at least one --ref is required");
+  }
+  return args;
+}
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: geoalign_cli --objective <csv> --ref <name>=<csv> [...]\n"
+      "  [--method geoalign|dasymetric=<ref>|areal|regression]\n"
+      "  [--out <path>] [--weights]\n"
+      "objective csv columns: unit,value\n"
+      "crosswalk csv columns: source,target,value\n");
+}
+
+Result<int> Run(const CliArgs& args) {
+  // Load all crosswalk files; unify unit universes across them.
+  std::vector<io::LoadedCrosswalk> crosswalks;
+  std::vector<std::string> source_units;
+  std::vector<std::string> target_units;
+  for (const auto& [name, path] : args.refs) {
+    GEOALIGN_ASSIGN_OR_RETURN(io::Table table, io::ReadCsvFile(path));
+    GEOALIGN_ASSIGN_OR_RETURN(
+        io::LoadedCrosswalk cw,
+        io::CrosswalkFromTable(table, "source", "target", "value"));
+    for (const std::string& u : cw.source_units) source_units.push_back(u);
+    for (const std::string& u : cw.target_units) target_units.push_back(u);
+    crosswalks.push_back(std::move(cw));
+  }
+  std::sort(source_units.begin(), source_units.end());
+  source_units.erase(
+      std::unique(source_units.begin(), source_units.end()),
+      source_units.end());
+  std::sort(target_units.begin(), target_units.end());
+  target_units.erase(
+      std::unique(target_units.begin(), target_units.end()),
+      target_units.end());
+
+  // Re-resolve every crosswalk against the unified universes (cheap:
+  // reparse its long form).
+  core::CrosswalkInput input;
+  for (size_t k = 0; k < args.refs.size(); ++k) {
+    io::Table long_form = io::CrosswalkToTable(crosswalks[k], "source",
+                                               "target", "value");
+    GEOALIGN_ASSIGN_OR_RETURN(
+        io::LoadedCrosswalk aligned,
+        io::CrosswalkFromTable(long_form, "source", "target", "value",
+                               source_units, target_units));
+    input.references.push_back(
+        io::ReferenceFromCrosswalk(args.refs[k].first, aligned));
+  }
+
+  // Objective column.
+  GEOALIGN_ASSIGN_OR_RETURN(io::Table obj_table,
+                            io::ReadCsvFile(args.objective_path));
+  GEOALIGN_ASSIGN_OR_RETURN(
+      input.objective_source,
+      io::AggregatesFromTable(obj_table, "unit", "value", source_units));
+  GEOALIGN_RETURN_NOT_OK(input.Validate());
+
+  // Method selection.
+  std::unique_ptr<core::Interpolator> method;
+  if (args.method == "geoalign") {
+    method = std::make_unique<core::GeoAlign>();
+  } else if (StartsWith(args.method, "dasymetric=")) {
+    method = std::make_unique<core::Dasymetric>(
+        args.method.substr(std::strlen("dasymetric=")));
+  } else if (args.method == "regression") {
+    method = std::make_unique<core::RegressionBaseline>();
+  } else if (args.method == "areal") {
+    return Status::InvalidArgument(
+        "areal weighting needs intersection areas; provide an area "
+        "crosswalk as a --ref and use --method dasymetric=<that ref>");
+  } else {
+    return Status::InvalidArgument("unknown method: " + args.method);
+  }
+
+  GEOALIGN_ASSIGN_OR_RETURN(core::CrosswalkResult result,
+                            method->Crosswalk(input));
+
+  if (args.print_weights && !result.weights.empty()) {
+    std::fprintf(stderr, "# learned weights (%s):\n",
+                 method->name().c_str());
+    for (size_t k = 0; k < input.references.size(); ++k) {
+      std::fprintf(stderr, "#   %-24s %.6f\n",
+                   input.references[k].name.c_str(), result.weights[k]);
+    }
+  }
+
+  io::Table out({"unit", "value"});
+  for (size_t j = 0; j < target_units.size(); ++j) {
+    GEOALIGN_RETURN_NOT_OK(out.AppendRow(
+        {target_units[j], StrFormat("%.12g", result.target_estimates[j])}));
+  }
+  if (args.out_path.empty()) {
+    std::fputs(io::ToCsv(out).c_str(), stdout);
+  } else {
+    GEOALIGN_RETURN_NOT_OK(io::WriteCsvFile(out, args.out_path));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace geoalign
+
+int main(int argc, char** argv) {
+  auto args = geoalign::ParseArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "error: %s\n", args.status().message().c_str());
+    geoalign::PrintUsage();
+    return 2;
+  }
+  auto rc = geoalign::Run(*args);
+  if (!rc.ok()) {
+    std::fprintf(stderr, "error: %s\n", rc.status().ToString().c_str());
+    return 1;
+  }
+  return *rc;
+}
