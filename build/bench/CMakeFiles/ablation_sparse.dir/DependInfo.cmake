@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_sparse.cc" "bench/CMakeFiles/ablation_sparse.dir/ablation_sparse.cc.o" "gcc" "bench/CMakeFiles/ablation_sparse.dir/ablation_sparse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geoalign_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sparse.dir/ablation_sparse.cc.o"
+  "CMakeFiles/ablation_sparse.dir/ablation_sparse.cc.o.d"
+  "ablation_sparse"
+  "ablation_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

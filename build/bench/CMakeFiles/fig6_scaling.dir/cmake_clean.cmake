@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_scaling.dir/fig6_scaling.cc.o"
+  "CMakeFiles/fig6_scaling.dir/fig6_scaling.cc.o.d"
+  "fig6_scaling"
+  "fig6_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

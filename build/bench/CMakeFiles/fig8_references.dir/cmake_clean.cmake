@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_references.dir/fig8_references.cc.o"
+  "CMakeFiles/fig8_references.dir/fig8_references.cc.o.d"
+  "fig8_references"
+  "fig8_references.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_references.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

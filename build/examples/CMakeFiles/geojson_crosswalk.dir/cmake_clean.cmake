@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geojson_crosswalk.dir/geojson_crosswalk.cpp.o"
+  "CMakeFiles/geojson_crosswalk.dir/geojson_crosswalk.cpp.o.d"
+  "geojson_crosswalk"
+  "geojson_crosswalk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geojson_crosswalk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for geojson_crosswalk.
+# This may be replaced when dependencies are built.

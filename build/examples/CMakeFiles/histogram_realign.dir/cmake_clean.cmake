@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_realign.dir/histogram_realign.cpp.o"
+  "CMakeFiles/histogram_realign.dir/histogram_realign.cpp.o.d"
+  "histogram_realign"
+  "histogram_realign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_realign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multidim_crosswalk.dir/multidim_crosswalk.cpp.o"
+  "CMakeFiles/multidim_crosswalk.dir/multidim_crosswalk.cpp.o.d"
+  "multidim_crosswalk"
+  "multidim_crosswalk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multidim_crosswalk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

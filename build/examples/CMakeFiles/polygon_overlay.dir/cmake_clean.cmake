@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polygon_overlay.dir/polygon_overlay.cpp.o"
+  "CMakeFiles/polygon_overlay.dir/polygon_overlay.cpp.o.d"
+  "polygon_overlay"
+  "polygon_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polygon_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steam_income_join.dir/steam_income_join.cpp.o"
+  "CMakeFiles/steam_income_join.dir/steam_income_join.cpp.o.d"
+  "steam_income_join"
+  "steam_income_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steam_income_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

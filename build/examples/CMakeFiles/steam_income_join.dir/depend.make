@@ -1,0 +1,2 @@
+# Empty dependencies file for steam_income_join.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geoalign_common.dir/common/logging.cc.o"
+  "CMakeFiles/geoalign_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/geoalign_common.dir/common/random.cc.o"
+  "CMakeFiles/geoalign_common.dir/common/random.cc.o.d"
+  "CMakeFiles/geoalign_common.dir/common/status.cc.o"
+  "CMakeFiles/geoalign_common.dir/common/status.cc.o.d"
+  "CMakeFiles/geoalign_common.dir/common/stopwatch.cc.o"
+  "CMakeFiles/geoalign_common.dir/common/stopwatch.cc.o.d"
+  "CMakeFiles/geoalign_common.dir/common/string_util.cc.o"
+  "CMakeFiles/geoalign_common.dir/common/string_util.cc.o.d"
+  "libgeoalign_common.a"
+  "libgeoalign_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geoalign_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgeoalign_common.a"
+)

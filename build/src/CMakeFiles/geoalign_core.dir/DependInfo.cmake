@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/areal_weighting.cc" "src/CMakeFiles/geoalign_core.dir/core/areal_weighting.cc.o" "gcc" "src/CMakeFiles/geoalign_core.dir/core/areal_weighting.cc.o.d"
+  "/root/repo/src/core/batch.cc" "src/CMakeFiles/geoalign_core.dir/core/batch.cc.o" "gcc" "src/CMakeFiles/geoalign_core.dir/core/batch.cc.o.d"
+  "/root/repo/src/core/crosswalk_input.cc" "src/CMakeFiles/geoalign_core.dir/core/crosswalk_input.cc.o" "gcc" "src/CMakeFiles/geoalign_core.dir/core/crosswalk_input.cc.o.d"
+  "/root/repo/src/core/dasymetric.cc" "src/CMakeFiles/geoalign_core.dir/core/dasymetric.cc.o" "gcc" "src/CMakeFiles/geoalign_core.dir/core/dasymetric.cc.o.d"
+  "/root/repo/src/core/geoalign.cc" "src/CMakeFiles/geoalign_core.dir/core/geoalign.cc.o" "gcc" "src/CMakeFiles/geoalign_core.dir/core/geoalign.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/geoalign_core.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/geoalign_core.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/pycnophylactic.cc" "src/CMakeFiles/geoalign_core.dir/core/pycnophylactic.cc.o" "gcc" "src/CMakeFiles/geoalign_core.dir/core/pycnophylactic.cc.o.d"
+  "/root/repo/src/core/regression.cc" "src/CMakeFiles/geoalign_core.dir/core/regression.cc.o" "gcc" "src/CMakeFiles/geoalign_core.dir/core/regression.cc.o.d"
+  "/root/repo/src/core/three_class_dasymetric.cc" "src/CMakeFiles/geoalign_core.dir/core/three_class_dasymetric.cc.o" "gcc" "src/CMakeFiles/geoalign_core.dir/core/three_class_dasymetric.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geoalign_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geoalign_core.dir/core/areal_weighting.cc.o"
+  "CMakeFiles/geoalign_core.dir/core/areal_weighting.cc.o.d"
+  "CMakeFiles/geoalign_core.dir/core/batch.cc.o"
+  "CMakeFiles/geoalign_core.dir/core/batch.cc.o.d"
+  "CMakeFiles/geoalign_core.dir/core/crosswalk_input.cc.o"
+  "CMakeFiles/geoalign_core.dir/core/crosswalk_input.cc.o.d"
+  "CMakeFiles/geoalign_core.dir/core/dasymetric.cc.o"
+  "CMakeFiles/geoalign_core.dir/core/dasymetric.cc.o.d"
+  "CMakeFiles/geoalign_core.dir/core/geoalign.cc.o"
+  "CMakeFiles/geoalign_core.dir/core/geoalign.cc.o.d"
+  "CMakeFiles/geoalign_core.dir/core/pipeline.cc.o"
+  "CMakeFiles/geoalign_core.dir/core/pipeline.cc.o.d"
+  "CMakeFiles/geoalign_core.dir/core/pycnophylactic.cc.o"
+  "CMakeFiles/geoalign_core.dir/core/pycnophylactic.cc.o.d"
+  "CMakeFiles/geoalign_core.dir/core/regression.cc.o"
+  "CMakeFiles/geoalign_core.dir/core/regression.cc.o.d"
+  "CMakeFiles/geoalign_core.dir/core/three_class_dasymetric.cc.o"
+  "CMakeFiles/geoalign_core.dir/core/three_class_dasymetric.cc.o.d"
+  "libgeoalign_core.a"
+  "libgeoalign_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geoalign_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/cross_validation.cc" "src/CMakeFiles/geoalign_eval.dir/eval/cross_validation.cc.o" "gcc" "src/CMakeFiles/geoalign_eval.dir/eval/cross_validation.cc.o.d"
+  "/root/repo/src/eval/dm_metrics.cc" "src/CMakeFiles/geoalign_eval.dir/eval/dm_metrics.cc.o" "gcc" "src/CMakeFiles/geoalign_eval.dir/eval/dm_metrics.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/geoalign_eval.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/geoalign_eval.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/noise.cc" "src/CMakeFiles/geoalign_eval.dir/eval/noise.cc.o" "gcc" "src/CMakeFiles/geoalign_eval.dir/eval/noise.cc.o.d"
+  "/root/repo/src/eval/noise_experiment.cc" "src/CMakeFiles/geoalign_eval.dir/eval/noise_experiment.cc.o" "gcc" "src/CMakeFiles/geoalign_eval.dir/eval/noise_experiment.cc.o.d"
+  "/root/repo/src/eval/reference_selection.cc" "src/CMakeFiles/geoalign_eval.dir/eval/reference_selection.cc.o" "gcc" "src/CMakeFiles/geoalign_eval.dir/eval/reference_selection.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/CMakeFiles/geoalign_eval.dir/eval/report.cc.o" "gcc" "src/CMakeFiles/geoalign_eval.dir/eval/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geoalign_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geoalign_eval.dir/eval/cross_validation.cc.o"
+  "CMakeFiles/geoalign_eval.dir/eval/cross_validation.cc.o.d"
+  "CMakeFiles/geoalign_eval.dir/eval/dm_metrics.cc.o"
+  "CMakeFiles/geoalign_eval.dir/eval/dm_metrics.cc.o.d"
+  "CMakeFiles/geoalign_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/geoalign_eval.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/geoalign_eval.dir/eval/noise.cc.o"
+  "CMakeFiles/geoalign_eval.dir/eval/noise.cc.o.d"
+  "CMakeFiles/geoalign_eval.dir/eval/noise_experiment.cc.o"
+  "CMakeFiles/geoalign_eval.dir/eval/noise_experiment.cc.o.d"
+  "CMakeFiles/geoalign_eval.dir/eval/reference_selection.cc.o"
+  "CMakeFiles/geoalign_eval.dir/eval/reference_selection.cc.o.d"
+  "CMakeFiles/geoalign_eval.dir/eval/report.cc.o"
+  "CMakeFiles/geoalign_eval.dir/eval/report.cc.o.d"
+  "libgeoalign_eval.a"
+  "libgeoalign_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geoalign_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/bbox.cc" "src/CMakeFiles/geoalign_geom.dir/geom/bbox.cc.o" "gcc" "src/CMakeFiles/geoalign_geom.dir/geom/bbox.cc.o.d"
+  "/root/repo/src/geom/boolean_ops.cc" "src/CMakeFiles/geoalign_geom.dir/geom/boolean_ops.cc.o" "gcc" "src/CMakeFiles/geoalign_geom.dir/geom/boolean_ops.cc.o.d"
+  "/root/repo/src/geom/clip_polygon.cc" "src/CMakeFiles/geoalign_geom.dir/geom/clip_polygon.cc.o" "gcc" "src/CMakeFiles/geoalign_geom.dir/geom/clip_polygon.cc.o.d"
+  "/root/repo/src/geom/convex_clip.cc" "src/CMakeFiles/geoalign_geom.dir/geom/convex_clip.cc.o" "gcc" "src/CMakeFiles/geoalign_geom.dir/geom/convex_clip.cc.o.d"
+  "/root/repo/src/geom/hull.cc" "src/CMakeFiles/geoalign_geom.dir/geom/hull.cc.o" "gcc" "src/CMakeFiles/geoalign_geom.dir/geom/hull.cc.o.d"
+  "/root/repo/src/geom/point.cc" "src/CMakeFiles/geoalign_geom.dir/geom/point.cc.o" "gcc" "src/CMakeFiles/geoalign_geom.dir/geom/point.cc.o.d"
+  "/root/repo/src/geom/polygon.cc" "src/CMakeFiles/geoalign_geom.dir/geom/polygon.cc.o" "gcc" "src/CMakeFiles/geoalign_geom.dir/geom/polygon.cc.o.d"
+  "/root/repo/src/geom/predicates.cc" "src/CMakeFiles/geoalign_geom.dir/geom/predicates.cc.o" "gcc" "src/CMakeFiles/geoalign_geom.dir/geom/predicates.cc.o.d"
+  "/root/repo/src/geom/voronoi.cc" "src/CMakeFiles/geoalign_geom.dir/geom/voronoi.cc.o" "gcc" "src/CMakeFiles/geoalign_geom.dir/geom/voronoi.cc.o.d"
+  "/root/repo/src/geom/wkt.cc" "src/CMakeFiles/geoalign_geom.dir/geom/wkt.cc.o" "gcc" "src/CMakeFiles/geoalign_geom.dir/geom/wkt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geoalign_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

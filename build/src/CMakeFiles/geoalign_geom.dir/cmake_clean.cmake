@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geoalign_geom.dir/geom/bbox.cc.o"
+  "CMakeFiles/geoalign_geom.dir/geom/bbox.cc.o.d"
+  "CMakeFiles/geoalign_geom.dir/geom/boolean_ops.cc.o"
+  "CMakeFiles/geoalign_geom.dir/geom/boolean_ops.cc.o.d"
+  "CMakeFiles/geoalign_geom.dir/geom/clip_polygon.cc.o"
+  "CMakeFiles/geoalign_geom.dir/geom/clip_polygon.cc.o.d"
+  "CMakeFiles/geoalign_geom.dir/geom/convex_clip.cc.o"
+  "CMakeFiles/geoalign_geom.dir/geom/convex_clip.cc.o.d"
+  "CMakeFiles/geoalign_geom.dir/geom/hull.cc.o"
+  "CMakeFiles/geoalign_geom.dir/geom/hull.cc.o.d"
+  "CMakeFiles/geoalign_geom.dir/geom/point.cc.o"
+  "CMakeFiles/geoalign_geom.dir/geom/point.cc.o.d"
+  "CMakeFiles/geoalign_geom.dir/geom/polygon.cc.o"
+  "CMakeFiles/geoalign_geom.dir/geom/polygon.cc.o.d"
+  "CMakeFiles/geoalign_geom.dir/geom/predicates.cc.o"
+  "CMakeFiles/geoalign_geom.dir/geom/predicates.cc.o.d"
+  "CMakeFiles/geoalign_geom.dir/geom/voronoi.cc.o"
+  "CMakeFiles/geoalign_geom.dir/geom/voronoi.cc.o.d"
+  "CMakeFiles/geoalign_geom.dir/geom/wkt.cc.o"
+  "CMakeFiles/geoalign_geom.dir/geom/wkt.cc.o.d"
+  "libgeoalign_geom.a"
+  "libgeoalign_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geoalign_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/crosswalk_io.cc" "src/CMakeFiles/geoalign_io.dir/io/crosswalk_io.cc.o" "gcc" "src/CMakeFiles/geoalign_io.dir/io/crosswalk_io.cc.o.d"
+  "/root/repo/src/io/csv.cc" "src/CMakeFiles/geoalign_io.dir/io/csv.cc.o" "gcc" "src/CMakeFiles/geoalign_io.dir/io/csv.cc.o.d"
+  "/root/repo/src/io/geojson.cc" "src/CMakeFiles/geoalign_io.dir/io/geojson.cc.o" "gcc" "src/CMakeFiles/geoalign_io.dir/io/geojson.cc.o.d"
+  "/root/repo/src/io/json.cc" "src/CMakeFiles/geoalign_io.dir/io/json.cc.o" "gcc" "src/CMakeFiles/geoalign_io.dir/io/json.cc.o.d"
+  "/root/repo/src/io/table.cc" "src/CMakeFiles/geoalign_io.dir/io/table.cc.o" "gcc" "src/CMakeFiles/geoalign_io.dir/io/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geoalign_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_spatial.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

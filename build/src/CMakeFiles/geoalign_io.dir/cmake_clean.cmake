@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geoalign_io.dir/io/crosswalk_io.cc.o"
+  "CMakeFiles/geoalign_io.dir/io/crosswalk_io.cc.o.d"
+  "CMakeFiles/geoalign_io.dir/io/csv.cc.o"
+  "CMakeFiles/geoalign_io.dir/io/csv.cc.o.d"
+  "CMakeFiles/geoalign_io.dir/io/geojson.cc.o"
+  "CMakeFiles/geoalign_io.dir/io/geojson.cc.o.d"
+  "CMakeFiles/geoalign_io.dir/io/json.cc.o"
+  "CMakeFiles/geoalign_io.dir/io/json.cc.o.d"
+  "CMakeFiles/geoalign_io.dir/io/table.cc.o"
+  "CMakeFiles/geoalign_io.dir/io/table.cc.o.d"
+  "libgeoalign_io.a"
+  "libgeoalign_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geoalign_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

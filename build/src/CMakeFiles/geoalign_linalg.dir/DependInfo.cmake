@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/cholesky.cc" "src/CMakeFiles/geoalign_linalg.dir/linalg/cholesky.cc.o" "gcc" "src/CMakeFiles/geoalign_linalg.dir/linalg/cholesky.cc.o.d"
+  "/root/repo/src/linalg/lu.cc" "src/CMakeFiles/geoalign_linalg.dir/linalg/lu.cc.o" "gcc" "src/CMakeFiles/geoalign_linalg.dir/linalg/lu.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/geoalign_linalg.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/geoalign_linalg.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/nnls.cc" "src/CMakeFiles/geoalign_linalg.dir/linalg/nnls.cc.o" "gcc" "src/CMakeFiles/geoalign_linalg.dir/linalg/nnls.cc.o.d"
+  "/root/repo/src/linalg/qr.cc" "src/CMakeFiles/geoalign_linalg.dir/linalg/qr.cc.o" "gcc" "src/CMakeFiles/geoalign_linalg.dir/linalg/qr.cc.o.d"
+  "/root/repo/src/linalg/simplex_ls.cc" "src/CMakeFiles/geoalign_linalg.dir/linalg/simplex_ls.cc.o" "gcc" "src/CMakeFiles/geoalign_linalg.dir/linalg/simplex_ls.cc.o.d"
+  "/root/repo/src/linalg/stats.cc" "src/CMakeFiles/geoalign_linalg.dir/linalg/stats.cc.o" "gcc" "src/CMakeFiles/geoalign_linalg.dir/linalg/stats.cc.o.d"
+  "/root/repo/src/linalg/vector_ops.cc" "src/CMakeFiles/geoalign_linalg.dir/linalg/vector_ops.cc.o" "gcc" "src/CMakeFiles/geoalign_linalg.dir/linalg/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geoalign_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

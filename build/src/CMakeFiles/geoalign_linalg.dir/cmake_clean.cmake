@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geoalign_linalg.dir/linalg/cholesky.cc.o"
+  "CMakeFiles/geoalign_linalg.dir/linalg/cholesky.cc.o.d"
+  "CMakeFiles/geoalign_linalg.dir/linalg/lu.cc.o"
+  "CMakeFiles/geoalign_linalg.dir/linalg/lu.cc.o.d"
+  "CMakeFiles/geoalign_linalg.dir/linalg/matrix.cc.o"
+  "CMakeFiles/geoalign_linalg.dir/linalg/matrix.cc.o.d"
+  "CMakeFiles/geoalign_linalg.dir/linalg/nnls.cc.o"
+  "CMakeFiles/geoalign_linalg.dir/linalg/nnls.cc.o.d"
+  "CMakeFiles/geoalign_linalg.dir/linalg/qr.cc.o"
+  "CMakeFiles/geoalign_linalg.dir/linalg/qr.cc.o.d"
+  "CMakeFiles/geoalign_linalg.dir/linalg/simplex_ls.cc.o"
+  "CMakeFiles/geoalign_linalg.dir/linalg/simplex_ls.cc.o.d"
+  "CMakeFiles/geoalign_linalg.dir/linalg/stats.cc.o"
+  "CMakeFiles/geoalign_linalg.dir/linalg/stats.cc.o.d"
+  "CMakeFiles/geoalign_linalg.dir/linalg/vector_ops.cc.o"
+  "CMakeFiles/geoalign_linalg.dir/linalg/vector_ops.cc.o.d"
+  "libgeoalign_linalg.a"
+  "libgeoalign_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geoalign_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

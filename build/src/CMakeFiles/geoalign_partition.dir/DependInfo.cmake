@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/box_partition.cc" "src/CMakeFiles/geoalign_partition.dir/partition/box_partition.cc.o" "gcc" "src/CMakeFiles/geoalign_partition.dir/partition/box_partition.cc.o.d"
+  "/root/repo/src/partition/cell_partition.cc" "src/CMakeFiles/geoalign_partition.dir/partition/cell_partition.cc.o" "gcc" "src/CMakeFiles/geoalign_partition.dir/partition/cell_partition.cc.o.d"
+  "/root/repo/src/partition/disaggregation.cc" "src/CMakeFiles/geoalign_partition.dir/partition/disaggregation.cc.o" "gcc" "src/CMakeFiles/geoalign_partition.dir/partition/disaggregation.cc.o.d"
+  "/root/repo/src/partition/interval_partition.cc" "src/CMakeFiles/geoalign_partition.dir/partition/interval_partition.cc.o" "gcc" "src/CMakeFiles/geoalign_partition.dir/partition/interval_partition.cc.o.d"
+  "/root/repo/src/partition/overlay.cc" "src/CMakeFiles/geoalign_partition.dir/partition/overlay.cc.o" "gcc" "src/CMakeFiles/geoalign_partition.dir/partition/overlay.cc.o.d"
+  "/root/repo/src/partition/polygon_partition.cc" "src/CMakeFiles/geoalign_partition.dir/partition/polygon_partition.cc.o" "gcc" "src/CMakeFiles/geoalign_partition.dir/partition/polygon_partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geoalign_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geoalign_partition.dir/partition/box_partition.cc.o"
+  "CMakeFiles/geoalign_partition.dir/partition/box_partition.cc.o.d"
+  "CMakeFiles/geoalign_partition.dir/partition/cell_partition.cc.o"
+  "CMakeFiles/geoalign_partition.dir/partition/cell_partition.cc.o.d"
+  "CMakeFiles/geoalign_partition.dir/partition/disaggregation.cc.o"
+  "CMakeFiles/geoalign_partition.dir/partition/disaggregation.cc.o.d"
+  "CMakeFiles/geoalign_partition.dir/partition/interval_partition.cc.o"
+  "CMakeFiles/geoalign_partition.dir/partition/interval_partition.cc.o.d"
+  "CMakeFiles/geoalign_partition.dir/partition/overlay.cc.o"
+  "CMakeFiles/geoalign_partition.dir/partition/overlay.cc.o.d"
+  "CMakeFiles/geoalign_partition.dir/partition/polygon_partition.cc.o"
+  "CMakeFiles/geoalign_partition.dir/partition/polygon_partition.cc.o.d"
+  "libgeoalign_partition.a"
+  "libgeoalign_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geoalign_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/coo_builder.cc" "src/CMakeFiles/geoalign_sparse.dir/sparse/coo_builder.cc.o" "gcc" "src/CMakeFiles/geoalign_sparse.dir/sparse/coo_builder.cc.o.d"
+  "/root/repo/src/sparse/csr_matrix.cc" "src/CMakeFiles/geoalign_sparse.dir/sparse/csr_matrix.cc.o" "gcc" "src/CMakeFiles/geoalign_sparse.dir/sparse/csr_matrix.cc.o.d"
+  "/root/repo/src/sparse/sparse_ops.cc" "src/CMakeFiles/geoalign_sparse.dir/sparse/sparse_ops.cc.o" "gcc" "src/CMakeFiles/geoalign_sparse.dir/sparse/sparse_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geoalign_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geoalign_sparse.dir/sparse/coo_builder.cc.o"
+  "CMakeFiles/geoalign_sparse.dir/sparse/coo_builder.cc.o.d"
+  "CMakeFiles/geoalign_sparse.dir/sparse/csr_matrix.cc.o"
+  "CMakeFiles/geoalign_sparse.dir/sparse/csr_matrix.cc.o.d"
+  "CMakeFiles/geoalign_sparse.dir/sparse/sparse_ops.cc.o"
+  "CMakeFiles/geoalign_sparse.dir/sparse/sparse_ops.cc.o.d"
+  "libgeoalign_sparse.a"
+  "libgeoalign_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geoalign_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geoalign_spatial.dir/spatial/grid_index.cc.o"
+  "CMakeFiles/geoalign_spatial.dir/spatial/grid_index.cc.o.d"
+  "CMakeFiles/geoalign_spatial.dir/spatial/rtree.cc.o"
+  "CMakeFiles/geoalign_spatial.dir/spatial/rtree.cc.o.d"
+  "libgeoalign_spatial.a"
+  "libgeoalign_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geoalign_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/dataset_suite.cc" "src/CMakeFiles/geoalign_synth.dir/synth/dataset_suite.cc.o" "gcc" "src/CMakeFiles/geoalign_synth.dir/synth/dataset_suite.cc.o.d"
+  "/root/repo/src/synth/geography.cc" "src/CMakeFiles/geoalign_synth.dir/synth/geography.cc.o" "gcc" "src/CMakeFiles/geoalign_synth.dir/synth/geography.cc.o.d"
+  "/root/repo/src/synth/geometric_universe.cc" "src/CMakeFiles/geoalign_synth.dir/synth/geometric_universe.cc.o" "gcc" "src/CMakeFiles/geoalign_synth.dir/synth/geometric_universe.cc.o.d"
+  "/root/repo/src/synth/point_process.cc" "src/CMakeFiles/geoalign_synth.dir/synth/point_process.cc.o" "gcc" "src/CMakeFiles/geoalign_synth.dir/synth/point_process.cc.o.d"
+  "/root/repo/src/synth/universe.cc" "src/CMakeFiles/geoalign_synth.dir/synth/universe.cc.o" "gcc" "src/CMakeFiles/geoalign_synth.dir/synth/universe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geoalign_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

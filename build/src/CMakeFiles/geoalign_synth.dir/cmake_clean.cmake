@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geoalign_synth.dir/synth/dataset_suite.cc.o"
+  "CMakeFiles/geoalign_synth.dir/synth/dataset_suite.cc.o.d"
+  "CMakeFiles/geoalign_synth.dir/synth/geography.cc.o"
+  "CMakeFiles/geoalign_synth.dir/synth/geography.cc.o.d"
+  "CMakeFiles/geoalign_synth.dir/synth/geometric_universe.cc.o"
+  "CMakeFiles/geoalign_synth.dir/synth/geometric_universe.cc.o.d"
+  "CMakeFiles/geoalign_synth.dir/synth/point_process.cc.o"
+  "CMakeFiles/geoalign_synth.dir/synth/point_process.cc.o.d"
+  "CMakeFiles/geoalign_synth.dir/synth/universe.cc.o"
+  "CMakeFiles/geoalign_synth.dir/synth/universe.cc.o.d"
+  "libgeoalign_synth.a"
+  "libgeoalign_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geoalign_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

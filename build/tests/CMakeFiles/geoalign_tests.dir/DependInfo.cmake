@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/batch_and_geometric_test.cc" "tests/CMakeFiles/geoalign_tests.dir/batch_and_geometric_test.cc.o" "gcc" "tests/CMakeFiles/geoalign_tests.dir/batch_and_geometric_test.cc.o.d"
+  "/root/repo/tests/cli_test.cc" "tests/CMakeFiles/geoalign_tests.dir/cli_test.cc.o" "gcc" "tests/CMakeFiles/geoalign_tests.dir/cli_test.cc.o.d"
+  "/root/repo/tests/clip_polygon_test.cc" "tests/CMakeFiles/geoalign_tests.dir/clip_polygon_test.cc.o" "gcc" "tests/CMakeFiles/geoalign_tests.dir/clip_polygon_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/geoalign_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/geoalign_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/core_property_test.cc" "tests/CMakeFiles/geoalign_tests.dir/core_property_test.cc.o" "gcc" "tests/CMakeFiles/geoalign_tests.dir/core_property_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/geoalign_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/geoalign_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/coverage_gaps_test.cc" "tests/CMakeFiles/geoalign_tests.dir/coverage_gaps_test.cc.o" "gcc" "tests/CMakeFiles/geoalign_tests.dir/coverage_gaps_test.cc.o.d"
+  "/root/repo/tests/eval_test.cc" "tests/CMakeFiles/geoalign_tests.dir/eval_test.cc.o" "gcc" "tests/CMakeFiles/geoalign_tests.dir/eval_test.cc.o.d"
+  "/root/repo/tests/geom_test.cc" "tests/CMakeFiles/geoalign_tests.dir/geom_test.cc.o" "gcc" "tests/CMakeFiles/geoalign_tests.dir/geom_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/geoalign_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/geoalign_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/io_extended_test.cc" "tests/CMakeFiles/geoalign_tests.dir/io_extended_test.cc.o" "gcc" "tests/CMakeFiles/geoalign_tests.dir/io_extended_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/geoalign_tests.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/geoalign_tests.dir/io_test.cc.o.d"
+  "/root/repo/tests/linalg_test.cc" "tests/CMakeFiles/geoalign_tests.dir/linalg_test.cc.o" "gcc" "tests/CMakeFiles/geoalign_tests.dir/linalg_test.cc.o.d"
+  "/root/repo/tests/methods_test.cc" "tests/CMakeFiles/geoalign_tests.dir/methods_test.cc.o" "gcc" "tests/CMakeFiles/geoalign_tests.dir/methods_test.cc.o.d"
+  "/root/repo/tests/overlay_property_test.cc" "tests/CMakeFiles/geoalign_tests.dir/overlay_property_test.cc.o" "gcc" "tests/CMakeFiles/geoalign_tests.dir/overlay_property_test.cc.o.d"
+  "/root/repo/tests/partition_test.cc" "tests/CMakeFiles/geoalign_tests.dir/partition_test.cc.o" "gcc" "tests/CMakeFiles/geoalign_tests.dir/partition_test.cc.o.d"
+  "/root/repo/tests/robustness_test.cc" "tests/CMakeFiles/geoalign_tests.dir/robustness_test.cc.o" "gcc" "tests/CMakeFiles/geoalign_tests.dir/robustness_test.cc.o.d"
+  "/root/repo/tests/smoke_test.cc" "tests/CMakeFiles/geoalign_tests.dir/smoke_test.cc.o" "gcc" "tests/CMakeFiles/geoalign_tests.dir/smoke_test.cc.o.d"
+  "/root/repo/tests/sparse_test.cc" "tests/CMakeFiles/geoalign_tests.dir/sparse_test.cc.o" "gcc" "tests/CMakeFiles/geoalign_tests.dir/sparse_test.cc.o.d"
+  "/root/repo/tests/spatial_test.cc" "tests/CMakeFiles/geoalign_tests.dir/spatial_test.cc.o" "gcc" "tests/CMakeFiles/geoalign_tests.dir/spatial_test.cc.o.d"
+  "/root/repo/tests/synth_test.cc" "tests/CMakeFiles/geoalign_tests.dir/synth_test.cc.o" "gcc" "tests/CMakeFiles/geoalign_tests.dir/synth_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geoalign_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geoalign_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

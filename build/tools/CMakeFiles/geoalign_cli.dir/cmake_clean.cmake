@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geoalign_cli.dir/geoalign_cli.cc.o"
+  "CMakeFiles/geoalign_cli.dir/geoalign_cli.cc.o.d"
+  "geoalign_cli"
+  "geoalign_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geoalign_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
