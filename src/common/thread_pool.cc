@@ -1,0 +1,117 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+
+namespace geoalign::common {
+
+size_t ResolveThreadCount(size_t requested) {
+  if (requested != 0) return requested;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool::Submit after shutdown");
+    }
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions land in the task's future
+  }
+}
+
+std::unique_ptr<ThreadPool> MakePoolOrNull(size_t threads) {
+  if (threads <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(threads);
+}
+
+std::vector<ChunkRange> DeterministicChunks(size_t n, size_t grain) {
+  std::vector<ChunkRange> chunks;
+  if (n == 0) return chunks;
+  grain = std::max<size_t>(1, grain);
+  // Bound the chunk count (transient memory of reductions); the
+  // widened grain is still a function of (n, grain) only.
+  size_t count = (n + grain - 1) / grain;
+  if (count > kMaxChunks) {
+    grain = (n + kMaxChunks - 1) / kMaxChunks;
+    count = (n + grain - 1) / grain;
+  }
+  chunks.reserve(count);
+  for (size_t begin = 0; begin < n; begin += grain) {
+    chunks.push_back({begin, std::min(n, begin + grain)});
+  }
+  return chunks;
+}
+
+void ParallelForChunks(ThreadPool* pool, size_t num_chunks,
+                       const std::function<void(size_t)>& fn) {
+  if (num_chunks == 0) return;
+  if (pool == nullptr || pool->size() <= 1 || num_chunks == 1) {
+    for (size_t c = 0; c < num_chunks; ++c) fn(c);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_chunks);
+  for (size_t c = 0; c < num_chunks; ++c) {
+    futures.push_back(pool->Submit([&fn, c] { fn(c); }));
+  }
+  // Every chunk must finish before we return (the closures reference
+  // caller state), so collect the first exception instead of throwing
+  // mid-drain.
+  std::exception_ptr first_error;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ParallelFor(ThreadPool* pool, size_t n, size_t grain,
+                 const std::function<void(size_t, size_t, size_t)>& fn) {
+  std::vector<ChunkRange> chunks = DeterministicChunks(n, grain);
+  ParallelForChunks(pool, chunks.size(), [&](size_t c) {
+    fn(c, chunks[c].begin, chunks[c].end);
+  });
+}
+
+}  // namespace geoalign::common

@@ -1,7 +1,10 @@
 #include "core/batch.h"
 
 #include <cmath>
+#include <memory>
+#include <optional>
 
+#include "common/thread_pool.h"
 #include "sparse/sparse_ops.h"
 
 namespace geoalign::core {
@@ -42,59 +45,85 @@ Result<BatchCrosswalk> BatchCrosswalk::Create(
   return batch;
 }
 
-Result<std::vector<BatchCrosswalk::BatchResult>> BatchCrosswalk::Run(
-    const std::vector<Objective>& objectives) const {
-  std::vector<BatchResult> out;
-  out.reserve(objectives.size());
+Result<BatchCrosswalk::BatchResult> BatchCrosswalk::RunOne(
+    const Objective& objective, common::ThreadPool* pool) const {
   size_t num_refs = references_.size();
+  if (objective.source.size() != num_source_) {
+    return Status::InvalidArgument("BatchCrosswalk: objective '" +
+                                   objective.name + "' wrong length");
+  }
+  // Weight learning with the shared Gram matrix.
+  GEOALIGN_ASSIGN_OR_RETURN(linalg::Vector b,
+                            linalg::NormalizeByMax(objective.source));
+  linalg::Vector atb = design_.MatTVec(b);
+  GEOALIGN_ASSIGN_OR_RETURN(
+      linalg::SimplexLsSolution sol,
+      linalg::SolveSimplexLsFromNormalEquations(
+          gram_, atb, linalg::Dot(b, b), options_.solver_options));
+
+  // Disaggregation + re-aggregation (same math as GeoAlign).
+  linalg::Vector effective(num_refs, 0.0);
+  for (size_t k = 0; k < num_refs; ++k) {
+    double norm = options_.scale_mode == ScaleMode::kNormalized
+                      ? normalizers_[k]
+                      : 1.0;
+    effective[k] = sol.beta[k] / norm;
+  }
   std::vector<const sparse::CsrMatrix*> dms;
   dms.reserve(num_refs);
   for (const ReferenceAttribute& ref : references_) {
     dms.push_back(&ref.disaggregation);
   }
-
-  for (const Objective& objective : objectives) {
-    if (objective.source.size() != num_source_) {
-      return Status::InvalidArgument("BatchCrosswalk: objective '" +
-                                     objective.name + "' wrong length");
-    }
-    // Weight learning with the shared Gram matrix.
-    GEOALIGN_ASSIGN_OR_RETURN(linalg::Vector b,
-                              linalg::NormalizeByMax(objective.source));
-    linalg::Vector atb = design_.MatTVec(b);
-    GEOALIGN_ASSIGN_OR_RETURN(
-        linalg::SimplexLsSolution sol,
-        linalg::SolveSimplexLsFromNormalEquations(
-            gram_, atb, linalg::Dot(b, b), options_.solver_options));
-
-    // Disaggregation + re-aggregation (same math as GeoAlign).
-    linalg::Vector effective(num_refs, 0.0);
+  GEOALIGN_ASSIGN_OR_RETURN(sparse::CsrMatrix numerator,
+                            sparse::WeightedSum(dms, effective, pool));
+  linalg::Vector denom;
+  if (options_.denominator == DenominatorMode::kFromDmRowSums) {
+    denom = numerator.RowSums();
+  } else {
+    denom.assign(num_source_, 0.0);
     for (size_t k = 0; k < num_refs; ++k) {
-      double norm = options_.scale_mode == ScaleMode::kNormalized
-                        ? normalizers_[k]
-                        : 1.0;
-      effective[k] = sol.beta[k] / norm;
+      if (effective[k] == 0.0) continue;
+      linalg::Axpy(effective[k], references_[k].source_aggregates, denom);
     }
-    GEOALIGN_ASSIGN_OR_RETURN(sparse::CsrMatrix numerator,
-                              sparse::WeightedSum(dms, effective));
-    linalg::Vector denom;
-    if (options_.denominator == DenominatorMode::kFromDmRowSums) {
-      denom = numerator.RowSums();
-    } else {
-      denom.assign(num_source_, 0.0);
-      for (size_t k = 0; k < num_refs; ++k) {
-        if (effective[k] == 0.0) continue;
-        linalg::Axpy(effective[k], references_[k].source_aggregates, denom);
-      }
+  }
+  BatchResult result;
+  result.name = objective.name;
+  sparse::DivideRowsOrZero(numerator, denom, options_.zero_tolerance,
+                           &result.zero_rows, pool);
+  numerator.ScaleRows(objective.source);
+  result.target_estimates = sparse::ColSumsDeterministic(numerator, pool);
+  result.weights = std::move(sol.beta);
+  return result;
+}
+
+Result<std::vector<BatchCrosswalk::BatchResult>> BatchCrosswalk::Run(
+    const std::vector<Objective>& objectives) const {
+  std::unique_ptr<common::ThreadPool> pool =
+      common::MakePoolOrNull(common::ResolveThreadCount(options_.threads));
+  std::vector<BatchResult> out;
+  out.reserve(objectives.size());
+  if (pool == nullptr || objectives.size() <= 1) {
+    // Single objective (or inline mode): spend any pool inside the
+    // one crosswalk's sparse kernels instead.
+    for (const Objective& objective : objectives) {
+      GEOALIGN_ASSIGN_OR_RETURN(BatchResult result,
+                                RunOne(objective, pool.get()));
+      out.push_back(std::move(result));
     }
-    BatchResult result;
-    result.name = objective.name;
-    sparse::DivideRowsOrZero(numerator, denom, options_.zero_tolerance,
-                             &result.zero_rows);
-    numerator.ScaleRows(objective.source);
-    result.target_estimates = numerator.ColSums();
-    result.weights = std::move(sol.beta);
-    out.push_back(std::move(result));
+    return out;
+  }
+  // One task per objective, inner kernels inline: the thread budget
+  // goes to the embarrassingly parallel outer loop. Inner chunk
+  // boundaries are fixed either way, so the outputs carry exactly the
+  // same bits as the sequential path; on error, the lowest-index
+  // objective's status is returned, matching sequential behavior.
+  std::vector<std::optional<Result<BatchResult>>> results(objectives.size());
+  common::ParallelForChunks(pool.get(), objectives.size(), [&](size_t i) {
+    results[i].emplace(RunOne(objectives[i], nullptr));
+  });
+  for (std::optional<Result<BatchResult>>& r : results) {
+    if (!r->ok()) return r->status();
+    out.push_back(std::move(*r).value());
   }
   return out;
 }

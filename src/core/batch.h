@@ -6,6 +6,10 @@
 
 #include "core/geoalign.h"
 
+namespace geoalign::common {
+class ThreadPool;
+}
+
 namespace geoalign::core {
 
 /// Realigns MANY objective attributes over one shared reference set —
@@ -43,6 +47,10 @@ class BatchCrosswalk {
   };
 
   /// Realigns every objective; results are index-aligned with input.
+  /// With `options.threads` != 1 the independent objectives run
+  /// concurrently on a pool (the paper-§6 portal shape: every column
+  /// of every table realigned at once); outputs are bit-identical to
+  /// the sequential order for any thread count.
   Result<std::vector<BatchResult>> Run(
       const std::vector<Objective>& objectives) const;
 
@@ -55,6 +63,11 @@ class BatchCrosswalk {
  private:
   BatchCrosswalk(std::vector<ReferenceAttribute> references,
                  GeoAlignOptions options);
+
+  /// Realigns one objective; `pool` parallelizes the sparse kernels
+  /// inside this single crosswalk (null = inline).
+  Result<BatchResult> RunOne(const Objective& objective,
+                             common::ThreadPool* pool) const;
 
   std::vector<ReferenceAttribute> references_;
   GeoAlignOptions options_;

@@ -1,7 +1,9 @@
 #include "core/geoalign.h"
 
 #include <cmath>
+#include <memory>
 
+#include "common/thread_pool.h"
 #include "linalg/nnls.h"
 #include "linalg/qr.h"
 #include "sparse/coo_builder.h"
@@ -95,6 +97,10 @@ Result<CrosswalkResult> GeoAlign::Crosswalk(
   }
   CrosswalkResult result;
   Stopwatch watch;
+  // The pool only changes who executes the fixed chunks, never the
+  // combine order, so every thread count yields identical bits.
+  std::unique_ptr<common::ThreadPool> pool =
+      common::MakePoolOrNull(common::ResolveThreadCount(options_.threads));
 
   // Step 1: weight learning (Eq. 15).
   GEOALIGN_ASSIGN_OR_RETURN(auto system, BuildNormalizedSystem(input));
@@ -129,7 +135,7 @@ Result<CrosswalkResult> GeoAlign::Crosswalk(
     dms.push_back(&ref.disaggregation);
   }
   GEOALIGN_ASSIGN_OR_RETURN(sparse::CsrMatrix numerator,
-                            sparse::WeightedSum(dms, effective));
+                            sparse::WeightedSum(dms, effective, pool.get()));
 
   linalg::Vector denom;
   if (options_.denominator == DenominatorMode::kFromDmRowSums) {
@@ -146,7 +152,7 @@ Result<CrosswalkResult> GeoAlign::Crosswalk(
   // Rows scale by a^s_o[i] / denom[i]; zero denominators fall back.
   std::vector<size_t> zero_rows;
   sparse::DivideRowsOrZero(numerator, denom, options_.zero_tolerance,
-                           &zero_rows);
+                           &zero_rows, pool.get());
   numerator.ScaleRows(input.objective_source);
   sparse::CsrMatrix estimated = std::move(numerator);
 
@@ -183,7 +189,7 @@ Result<CrosswalkResult> GeoAlign::Crosswalk(
   watch.Restart();
 
   // Step 3: re-aggregation (Eq. 17).
-  result.target_estimates = estimated.ColSums();
+  result.target_estimates = sparse::ColSumsDeterministic(estimated, pool.get());
   result.timing.Add("reaggregation", watch.ElapsedSeconds());
 
   result.estimated_dm = std::move(estimated);

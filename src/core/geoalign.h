@@ -69,6 +69,13 @@ struct GeoAlignOptions {
   /// (e.g. the measure/area DM) used for unsupported rows. Not owned;
   /// must outlive the interpolator.
   const sparse::CsrMatrix* fallback_dm = nullptr;
+  /// Worker threads for the disaggregation (Eq. 14) and re-aggregation
+  /// (Eq. 17) phases: 0 = one per hardware thread, 1 = run inline on
+  /// the calling thread (legacy single-threaded execution). Outputs
+  /// are bit-identical for every value — the parallel kernels use
+  /// fixed chunk boundaries and ordered combines (the deterministic-
+  /// reduction contract, docs/parallelism.md).
+  size_t threads = 0;
   /// Options forwarded to the simplex solver.
   linalg::SimplexLsOptions solver_options;
 };

@@ -1,6 +1,10 @@
 #include "core/pipeline.h"
 
+#include <memory>
+#include <optional>
 #include <unordered_map>
+
+#include "common/thread_pool.h"
 
 namespace geoalign::core {
 
@@ -66,6 +70,48 @@ Result<CrosswalkResult> CrosswalkPipeline::Realign(
                             ResolveColumn(objective, source_units_));
   input.references = references_;
   return method_->Crosswalk(input);
+}
+
+Result<std::vector<CrosswalkResult>> CrosswalkPipeline::RealignMany(
+    const std::vector<Column>& objectives, size_t threads) const {
+  std::unique_ptr<common::ThreadPool> pool =
+      common::MakePoolOrNull(common::ResolveThreadCount(threads));
+
+  // With an outer pool, an interpolator that would itself spawn a pool
+  // per crosswalk (GeoAlign with threads != 1) would oversubscribe the
+  // machine; clone it in inline mode — the deterministic kernels make
+  // this a pure scheduling change, never a numeric one.
+  std::shared_ptr<const Interpolator> method = method_;
+  if (pool != nullptr) {
+    if (const auto* ga = dynamic_cast<const GeoAlign*>(method_.get())) {
+      GeoAlignOptions inline_options = ga->options();
+      inline_options.threads = 1;
+      method = std::make_shared<GeoAlign>(inline_options);
+    }
+  }
+
+  std::vector<std::optional<Result<CrosswalkResult>>> results(
+      objectives.size());
+  common::ParallelForChunks(pool.get(), objectives.size(), [&](size_t i) {
+    CrosswalkInput input;
+    Result<linalg::Vector> column =
+        ResolveColumn(objectives[i], source_units_);
+    if (!column.ok()) {
+      results[i].emplace(column.status());
+      return;
+    }
+    input.objective_source = std::move(column).value();
+    input.references = references_;
+    results[i].emplace(method->Crosswalk(input));
+  });
+
+  std::vector<CrosswalkResult> out;
+  out.reserve(objectives.size());
+  for (std::optional<Result<CrosswalkResult>>& r : results) {
+    if (!r->ok()) return r->status();
+    out.push_back(std::move(*r).value());
+  }
+  return out;
 }
 
 Result<std::vector<CrosswalkPipeline::JoinedRow>> CrosswalkPipeline::Join(

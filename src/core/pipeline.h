@@ -35,6 +35,18 @@ class CrosswalkPipeline {
   Result<CrosswalkResult> Realign(
       const std::vector<std::pair<std::string, double>>& objective) const;
 
+  /// A (unit name, value) objective column, as accepted by Realign.
+  using Column = std::vector<std::pair<std::string, double>>;
+
+  /// Realigns many independent objective columns concurrently — the
+  /// portal shape of the paper's §6: every column of a table realigned
+  /// at once. `threads`: 0 = one per hardware thread, 1 = sequential.
+  /// Results are index-aligned with `objectives` and bit-identical to
+  /// looping over Realign for every thread count; on error the
+  /// lowest-index failing column's status is returned.
+  Result<std::vector<CrosswalkResult>> RealignMany(
+      const std::vector<Column>& objectives, size_t threads = 0) const;
+
   /// One row of the joined output.
   struct JoinedRow {
     std::string target_unit;

@@ -56,10 +56,15 @@ Result<OverlayResult> OverlayBoxes(const BoxPartition& source,
 
 /// Geometric 2-D overlay: for every bbox-candidate pair (via the
 /// source R-tree) the polygon intersection area is computed; cells
-/// with area <= `min_area` are dropped.
+/// with area <= `min_area` are dropped. `threads` parallelizes
+/// candidate generation + clipping over target-unit chunks (0 = one
+/// thread per hardware thread, 1 = inline); cells are concatenated in
+/// target order before the final sort, so the result is identical for
+/// every thread count.
 Result<OverlayResult> OverlayPolygons(const PolygonPartition& source,
                                       const PolygonPartition& target,
-                                      double min_area = 0.0);
+                                      double min_area = 0.0,
+                                      size_t threads = 1);
 
 /// Exact label-join overlay of two partitions of the SAME atom space:
 /// cell (i, j) collects atoms with source label i and target label j.

@@ -118,7 +118,7 @@ Result<GeometricUniverse> BuildGeometricUniverse(
   GEOALIGN_ASSIGN_OR_RETURN(
       uni.overlay,
       partition::OverlayPolygons(*uni.zips, *uni.counties,
-                                 /*min_area=*/1e-9));
+                                 /*min_area=*/1e-9, /*threads=*/0));
   uni.measure_dm = uni.overlay.MeasureDm();
 
   // Point layers. Population mixes the city mixture with a uniform

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <thread>
 
 #include "common/random.h"
 #include "core/dasymetric.h"
@@ -146,6 +148,86 @@ TEST_P(CorePropertyTest, GeoAlignAtLeastMatchesWorstReference) {
     worst = std::max(worst, eval::Rmse(res.target_estimates, w.truth));
   }
   EXPECT_LE(ga_err, worst * 1.05 + 1e-9);
+}
+
+// The concurrency contract of the parallel execution layer: for every
+// ScaleMode x DenominatorMode x ZeroRowFallback combination, the
+// disaggregation (Eq. 14) and re-aggregation (Eq. 17) outputs must be
+// BIT-identical across thread counts {1, 2, 7, hardware_concurrency},
+// and volume preservation (Eq. 16) must hold within 1e-9 (relative).
+TEST_P(CorePropertyTest, ParallelDeterminismAndVolumePreservation) {
+  RandomWorld w = MakeWorld(9500 + GetParam());
+  size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  const std::vector<size_t> thread_counts = {1, 2, 7, hw};
+
+  for (core::ScaleMode scale :
+       {core::ScaleMode::kNormalized, core::ScaleMode::kRaw}) {
+    for (core::DenominatorMode den :
+         {core::DenominatorMode::kFromDmRowSums,
+          core::DenominatorMode::kFromAggregates}) {
+      for (core::ZeroRowFallback fb :
+           {core::ZeroRowFallback::kZero, core::ZeroRowFallback::kFallbackDm}) {
+        SCOPED_TRACE("scale=" + std::to_string(static_cast<int>(scale)) +
+                     " den=" + std::to_string(static_cast<int>(den)) +
+                     " fb=" + std::to_string(static_cast<int>(fb)));
+        std::optional<core::CrosswalkResult> baseline;
+        for (size_t threads : thread_counts) {
+          core::GeoAlignOptions opts;
+          opts.scale_mode = scale;
+          opts.denominator = den;
+          opts.zero_row_fallback = fb;
+          if (fb == core::ZeroRowFallback::kFallbackDm) {
+            opts.fallback_dm = &w.universe.measure_dm;
+          }
+          opts.threads = threads;
+          core::GeoAlign geoalign(opts);
+          auto res = std::move(geoalign.Crosswalk(w.input)).ValueOrDie();
+
+          if (!baseline.has_value()) {
+            // Volume preservation, checked once (bit-identity below
+            // extends it to every thread count). Rows without
+            // reference support carry zero under kZero; under
+            // kFallbackDm they carry the full objective mass whenever
+            // the fallback DM has support there.
+            linalg::Vector row_sums = res.estimated_dm.RowSums();
+            linalg::Vector fallback_sums =
+                fb == core::ZeroRowFallback::kFallbackDm
+                    ? w.universe.measure_dm.RowSums()
+                    : linalg::Vector();
+            std::vector<bool> is_zero(row_sums.size(), false);
+            for (size_t r : res.zero_rows) is_zero[r] = true;
+            for (size_t r = 0; r < row_sums.size(); ++r) {
+              double want = w.input.objective_source[r];
+              if (is_zero[r] &&
+                  (fb == core::ZeroRowFallback::kZero ||
+                   fallback_sums[r] <= 0.0)) {
+                want = 0.0;
+              }
+              ASSERT_NEAR(row_sums[r], want,
+                          1e-9 * std::max(1.0, std::fabs(want)))
+                  << "volume preservation broken at row " << r << ", threads "
+                  << threads;
+            }
+            baseline = std::move(res);
+            continue;
+          }
+
+          // Bit-identity with the threads=1 baseline: exact equality
+          // on every output array, no tolerances.
+          ASSERT_EQ(res.target_estimates, baseline->target_estimates)
+              << "re-aggregation differs at threads=" << threads;
+          ASSERT_EQ(res.weights, baseline->weights);
+          ASSERT_EQ(res.zero_rows, baseline->zero_rows);
+          ASSERT_EQ(res.estimated_dm.row_ptr(),
+                    baseline->estimated_dm.row_ptr());
+          ASSERT_EQ(res.estimated_dm.col_idx(),
+                    baseline->estimated_dm.col_idx());
+          ASSERT_EQ(res.estimated_dm.values(), baseline->estimated_dm.values())
+              << "disaggregation differs at threads=" << threads;
+        }
+      }
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomWorlds, CorePropertyTest,

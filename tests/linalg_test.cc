@@ -286,6 +286,76 @@ TEST(SimplexLs, RejectsEmptyAndMismatched) {
   EXPECT_FALSE(SolveSimplexLeastSquares(a, {1.0, 2.0}).ok());
 }
 
+// Agreement between GeoAlign's two weight solvers (WeightSolver::
+// kSimplex and kNnlsNormalized): when the design is well conditioned
+// and the optimum is interior to the simplex, solving NNLS and
+// rescaling to sum 1 must land on the same weights as the
+// simplex-constrained solver.
+TEST(SolverAgreement, ExactInteriorOptimum) {
+  // Tall, near-orthogonal, strictly positive design; b is an exact
+  // interior convex combination, so the unconstrained optimum already
+  // sits on the simplex and both solvers must recover it exactly.
+  size_t m = 60;
+  size_t n = 4;
+  Rng rng(404);
+  Matrix a(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      a(i, j) = (i % n == j ? 2.0 : 0.1) + 0.05 * rng.Uniform(0.0, 1.0);
+    }
+  }
+  Vector beta_true = {0.4, 0.3, 0.2, 0.1};
+  Vector b = a.MatVec(beta_true);
+
+  auto simplex = SolveSimplexLeastSquares(a, b);
+  ASSERT_TRUE(simplex.ok());
+  auto nnls = SolveNnls(a, b);
+  ASSERT_TRUE(nnls.ok());
+  Vector nnls_normalized = nnls->x;
+  ASSERT_GT(Sum(nnls_normalized), 0.0);
+  Scale(nnls_normalized, 1.0 / Sum(nnls_normalized));
+
+  EXPECT_TRUE(AllClose(simplex->beta, beta_true, 1e-8));
+  EXPECT_TRUE(AllClose(nnls_normalized, beta_true, 1e-8));
+  EXPECT_TRUE(AllClose(simplex->beta, nnls_normalized, 1e-8));
+}
+
+TEST(SolverAgreement, NoisyInteriorOptimumStaysWithinNoiseScale) {
+  // With a small perturbation of the right-hand side the two programs
+  // are no longer identical (NNLS renormalizes after the fact), but on
+  // a well-conditioned design their weights may only drift apart at
+  // the scale of the noise.
+  size_t m = 80;
+  size_t n = 5;
+  Rng rng(405);
+  Matrix a(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      a(i, j) = (i % n == j ? 2.0 : 0.15) + 0.05 * rng.Uniform(0.0, 1.0);
+    }
+  }
+  Vector beta_true = {0.3, 0.25, 0.2, 0.15, 0.1};
+  Vector b = a.MatVec(beta_true);
+  constexpr double kNoise = 1e-3;
+  for (double& v : b) v += rng.Gaussian(0.0, kNoise);
+
+  auto simplex = SolveSimplexLeastSquares(a, b);
+  ASSERT_TRUE(simplex.ok());
+  auto nnls = SolveNnls(a, b);
+  ASSERT_TRUE(nnls.ok());
+  Vector nnls_normalized = nnls->x;
+  ASSERT_GT(Sum(nnls_normalized), 0.0);
+  Scale(nnls_normalized, 1.0 / Sum(nnls_normalized));
+
+  EXPECT_NEAR(Sum(simplex->beta), 1.0, 1e-9);
+  EXPECT_NEAR(Sum(nnls_normalized), 1.0, 1e-12);
+  // Both stay near the generating weights and near each other, within
+  // a small multiple of the injected noise.
+  EXPECT_TRUE(AllClose(simplex->beta, beta_true, 20.0 * kNoise));
+  EXPECT_TRUE(AllClose(nnls_normalized, beta_true, 20.0 * kNoise));
+  EXPECT_TRUE(AllClose(simplex->beta, nnls_normalized, 20.0 * kNoise));
+}
+
 // Property: the solver's result satisfies the constraints and is no
 // worse than a dense sample of random feasible points.
 class SimplexLsPropertyTest : public ::testing::TestWithParam<int> {};

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI entry point: build + full ctest, then rebuild with
+# GEOALIGN_SANITIZE=thread and run the suite under ThreadSanitizer so
+# data races in the parallel execution layer (src/common/thread_pool)
+# are caught before merge.
+#
+# Environment knobs:
+#   JOBS          parallel build/test jobs (default: nproc)
+#   BUILD_DIR     plain build tree          (default: build)
+#   TSAN_DIR      ThreadSanitizer tree      (default: build-tsan)
+#   CTEST_FILTER  optional ctest -R regex applied to both runs; e.g.
+#                 CTEST_FILTER='ThreadPool|Parallel' for a quick
+#                 concurrency-only smoke.
+#   SKIP_TSAN=1   plain build + test only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+BUILD_DIR="${BUILD_DIR:-build}"
+TSAN_DIR="${TSAN_DIR:-build-tsan}"
+CTEST_FILTER="${CTEST_FILTER:-}"
+
+run_suite() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure --no-tests=error -j "$JOBS" \
+    ${CTEST_FILTER:+-R "$CTEST_FILTER"}
+}
+
+echo "=== plain build + ctest ==="
+run_suite "$BUILD_DIR"
+
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  echo "=== ThreadSanitizer build + ctest ==="
+  run_suite "$TSAN_DIR" -DGEOALIGN_SANITIZE=thread
+fi
