@@ -28,8 +28,8 @@ uint64_t Rng::NextU64() {
 }
 
 double Rng::NextDouble() {
-  // 53 random bits into [0,1).
-  return (NextU64() >> 11) * 0x1.0p-53;
+  // 53 random bits into [0,1); the shifted value fits a double exactly.
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
 }
 
 double Rng::Uniform(double lo, double hi) {

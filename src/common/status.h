@@ -32,7 +32,12 @@ std::string_view StatusCodeToString(StatusCode code);
 /// The OK status carries no message and is cheap to copy (no
 /// allocation). Error statuses carry a code and a human-readable
 /// message.
-class Status {
+///
+/// The class is `[[nodiscard]]`: any call that returns a `Status` by
+/// value must consume it (check `ok()`, propagate it with
+/// `GEOALIGN_RETURN_IF_ERROR`, or assert with `CheckOK`). Silently
+/// dropping an error is a compile error under GEOALIGN_WERROR.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -71,8 +76,8 @@ class Status {
     return Status(StatusCode::kIOError, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
   /// "OK" or "<Code>: <message>".
@@ -89,8 +94,10 @@ class Status {
 
 /// Value-or-error: holds either a `T` or a non-OK `Status`.
 /// Mirrors arrow::Result / absl::StatusOr at the size this project needs.
+/// `[[nodiscard]]` for the same reason as `Status`: a discarded
+/// `Result` is a silently dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: `return some_t;` inside a Result-returning
   /// function reads naturally, matching absl::StatusOr.
@@ -103,8 +110,8 @@ class Result {
     }
   }
 
-  bool ok() const { return value_.has_value(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   /// Value accessors; must not be called unless `ok()`.
   const T& value() const& {
@@ -141,12 +148,18 @@ class Result {
   std::optional<T> value_;
 };
 
-/// Propagates a non-OK Status out of the enclosing function.
-#define GEOALIGN_RETURN_NOT_OK(expr)                \
+/// Propagates a non-OK Status out of the enclosing function. This is
+/// the canonical error-propagation macro; use it instead of hand-rolled
+/// `if (!s.ok()) return s;` chains.
+#define GEOALIGN_RETURN_IF_ERROR(expr)              \
   do {                                              \
     ::geoalign::Status _st = (expr);                \
     if (!_st.ok()) return _st;                      \
   } while (false)
+
+/// Older spelling of GEOALIGN_RETURN_IF_ERROR, kept for source
+/// compatibility; new code should use GEOALIGN_RETURN_IF_ERROR.
+#define GEOALIGN_RETURN_NOT_OK(expr) GEOALIGN_RETURN_IF_ERROR(expr)
 
 /// Evaluates a Result-returning expression, assigning the value to
 /// `lhs` or propagating the error. `lhs` may include a declaration.

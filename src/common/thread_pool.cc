@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <exception>
-#include <stdexcept>
+
+#include "common/logging.h"
 
 namespace geoalign::common {
 
@@ -34,9 +35,10 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::future<void> future = packaged.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
-      throw std::runtime_error("ThreadPool::Submit after shutdown");
-    }
+    // Submitting to a pool whose destructor has begun is a programming
+    // error, and the Status contract forbids throwing from library
+    // code; fail fast instead of racing the worker shutdown.
+    GEOALIGN_CHECK(!stopping_) << "ThreadPool::Submit after shutdown";
     queue_.push_back(std::move(packaged));
   }
   cv_.notify_one();

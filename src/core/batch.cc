@@ -6,6 +6,7 @@
 
 #include "common/thread_pool.h"
 #include "sparse/sparse_ops.h"
+#include "common/float_eq.h"
 
 namespace geoalign::core {
 
@@ -82,7 +83,7 @@ Result<BatchCrosswalk::BatchResult> BatchCrosswalk::RunOne(
   } else {
     denom.assign(num_source_, 0.0);
     for (size_t k = 0; k < num_refs; ++k) {
-      if (effective[k] == 0.0) continue;
+      if (ExactlyZero(effective[k])) continue;
       linalg::Axpy(effective[k], references_[k].source_aggregates, denom);
     }
   }

@@ -8,6 +8,7 @@
 #include "linalg/qr.h"
 #include "sparse/coo_builder.h"
 #include "sparse/sparse_ops.h"
+#include "common/float_eq.h"
 
 namespace geoalign::core {
 
@@ -143,7 +144,7 @@ Result<CrosswalkResult> GeoAlign::Crosswalk(
   } else {
     denom.assign(input.NumSourceUnits(), 0.0);
     for (size_t k = 0; k < num_refs; ++k) {
-      if (effective[k] == 0.0) continue;
+      if (ExactlyZero(effective[k])) continue;
       linalg::Axpy(effective[k], input.references[k].source_aggregates,
                    denom);
     }

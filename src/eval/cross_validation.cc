@@ -46,7 +46,7 @@ Result<CvReport> RunCrossValidation(const synth::Universe& universe,
     const synth::Dataset& test = universe.datasets[t];
     GEOALIGN_ASSIGN_OR_RETURN(core::CrosswalkInput input,
                               universe.MakeLeaveOneOutInput(t));
-    GEOALIGN_RETURN_NOT_OK(input.Validate());
+    GEOALIGN_RETURN_IF_ERROR(input.Validate());
 
     // GeoAlign with all remaining references.
     {

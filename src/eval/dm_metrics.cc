@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/float_eq.h"
 
 namespace geoalign::eval {
 
@@ -53,7 +54,7 @@ double DmCosineSimilarity(const sparse::CsrMatrix& a,
     na += va * va;
     nb += vb * vb;
   });
-  if (na == 0.0 || nb == 0.0) return 0.0;
+  if (ExactlyZero(na) || ExactlyZero(nb)) return 0.0;
   return dot / (std::sqrt(na) * std::sqrt(nb));
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/float_eq.h"
 
 namespace geoalign::eval {
 
@@ -19,7 +20,7 @@ double Rmse(const linalg::Vector& estimate, const linalg::Vector& truth) {
 
 double Nrmse(const linalg::Vector& estimate, const linalg::Vector& truth) {
   double mean = linalg::Mean(truth);
-  GEOALIGN_CHECK(mean != 0.0) << "Nrmse: zero truth mean";
+  GEOALIGN_CHECK(!ExactlyZero(mean)) << "Nrmse: zero truth mean";
   return Rmse(estimate, truth) / mean;
 }
 

@@ -4,6 +4,7 @@
 
 #include "geom/convex_clip.h"
 #include "geom/predicates.h"
+#include "common/float_eq.h"
 
 namespace geoalign::geom {
 
@@ -23,7 +24,7 @@ void AppendRingFan(const Ring& ring, double ring_sign,
     Point p = ring[i];
     Point q = ring[i + 1];
     double tri_signed = Orient2d(origin, p, q);
-    if (tri_signed == 0.0) continue;
+    if (ExactlyZero(tri_signed)) continue;
     SignedTriangle t;
     t.sign = ring_sign * orient * (tri_signed > 0.0 ? 1.0 : -1.0);
     if (tri_signed > 0.0) {

@@ -6,6 +6,7 @@
 #include "common/random.h"
 #include "geom/boolean_ops.h"
 #include "geom/predicates.h"
+#include "common/float_eq.h"
 
 namespace geoalign::geom {
 
@@ -52,8 +53,8 @@ bool ProperCrossing(const Point& p1, const Point& p2, const Point& q1,
   Point s = q2 - q1;
   double denom = Cross(r, s);
   Point qp = q1 - p1;
-  if (denom == 0.0) {
-    if (Cross(qp, r) == 0.0) {
+  if (ExactlyZero(denom)) {
+    if (ExactlyZero(Cross(qp, r))) {
       // Collinear: overlap is degenerate for the traversal.
       double rr = Dot(r, r);
       if (rr > 0.0) {
@@ -237,8 +238,8 @@ Result<std::vector<Ring>> ClipPolygons(const Polygon& a, const Polygon& b,
   //   (walked against B's orientation by the exit rule).
   bool flip_a = op != BooleanOp::kIntersection;
   bool flip_b = op == BooleanOp::kUnion;
-  GEOALIGN_RETURN_NOT_OK(ClassifyEntries(rings.a, b.outer(), flip_a));
-  GEOALIGN_RETURN_NOT_OK(ClassifyEntries(rings.b, a.outer(), flip_b));
+  GEOALIGN_RETURN_IF_ERROR(ClassifyEntries(rings.a, b.outer(), flip_a));
+  GEOALIGN_RETURN_IF_ERROR(ClassifyEntries(rings.b, a.outer(), flip_b));
 
   std::vector<Ring> result;
   size_t guard = 4 * (rings.a.size() + rings.b.size()) + 16;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "geom/predicates.h"
+#include "common/float_eq.h"
 
 namespace geoalign::geom {
 
@@ -61,7 +62,7 @@ Result<Polygon> Polygon::Create(Ring outer, std::vector<Ring> holes) {
   if (outer.size() < 3) {
     return Status::InvalidArgument("Polygon: outer ring needs >= 3 vertices");
   }
-  if (RingArea(outer) == 0.0) {
+  if (ExactlyZero(RingArea(outer))) {
     return Status::InvalidArgument("Polygon: outer ring has zero area");
   }
   Polygon poly(std::move(outer));

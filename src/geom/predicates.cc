@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/float_eq.h"
+
 namespace geoalign::geom {
 
 double Orient2d(const Point& a, const Point& b, const Point& c) {
@@ -62,11 +64,11 @@ std::optional<Point> SegmentIntersection(const Point& a, const Point& b,
   Point s = d - c;
   double denom = Cross(r, s);
   Point qp = c - a;
-  if (denom == 0.0) {
+  if (ExactlyZero(denom)) {
     // Parallel. Collinear overlap?
-    if (Cross(qp, r) != 0.0) return std::nullopt;
+    if (!ExactlyZero(Cross(qp, r))) return std::nullopt;
     double rr = Dot(r, r);
-    if (rr == 0.0) {
+    if (ExactlyZero(rr)) {
       // a == b degenerate segment.
       if (PointOnSegment(a, c, d)) return a;
       return std::nullopt;
@@ -88,7 +90,7 @@ std::optional<Point> SegmentIntersection(const Point& a, const Point& b,
 double PointSegmentDistance(const Point& p, const Point& a, const Point& b) {
   Point ab = b - a;
   double len2 = Dot(ab, ab);
-  if (len2 == 0.0) return Distance(p, a);
+  if (ExactlyZero(len2)) return Distance(p, a);
   double t = std::clamp(Dot(p - a, ab) / len2, 0.0, 1.0);
   Point proj{a.x + t * ab.x, a.y + t * ab.y};
   return Distance(p, proj);

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "geom/convex_clip.h"
+#include "common/float_eq.h"
 
 namespace geoalign::geom {
 
@@ -112,7 +113,7 @@ Result<std::vector<Ring>> VoronoiCells(const std::vector<Point>& sites,
       }
       std::sort(candidates.begin(), candidates.end());
       for (auto& [d2, j] : candidates) {
-        if (d2 == 0.0) {
+        if (ExactlyZero(d2)) {
           // Exact duplicate: the first copy keeps the cell.
           if (j < i) {
             cell.clear();

@@ -92,7 +92,7 @@ Result<Table> ParseCsv(const std::string& text) {
     }
     GEOALIGN_ASSIGN_OR_RETURN(std::vector<std::string> row,
                               ParseRecord(text, &pos));
-    GEOALIGN_RETURN_NOT_OK(table.AppendRow(std::move(row)));
+    GEOALIGN_RETURN_IF_ERROR(table.AppendRow(std::move(row)));
   }
   return table;
 }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/float_eq.h"
+
 namespace geoalign::linalg {
 
 Result<LuFactorization> LuFactorization::Compute(const Matrix& a) {
@@ -26,7 +28,7 @@ Result<LuFactorization> LuFactorization::Compute(const Matrix& a) {
         pivot = r;
       }
     }
-    if (best == 0.0) {
+    if (ExactlyZero(best)) {
       return Status::InvalidArgument("LU: singular matrix");
     }
     if (pivot != k) {
@@ -38,7 +40,7 @@ Result<LuFactorization> LuFactorization::Compute(const Matrix& a) {
     for (size_t r = k + 1; r < n; ++r) {
       double m = lu(r, k) * inv_pivot;
       lu(r, k) = m;
-      if (m == 0.0) continue;
+      if (ExactlyZero(m)) continue;
       for (size_t c = k + 1; c < n; ++c) {
         lu(r, c) -= m * lu(k, c);
       }

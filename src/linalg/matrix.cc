@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/float_eq.h"
 
 namespace geoalign::linalg {
 
@@ -74,7 +75,7 @@ Matrix Matrix::MatMul(const Matrix& other) const {
   for (size_t r = 0; r < rows_; ++r) {
     for (size_t k = 0; k < cols_; ++k) {
       double a = (*this)(r, k);
-      if (a == 0.0) continue;
+      if (ExactlyZero(a)) continue;
       for (size_t c = 0; c < other.cols_; ++c) {
         out(r, c) += a * other(k, c);
       }

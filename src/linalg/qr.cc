@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/float_eq.h"
+
 namespace geoalign::linalg {
 
 Result<QrFactorization> QrFactorization::Compute(const Matrix& a) {
@@ -18,14 +20,14 @@ Result<QrFactorization> QrFactorization::Compute(const Matrix& a) {
     double norm = 0.0;
     for (size_t i = k; i < m; ++i) norm += qr(i, k) * qr(i, k);
     norm = std::sqrt(norm);
-    if (norm == 0.0) {
+    if (ExactlyZero(norm)) {
       tau[k] = 0.0;
       continue;
     }
     double alpha = qr(k, k) >= 0.0 ? -norm : norm;
     double v0 = qr(k, k) - alpha;
     // v = (v0, qr(k+1..m-1, k)); normalize so v[0] = 1.
-    if (v0 != 0.0) {
+    if (!ExactlyZero(v0)) {
       for (size_t i = k + 1; i < m; ++i) qr(i, k) /= v0;
     }
     // With v scaled so v[0] = 1, H = I - tau v v^T maps the column to
@@ -53,7 +55,7 @@ Result<Vector> QrFactorization::LeastSquares(const Vector& b) const {
   // y = Q^T b applied reflector by reflector.
   Vector y = b;
   for (size_t k = 0; k < n; ++k) {
-    if (tau_[k] == 0.0) continue;
+    if (ExactlyZero(tau_[k])) continue;
     double dot = y[k];
     for (size_t i = k + 1; i < m; ++i) dot += qr_(i, k) * y[i];
     dot *= tau_[k];

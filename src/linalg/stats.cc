@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/float_eq.h"
 
 namespace geoalign::linalg {
 
@@ -30,7 +31,7 @@ double Covariance(const Vector& a, const Vector& b) {
 double PearsonCorrelation(const Vector& a, const Vector& b) {
   double sa = StdDev(a);
   double sb = StdDev(b);
-  if (sa == 0.0 || sb == 0.0) return 0.0;
+  if (ExactlyZero(sa) || ExactlyZero(sb)) return 0.0;
   return Covariance(a, b) / (sa * sb);
 }
 

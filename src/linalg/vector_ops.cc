@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/float_eq.h"
 
 namespace geoalign::linalg {
 
@@ -76,7 +77,7 @@ Result<Vector> NormalizeByMax(const Vector& a) {
     }
     mx = std::max(mx, v);
   }
-  if (mx == 0.0) {
+  if (ExactlyZero(mx)) {
     return Status::InvalidArgument("NormalizeByMax: all-zero vector");
   }
   Vector out(a);

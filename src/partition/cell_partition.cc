@@ -1,6 +1,7 @@
 #include "partition/cell_partition.h"
 
 #include "common/logging.h"
+#include "common/float_eq.h"
 
 namespace geoalign::partition {
 
@@ -27,7 +28,7 @@ Result<CellPartition> CellPartition::Create(const AtomSpace* atoms,
     unit_measures[labels[a]] += atoms->measures[a];
   }
   for (uint32_t u = 0; u < num_units; ++u) {
-    if (unit_measures[u] == 0.0) {
+    if (ExactlyZero(unit_measures[u])) {
       return Status::InvalidArgument("CellPartition: empty unit");
     }
   }

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "sparse/coo_builder.h"
+#include "common/float_eq.h"
 
 namespace geoalign::partition {
 
@@ -24,7 +25,7 @@ Result<sparse::CsrMatrix> DmFromAtomValues(
   }
   sparse::CooBuilder builder(overlay.num_source, overlay.num_target);
   for (size_t k = 0; k < overlay.cells.size(); ++k) {
-    if (cell_totals[k] != 0.0) {
+    if (!ExactlyZero(cell_totals[k])) {
       builder.Add(overlay.cells[k].source, overlay.cells[k].target,
                   cell_totals[k]);
     }

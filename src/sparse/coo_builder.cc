@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/float_eq.h"
 
 namespace geoalign::sparse {
 
@@ -27,7 +28,7 @@ CsrMatrix CooBuilder::Build() {
         acc += entries_[i].value;
         ++i;
       }
-      if (acc != 0.0) {
+      if (!ExactlyZero(acc)) {
         out.col_idx_.push_back(c);
         out.values_.push_back(acc);
       }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/float_eq.h"
 
 namespace geoalign::sparse {
 
@@ -47,7 +48,7 @@ CsrMatrix CsrMatrix::FromDense(const linalg::Matrix& m, double prune_below) {
   for (size_t r = 0; r < m.rows(); ++r) {
     for (size_t c = 0; c < m.cols(); ++c) {
       double v = m(r, c);
-      if (v != 0.0 && std::fabs(v) > prune_below) {
+      if (!ExactlyZero(v) && std::fabs(v) > prune_below) {
         out.col_idx_.push_back(c);
         out.values_.push_back(v);
       }
@@ -117,7 +118,7 @@ linalg::Vector CsrMatrix::MatTVec(const linalg::Vector& x) const {
   linalg::Vector out(cols_, 0.0);
   for (size_t r = 0; r < rows_; ++r) {
     double xr = x[r];
-    if (xr == 0.0) continue;
+    if (ExactlyZero(xr)) continue;
     for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
       out[col_idx_[k]] += values_[k] * xr;
     }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/float_eq.h"
 
 namespace geoalign::sparse {
 
@@ -62,18 +63,18 @@ Result<CsrMatrix> WeightedSum(const std::vector<const CsrMatrix*>& mats,
       touched.clear();
       for (size_t mi = 0; mi < mats.size(); ++mi) {
         double w = weights[mi];
-        if (w == 0.0) continue;
+        if (ExactlyZero(w)) continue;
         CsrMatrix::RowView row = mats[mi]->Row(r);
         for (size_t k = 0; k < row.size; ++k) {
           size_t c = row.cols[k];
-          if (acc[c] == 0.0) touched.push_back(c);
+          if (ExactlyZero(acc[c])) touched.push_back(c);
           acc[c] += w * row.values[k];
         }
       }
       std::sort(touched.begin(), touched.end());
       size_t before = part.cols.size();
       for (size_t c : touched) {
-        if (acc[c] != 0.0) {
+        if (!ExactlyZero(acc[c])) {
           part.cols.push_back(c);
           part.vals.push_back(acc[c]);
         }

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "partition/disaggregation.h"
+#include "common/float_eq.h"
 
 namespace geoalign::synth {
 
@@ -14,7 +15,7 @@ double SegmentDistance(const geom::Point& p, const geom::Point& a,
                        const geom::Point& b) {
   geom::Point ab = b - a;
   double len2 = Dot(ab, ab);
-  if (len2 == 0.0) return Distance(p, a);
+  if (ExactlyZero(len2)) return Distance(p, a);
   double t = std::clamp(Dot(p - a, ab) / len2, 0.0, 1.0);
   return Distance(p, {a.x + t * ab.x, a.y + t * ab.y});
 }

@@ -91,9 +91,11 @@ Result<SyntheticGeography> SyntheticGeography::Build(
   for (size_t s = 0; s < params.num_states; ++s) {
     size_t col = s % params.grid_cols;
     size_t row = s / params.grid_cols;
-    geom::BBox tile(col * params.state_size, row * params.state_size,
-                    (col + 1) * params.state_size,
-                    (row + 1) * params.state_size);
+    double colf = static_cast<double>(col);
+    double rowf = static_cast<double>(row);
+    geom::BBox tile(colf * params.state_size, rowf * params.state_size,
+                    (colf + 1.0) * params.state_size,
+                    (rowf + 1.0) * params.state_size);
     geo.state_bounds_.push_back(tile);
 
     double want_atoms =
@@ -122,8 +124,9 @@ Result<SyntheticGeography> SyntheticGeography::Build(
     for (size_t y = 0; y < raster.ny; ++y) {
       for (size_t x = 0; x < raster.nx; ++x) {
         size_t a = raster.atom_offset + y * raster.nx + x;
-        geo.atom_centers_[a] = {tile.min_x + (x + 0.5) * dx,
-                                tile.min_y + (y + 0.5) * dy};
+        geo.atom_centers_[a] = {
+            tile.min_x + (static_cast<double>(x) + 0.5) * dx,
+            tile.min_y + (static_cast<double>(y) + 0.5) * dy};
         geo.atoms_->measures[a] = measure;
         geo.atom_states_[a] = static_cast<uint32_t>(s);
       }
@@ -178,10 +181,10 @@ Result<SyntheticGeography> SyntheticGeography::Build(
   auto zips = partition::CellPartition::Create(geo.atoms_.get(),
                                                std::move(zip_labels),
                                                zip_count);
-  GEOALIGN_RETURN_NOT_OK(zips.status());
+  GEOALIGN_RETURN_IF_ERROR(zips.status());
   auto counties = partition::CellPartition::Create(
       geo.atoms_.get(), std::move(county_labels), county_count);
-  GEOALIGN_RETURN_NOT_OK(counties.status());
+  GEOALIGN_RETURN_IF_ERROR(counties.status());
   geo.zips_ = std::make_unique<partition::CellPartition>(
       std::move(zips).value());
   geo.counties_ = std::make_unique<partition::CellPartition>(

@@ -88,7 +88,8 @@ std::vector<geom::Point> ThinPoints(const std::vector<geom::Point>& points,
                                     double keep_prob, double jitter_sigma,
                                     const geom::BBox& bounds, Rng& rng) {
   std::vector<geom::Point> out;
-  out.reserve(static_cast<size_t>(points.size() * keep_prob) + 1);
+  out.reserve(
+      static_cast<size_t>(static_cast<double>(points.size()) * keep_prob) + 1);
   for (const geom::Point& p : points) {
     if (!rng.Bernoulli(keep_prob)) continue;
     geom::Point q{rng.Gaussian(p.x, jitter_sigma),

@@ -47,11 +47,11 @@ size_t UniverseStateCount(UniverseId id) {
   return 0;
 }
 
-Result<size_t> Universe::FindDataset(const std::string& name) const {
+Result<size_t> Universe::FindDataset(const std::string& dataset_name) const {
   for (size_t i = 0; i < datasets.size(); ++i) {
-    if (datasets[i].name == name) return i;
+    if (datasets[i].name == dataset_name) return i;
   }
-  return Status::NotFound("no dataset named '" + name + "'");
+  return Status::NotFound("no dataset named '" + dataset_name + "'");
 }
 
 Result<core::CrosswalkInput> Universe::MakeLeaveOneOutInput(
@@ -97,9 +97,11 @@ Result<Universe> BuildUniverse(UniverseId id, const UniverseOptions& options) {
       counties = 44 + counts_rng.UniformInt(uint64_t{42});
     }
     zips = std::max<size_t>(
-        8, static_cast<size_t>(std::llround(zips * options.scale)));
+        8, static_cast<size_t>(
+               std::llround(static_cast<double>(zips) * options.scale)));
     counties = std::max<size_t>(
-        2, static_cast<size_t>(std::llround(counties * options.scale)));
+        2, static_cast<size_t>(
+               std::llround(static_cast<double>(counties) * options.scale)));
     params.zips_per_state.push_back(zips);
     params.counties_per_state.push_back(counties);
   }

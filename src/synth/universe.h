@@ -60,7 +60,7 @@ struct Universe {
   size_t NumCounties() const { return geography->counties().NumUnits(); }
 
   /// Index of the dataset with the given name.
-  Result<size_t> FindDataset(const std::string& name) const;
+  Result<size_t> FindDataset(const std::string& dataset_name) const;
 
   /// Builds the cross-validation input for `test_index`: the test
   /// dataset's source vector is the objective; every other dataset

@@ -1,0 +1,43 @@
+// Fixture for tools/geoalign_lint.py: near-miss patterns that must NOT
+// be flagged. Every rule has a legitimate look-alike below; the lint
+// gate asserts this file comes back clean.
+#include <cstddef>
+#include <unordered_map>
+
+namespace geoalign {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status Fallible(int n);
+
+// Lookups (find / count / operator[] / comparison against end()) into
+// unordered containers are fine anywhere; only iteration is ordered-
+// sensitive. This file also lives outside the kernel dirs.
+size_t Lookup(const std::unordered_map<size_t, double>& index, size_t key) {
+  auto it = index.find(key);
+  if (it == index.end()) return 0;
+  return static_cast<size_t>(it->second);
+}
+
+// Ordering comparisons against float literals are fine; only ==/!=.
+bool Saturated(double x) { return x >= 1.0 || x <= 0.0; }
+
+// Deliberate exact comparison, suppressed with a rationale.
+bool IsSentinel(double x) {
+  return x == -1.0;  // NOLINT(geoalign-float-eq): sentinel assigned exactly
+}
+
+// "throw" in comments or strings is not a throw statement: never throw.
+const char* Motto() { return "we never throw"; }
+
+// A consumed Status is not a discard.
+int Consume(int n) {
+  Status s = Fallible(n);
+  if (!s.ok()) return -1;
+  return n;
+}
+
+}  // namespace geoalign

@@ -1,0 +1,23 @@
+// Fixture for tools/geoalign_lint.py: calling a Status/Result-returning
+// function as a bare statement (discarding the error) must be flagged.
+namespace geoalign {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+namespace core {
+
+Status ValidateInput(int n);
+Status WriteCheckpoint(int n) { return Status(); }
+
+int Pipeline(int n) {
+  ValidateInput(n);  // violation: discarded Status
+  if (n > 0) WriteCheckpoint(n);  // violation: discarded Status
+  (void)ValidateInput(n);  // violation: (void) hides the discard
+  return n;
+}
+
+}  // namespace core
+}  // namespace geoalign

@@ -1,0 +1,14 @@
+// Fixture for tools/geoalign_lint.py: raw ==/!= against a
+// floating-point literal in library code must be flagged.
+namespace geoalign::core {
+
+bool IsUnitWeight(double w) {
+  return w == 1.0;  // violation: raw equality against a float literal
+}
+
+bool HasResidual(double r) {
+  if (r != 0.0) return true;  // violation
+  return 1e-9 == r;           // violation: literal on the left
+}
+
+}  // namespace geoalign::core

@@ -1,0 +1,15 @@
+// Fixture for tools/geoalign_lint.py: `throw` in library code must be
+// flagged — fallible functions return Status/Result instead.
+#include <stdexcept>
+#include <string>
+
+namespace geoalign::io {
+
+int ParseDigitOrDie(const std::string& s) {
+  if (s.empty()) {
+    throw std::invalid_argument("empty field");  // violation
+  }
+  return s[0] - '0';
+}
+
+}  // namespace geoalign::io

@@ -1,0 +1,27 @@
+// Fixture for tools/geoalign_lint.py: iterating an unordered container
+// inside a kernel subsystem (src/sparse) must be flagged — iteration
+// order is nondeterministic across standard libraries and hash seeds.
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace geoalign::sparse {
+
+double SumValuesNondeterministically(
+    const std::unordered_map<size_t, double>& weights) {
+  double total = 0.0;
+  for (const auto& [row, w] : weights) {  // violation: range-for
+    total += w;
+  }
+  return total;
+}
+
+size_t CountViaIterators(const std::unordered_set<size_t>& rows) {
+  size_t n = 0;
+  for (auto it = rows.begin(); it != rows.end(); ++it) {  // violation
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace geoalign::sparse

@@ -1,38 +1,80 @@
 #!/usr/bin/env bash
-# CI entry point: build + full ctest, then rebuild with
-# GEOALIGN_SANITIZE=thread and run the suite under ThreadSanitizer so
-# data races in the parallel execution layer (src/common/thread_pool)
-# are caught before merge.
+# CI entry point: the full correctness gate matrix
+# (docs/static_analysis.md). Five gates, each independently skippable:
+#
+#   plain   build + full ctest, GEOALIGN_WERROR=ON (default)
+#   tsan    rebuild with GEOALIGN_SANITIZE=thread, full ctest
+#   ubsan   rebuild with GEOALIGN_SANITIZE=undefined
+#           (-fno-sanitize-recover=all), full ctest
+#   tidy    tools/run_clang_tidy.sh over the compile database; FAILS
+#           LOUDLY when clang-tidy is not installed — a silently
+#           skipped gate reads as a passing one. Skip explicitly with
+#           SKIP_TIDY=1 on machines without clang-tidy.
+#   lint    tools/geoalign_lint.py project-specific correctness lints
 #
 # Environment knobs:
 #   JOBS          parallel build/test jobs (default: nproc)
 #   BUILD_DIR     plain build tree          (default: build)
 #   TSAN_DIR      ThreadSanitizer tree      (default: build-tsan)
-#   CTEST_FILTER  optional ctest -R regex applied to both runs; e.g.
-#                 CTEST_FILTER='ThreadPool|Parallel' for a quick
+#   UBSAN_DIR     UBSan tree                (default: build-ubsan)
+#   CTEST_FILTER  optional ctest -R regex applied to every test run;
+#                 e.g. CTEST_FILTER='ThreadPool|Parallel' for a quick
 #                 concurrency-only smoke.
-#   SKIP_TSAN=1   plain build + test only
-set -euo pipefail
+#   SKIP_TSAN=1 SKIP_UBSAN=1 SKIP_TIDY=1 SKIP_LINT=1
+#                 skip the corresponding gate (recorded as "skipped"
+#                 in the summary, never as a pass).
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 BUILD_DIR="${BUILD_DIR:-build}"
 TSAN_DIR="${TSAN_DIR:-build-tsan}"
+UBSAN_DIR="${UBSAN_DIR:-build-ubsan}"
 CTEST_FILTER="${CTEST_FILTER:-}"
+
+GATES=(plain tsan ubsan tidy lint)
+declare -A RESULT
+failed=0
 
 run_suite() {
   local dir="$1"
   shift
-  cmake -B "$dir" -S . "$@"
-  cmake --build "$dir" -j "$JOBS"
-  ctest --test-dir "$dir" --output-on-failure --no-tests=error -j "$JOBS" \
-    ${CTEST_FILTER:+-R "$CTEST_FILTER"}
+  cmake -B "$dir" -S . "$@" &&
+    cmake --build "$dir" -j "$JOBS" &&
+    ctest --test-dir "$dir" --output-on-failure --no-tests=error \
+      -j "$JOBS" ${CTEST_FILTER:+-R "$CTEST_FILTER"}
 }
 
-echo "=== plain build + ctest ==="
-run_suite "$BUILD_DIR"
+# run_gate <name> <skip-flag-value> <command...>
+run_gate() {
+  local name="$1" skip="$2"
+  shift 2
+  echo
+  echo "=== gate: $name ==="
+  if [[ "$skip" == "1" ]]; then
+    echo "skipped (SKIP_${name^^}=1)"
+    RESULT[$name]="skipped"
+    return
+  fi
+  if "$@"; then
+    RESULT[$name]="pass"
+  else
+    RESULT[$name]="FAIL"
+    failed=1
+  fi
+}
 
-if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
-  echo "=== ThreadSanitizer build + ctest ==="
-  run_suite "$TSAN_DIR" -DGEOALIGN_SANITIZE=thread
-fi
+run_gate plain 0 run_suite "$BUILD_DIR"
+run_gate tsan "${SKIP_TSAN:-0}" run_suite "$TSAN_DIR" -DGEOALIGN_SANITIZE=thread
+run_gate ubsan "${SKIP_UBSAN:-0}" run_suite "$UBSAN_DIR" -DGEOALIGN_SANITIZE=undefined
+run_gate tidy "${SKIP_TIDY:-0}" tools/run_clang_tidy.sh "$BUILD_DIR"
+run_gate lint "${SKIP_LINT:-0}" python3 tools/geoalign_lint.py --root .
+
+echo
+echo "=== gate summary ==="
+printf '%-8s %s\n' "gate" "result"
+printf '%-8s %s\n' "----" "------"
+for g in "${GATES[@]}"; do
+  printf '%-8s %s\n' "$g" "${RESULT[$g]}"
+done
+exit "$failed"

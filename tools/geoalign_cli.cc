@@ -137,7 +137,7 @@ Result<int> Run(const CliArgs& args) {
   GEOALIGN_ASSIGN_OR_RETURN(
       input.objective_source,
       io::AggregatesFromTable(obj_table, "unit", "value", source_units));
-  GEOALIGN_RETURN_NOT_OK(input.Validate());
+  GEOALIGN_RETURN_IF_ERROR(input.Validate());
 
   // Method selection.
   std::unique_ptr<core::Interpolator> method;
@@ -170,13 +170,13 @@ Result<int> Run(const CliArgs& args) {
 
   io::Table out({"unit", "value"});
   for (size_t j = 0; j < target_units.size(); ++j) {
-    GEOALIGN_RETURN_NOT_OK(out.AppendRow(
+    GEOALIGN_RETURN_IF_ERROR(out.AppendRow(
         {target_units[j], StrFormat("%.12g", result.target_estimates[j])}));
   }
   if (args.out_path.empty()) {
     std::fputs(io::ToCsv(out).c_str(), stdout);
   } else {
-    GEOALIGN_RETURN_NOT_OK(io::WriteCsvFile(out, args.out_path));
+    GEOALIGN_RETURN_IF_ERROR(io::WriteCsvFile(out, args.out_path));
   }
   return 0;
 }

@@ -1,0 +1,325 @@
+#!/usr/bin/env python3
+"""Project-specific correctness lints for the GeoAlign tree.
+
+Machine-checks the three contracts the compiler cannot (fully) see,
+documented in docs/static_analysis.md:
+
+  geoalign-unordered-iteration
+      No iteration over std::unordered_map / std::unordered_set inside
+      the kernel subsystems (src/sparse, src/core, src/linalg).
+      Unordered iteration order varies across standard libraries and
+      hash seeds, so a reduction that walks one inside Eq. 14/17 would
+      silently break the bit-identical-across-thread-counts guarantee.
+      Lookups and inserts are fine; walking the container is not.
+
+  geoalign-float-eq
+      No raw == / != against floating-point literals in library code.
+      Deliberate exact comparisons (sparsity checks, the "otherwise 0"
+      branch of Eq. 14) must go through ExactlyZero / ExactlyEqual in
+      src/common/float_eq.h so the intent is named and auditable.
+
+  geoalign-no-throw
+      No `throw` in library code: fallible functions return Status /
+      Result<T> (src/common/status.h); programming errors abort via
+      GEOALIGN_CHECK. Exceptions would bypass both contracts.
+
+  geoalign-discarded-status
+      No statement-level call to a Status / Result-returning function
+      whose value is discarded. Mirrors the [[nodiscard]] attribute for
+      build configurations that demote warnings, and catches discards
+      hidden from the compiler (e.g. behind (void)).
+
+Suppression: append `// NOLINT(geoalign-<rule>)` (or bare `NOLINT`) to
+the offending line, or put `// NOLINTNEXTLINE(geoalign-<rule>)` on the
+line above. Suppressions should carry a rationale.
+
+Usage:
+  geoalign_lint.py [--root DIR] [FILE...]
+With no FILE arguments, scans DIR/src recursively (.h and .cc). Exits
+0 when clean, 1 when violations were found, 2 on usage errors.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+RULES = (
+    "geoalign-unordered-iteration",
+    "geoalign-float-eq",
+    "geoalign-no-throw",
+    "geoalign-discarded-status",
+)
+
+# Subsystems whose kernels feed the deterministic reductions.
+KERNEL_DIRS = ("src/sparse", "src/core", "src/linalg")
+
+FLOAT_LITERAL = r"(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?[fFlL]?|\d+[eE][+-]?\d+[fFlL]?"
+FLOAT_EQ_RE = re.compile(
+    r"(?:(?:%s)\s*(?:==|!=))|(?:(?:==|!=)\s*[-+]?(?:%s))"
+    % (FLOAT_LITERAL, FLOAT_LITERAL)
+)
+THROW_RE = re.compile(r"\bthrow\b")
+UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set)\s*<[^;{}]*?>\s*(?:const\s*)?[&*]?\s*([A-Za-z_]\w*)"
+)
+FALLIBLE_DECL_RE = re.compile(
+    r"\b(?:Status|Result\s*<[^;{}()=]*>)\s+(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\("
+)
+# A call that *begins* a statement: preceded by ; { } or ) (the latter
+# covers `if (...) Foo();`), optionally behind a (void) cast. Member
+# calls (x.Foo(), x->Foo()) are deliberately excluded — a name-level
+# lint cannot resolve which overload a member call hits (e.g. the void
+# CooBuilder::Add vs the fallible sparse::Add); discarded member-call
+# results are enforced by [[nodiscard]] at compile time instead.
+BARE_CALL_RE = re.compile(
+    r"(?<=[;{})])\s*(?:\(void\)\s*)?"
+    r"(?<![.\w>])(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\("
+)
+KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "catch", "do",
+    "else", "case", "new", "delete", "static_cast", "const_cast",
+    "reinterpret_cast", "assert",
+}
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving the
+    line structure so reported line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    mode = None  # None | 'line' | 'block' | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode is None:
+            if c == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+            elif c in "\"'":
+                mode = c
+                out.append(c)
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif mode == "line":
+            if c == "\n":
+                mode = None
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif mode == "block":
+            if c == "*" and nxt == "/":
+                mode = None
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # inside a string or char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == mode:
+                mode = None
+                out.append(c)
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def suppressed(raw_lines, lineno, rule):
+    """True if `rule` is NOLINT'ed on this line or via NOLINTNEXTLINE."""
+    def matches(text, directive):
+        m = re.search(directive + r"(?:\(([^)]*)\))?", text)
+        if not m:
+            return False
+        return m.group(1) is None or rule in m.group(1)
+
+    line = raw_lines[lineno - 1]
+    if matches(line, r"\bNOLINT\b") and "NOLINTNEXTLINE" not in line:
+        return True
+    if lineno >= 2 and matches(raw_lines[lineno - 2], r"\bNOLINTNEXTLINE\b"):
+        return True
+    return False
+
+
+def line_of(offset, text):
+    return text.count("\n", 0, offset) + 1
+
+
+class Linter:
+    def __init__(self, root):
+        self.root = os.path.abspath(root)
+        self.violations = []
+        self.fallible = set()
+
+    def rel(self, path):
+        return os.path.relpath(os.path.abspath(path), self.root)
+
+    def report(self, path, lineno, rule, message, raw_lines):
+        if not suppressed(raw_lines, lineno, rule):
+            self.violations.append(
+                "%s:%d: [%s] %s" % (self.rel(path), lineno, rule, message))
+
+    def collect_fallible(self, files):
+        """First pass: names of functions returning Status / Result."""
+        for path in files:
+            try:
+                stripped = strip_comments_and_strings(read_text(path))
+            except OSError:
+                continue
+            for m in FALLIBLE_DECL_RE.finditer(stripped):
+                self.fallible.add(m.group(1))
+        # Status factory helpers are fallible "constructors", not calls
+        # whose result encodes an operation's outcome; a bare
+        # `Status::Internal("x");` is pointless but harmless.
+        self.fallible.discard("OK")
+
+    def lint_file(self, path):
+        raw = read_text(path)
+        raw_lines = raw.split("\n")
+        stripped = strip_comments_and_strings(raw)
+        rel = self.rel(path).replace(os.sep, "/")
+        in_tests = rel.startswith("tests/")
+        in_kernels = any(
+            rel.startswith(d + "/") for d in KERNEL_DIRS)
+
+        if not in_tests:
+            self.check_float_eq(path, stripped, raw_lines)
+            self.check_no_throw(path, stripped, raw_lines)
+            self.check_discarded_status(path, stripped, raw_lines)
+        if in_kernels:
+            self.check_unordered_iteration(path, stripped, raw_lines)
+
+    def check_float_eq(self, path, stripped, raw_lines):
+        for m in FLOAT_EQ_RE.finditer(stripped):
+            self.report(
+                path, line_of(m.start(), stripped), "geoalign-float-eq",
+                "raw ==/!= against a floating-point literal; use "
+                "ExactlyZero/ExactlyEqual (common/float_eq.h) or a "
+                "tolerance", raw_lines)
+
+    def check_no_throw(self, path, stripped, raw_lines):
+        for m in THROW_RE.finditer(stripped):
+            self.report(
+                path, line_of(m.start(), stripped), "geoalign-no-throw",
+                "`throw` in library code; return Status/Result "
+                "(common/status.h) or abort via GEOALIGN_CHECK",
+                raw_lines)
+
+    def check_unordered_iteration(self, path, stripped, raw_lines):
+        names = set(UNORDERED_DECL_RE.findall(stripped))
+        if not names:
+            return
+        pattern = re.compile(
+            r"for\s*\([^;()]*:\s*(%(n)s)\s*\)"
+            r"|(?<![\w.])(%(n)s)\s*\.\s*(?:begin|cbegin|rbegin)\s*\("
+            % {"n": "|".join(re.escape(n) for n in sorted(names))})
+        for m in pattern.finditer(stripped):
+            name = m.group(1) or m.group(2)
+            self.report(
+                path, line_of(m.start(), stripped),
+                "geoalign-unordered-iteration",
+                "iteration over unordered container '%s' in a kernel "
+                "subsystem; order is nondeterministic — use a sorted "
+                "container or iterate indices" % name, raw_lines)
+
+    def check_discarded_status(self, path, stripped, raw_lines):
+        for m in BARE_CALL_RE.finditer(stripped):
+            name = m.group(1)
+            if name in KEYWORDS or name not in self.fallible:
+                continue
+            # Find the matching ')' of the call; a discard is a call
+            # followed directly by ';'.
+            depth = 0
+            i = m.end() - 1
+            while i < len(stripped):
+                if stripped[i] == "(":
+                    depth += 1
+                elif stripped[i] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            tail = stripped[i + 1:i + 32].lstrip()
+            if tail.startswith(";"):
+                self.report(
+                    path, line_of(m.start(1), stripped),
+                    "geoalign-discarded-status",
+                    "result of Status/Result-returning '%s' is "
+                    "discarded; check, propagate with "
+                    "GEOALIGN_RETURN_IF_ERROR, or CheckOK" % name,
+                    raw_lines)
+
+
+def read_text(path):
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        return f.read()
+
+
+def default_files(root):
+    files = []
+    src = os.path.join(root, "src")
+    for dirpath, _, filenames in os.walk(src):
+        for fn in sorted(filenames):
+            if fn.endswith((".h", ".cc")):
+                files.append(os.path.join(dirpath, fn))
+    return sorted(files)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="GeoAlign project-specific correctness lints")
+    parser.add_argument(
+        "--root", default=os.path.join(os.path.dirname(__file__), ".."),
+        help="project root; rule scoping (src/, tests/, kernel dirs) is "
+             "computed relative to it")
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print rule names")
+    parser.add_argument("files", nargs="*", help="files to lint "
+                        "(default: all .h/.cc under <root>/src)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print("\n".join(RULES))
+        return 0
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(root):
+        print("geoalign_lint: no such root: %s" % root, file=sys.stderr)
+        return 2
+    files = [os.path.abspath(f) for f in args.files] or default_files(root)
+    missing = [f for f in files if not os.path.isfile(f)]
+    if missing:
+        for f in missing:
+            print("geoalign_lint: no such file: %s" % f, file=sys.stderr)
+        return 2
+
+    linter = Linter(root)
+    # Fallible names come from the *project's* headers as well as the
+    # files under lint, so call sites in a .cc see declarations from .h.
+    linter.collect_fallible(sorted(set(default_files(root) + files)))
+    for path in files:
+        linter.lint_file(path)
+
+    for v in linter.violations:
+        print(v)
+    if linter.violations:
+        print("geoalign_lint: %d violation(s)" % len(linter.violations),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

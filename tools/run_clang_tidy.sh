@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (profile: .clang-tidy) over every first-party
+# translation unit in the compile database.
+#
+# Usage:
+#   tools/run_clang_tidy.sh [BUILD_DIR] [-- extra clang-tidy args]
+#
+# BUILD_DIR (default: build) must contain compile_commands.json — the
+# root CMakeLists.txt always exports it. Exits nonzero on any finding
+# (WarningsAsErrors: '*') and fails loudly when clang-tidy itself is
+# missing: a silently skipped gate reads as a passing one.
+#
+# Environment knobs:
+#   CLANG_TIDY  binary to use (default: clang-tidy)
+#   JOBS        parallel workers (default: nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+JOBS="${JOBS:-$(nproc)}"
+BUILD_DIR="build"
+if [[ $# -gt 0 && "$1" != "--" ]]; then
+  BUILD_DIR="$1"
+  shift
+fi
+[[ "${1:-}" == "--" ]] && shift
+
+if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+  echo "run_clang_tidy: '$CLANG_TIDY' not found." >&2
+  echo "Install clang-tidy (e.g. apt install clang-tidy) or point" >&2
+  echo "CLANG_TIDY at a binary. Refusing to pass silently; set" >&2
+  echo "SKIP_TIDY=1 to skip this gate in tools/ci.sh explicitly." >&2
+  exit 3
+fi
+
+DB="$BUILD_DIR/compile_commands.json"
+if [[ ! -f "$DB" ]]; then
+  echo "run_clang_tidy: $DB not found; configure first:" >&2
+  echo "  cmake -B $BUILD_DIR -S ." >&2
+  exit 3
+fi
+
+# First-party TUs only: gtest/benchmark sources pulled in by the build
+# are not ours to lint.
+mapfile -t files < <(python3 - "$DB" <<'EOF'
+import json, os, sys
+root = os.getcwd()
+seen = set()
+for entry in json.load(open(sys.argv[1])):
+    f = os.path.normpath(os.path.join(entry["directory"], entry["file"]))
+    if f.startswith(root + os.sep) and "/build" not in f[len(root):]:
+        seen.add(f)
+print("\n".join(sorted(seen)))
+EOF
+)
+
+echo "run_clang_tidy: ${#files[@]} translation units, $JOBS workers"
+printf '%s\n' "${files[@]}" |
+  xargs -P "$JOBS" -n 1 "$CLANG_TIDY" -p "$BUILD_DIR" --quiet "$@"
+echo "run_clang_tidy: clean"
