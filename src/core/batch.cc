@@ -1,106 +1,57 @@
 #include "core/batch.h"
 
-#include <cmath>
 #include <memory>
 #include <optional>
+#include <utility>
 
 #include "common/thread_pool.h"
-#include "sparse/sparse_ops.h"
-#include "common/float_eq.h"
 
 namespace geoalign::core {
 
-BatchCrosswalk::BatchCrosswalk(std::vector<ReferenceAttribute> references,
-                               GeoAlignOptions options)
-    : references_(std::move(references)), options_(std::move(options)) {}
+BatchCrosswalk::BatchCrosswalk(CrosswalkPlan plan)
+    : plan_(std::move(plan)) {}
 
 Result<BatchCrosswalk> BatchCrosswalk::Create(
     std::vector<ReferenceAttribute> references, GeoAlignOptions options) {
   if (references.empty()) {
     return Status::InvalidArgument("BatchCrosswalk: no references");
   }
-  if (options.solver != WeightSolver::kSimplex) {
-    return Status::Unimplemented(
-        "BatchCrosswalk: only the simplex solver is batched");
-  }
-  BatchCrosswalk batch(std::move(references), std::move(options));
-  batch.num_source_ = batch.references_[0].source_aggregates.size();
-  batch.num_target_ = batch.references_[0].disaggregation.cols();
-
-  std::vector<linalg::Vector> columns;
-  batch.normalizers_.reserve(batch.references_.size());
-  for (const ReferenceAttribute& ref : batch.references_) {
-    if (ref.source_aggregates.size() != batch.num_source_ ||
-        ref.disaggregation.rows() != batch.num_source_ ||
-        ref.disaggregation.cols() != batch.num_target_) {
+  size_t num_source = references[0].source_aggregates.size();
+  size_t num_target = references[0].disaggregation.cols();
+  for (const ReferenceAttribute& ref : references) {
+    if (ref.source_aggregates.size() != num_source ||
+        ref.disaggregation.rows() != num_source ||
+        ref.disaggregation.cols() != num_target) {
       return Status::InvalidArgument("BatchCrosswalk: reference '" +
                                      ref.name + "' shape mismatch");
     }
-    GEOALIGN_ASSIGN_OR_RETURN(linalg::Vector norm,
-                              linalg::NormalizeByMax(ref.source_aggregates));
-    columns.push_back(std::move(norm));
-    batch.normalizers_.push_back(linalg::Max(ref.source_aggregates));
   }
-  batch.design_ = linalg::Matrix::FromColumns(columns);
-  batch.gram_ = batch.design_.Gram();
-  return batch;
+  GEOALIGN_ASSIGN_OR_RETURN(
+      CrosswalkPlan plan,
+      CrosswalkPlan::Compile(references, options));
+  return BatchCrosswalk(std::move(plan));
 }
 
 Result<BatchCrosswalk::BatchResult> BatchCrosswalk::RunOne(
     const Objective& objective, common::ThreadPool* pool) const {
-  size_t num_refs = references_.size();
-  if (objective.source.size() != num_source_) {
+  if (objective.source.size() != plan_.num_source_units()) {
     return Status::InvalidArgument("BatchCrosswalk: objective '" +
                                    objective.name + "' wrong length");
   }
-  // Weight learning with the shared Gram matrix.
-  GEOALIGN_ASSIGN_OR_RETURN(linalg::Vector b,
-                            linalg::NormalizeByMax(objective.source));
-  linalg::Vector atb = design_.MatTVec(b);
-  GEOALIGN_ASSIGN_OR_RETURN(
-      linalg::SimplexLsSolution sol,
-      linalg::SolveSimplexLsFromNormalEquations(
-          gram_, atb, linalg::Dot(b, b), options_.solver_options));
-
-  // Disaggregation + re-aggregation (same math as GeoAlign).
-  linalg::Vector effective(num_refs, 0.0);
-  for (size_t k = 0; k < num_refs; ++k) {
-    double norm = options_.scale_mode == ScaleMode::kNormalized
-                      ? normalizers_[k]
-                      : 1.0;
-    effective[k] = sol.beta[k] / norm;
-  }
-  std::vector<const sparse::CsrMatrix*> dms;
-  dms.reserve(num_refs);
-  for (const ReferenceAttribute& ref : references_) {
-    dms.push_back(&ref.disaggregation);
-  }
-  GEOALIGN_ASSIGN_OR_RETURN(sparse::CsrMatrix numerator,
-                            sparse::WeightedSum(dms, effective, pool));
-  linalg::Vector denom;
-  if (options_.denominator == DenominatorMode::kFromDmRowSums) {
-    denom = numerator.RowSums();
-  } else {
-    denom.assign(num_source_, 0.0);
-    for (size_t k = 0; k < num_refs; ++k) {
-      if (ExactlyZero(effective[k])) continue;
-      linalg::Axpy(effective[k], references_[k].source_aggregates, denom);
-    }
-  }
+  GEOALIGN_ASSIGN_OR_RETURN(CrosswalkResult full,
+                            plan_.ExecuteWith(objective.source, pool));
   BatchResult result;
   result.name = objective.name;
-  sparse::DivideRowsOrZero(numerator, denom, options_.zero_tolerance,
-                           &result.zero_rows, pool);
-  numerator.ScaleRows(objective.source);
-  result.target_estimates = sparse::ColSumsDeterministic(numerator, pool);
-  result.weights = std::move(sol.beta);
+  result.target_estimates = std::move(full.target_estimates);
+  result.weights = std::move(full.weights);
+  result.zero_rows = std::move(full.zero_rows);
   return result;
 }
 
 Result<std::vector<BatchCrosswalk::BatchResult>> BatchCrosswalk::Run(
     const std::vector<Objective>& objectives) const {
-  std::unique_ptr<common::ThreadPool> pool =
-      common::MakePoolOrNull(common::ResolveThreadCount(options_.threads));
+  std::unique_ptr<common::ThreadPool> pool = common::MakePoolOrNull(
+      common::ResolveThreadCount(plan_.options().threads));
   std::vector<BatchResult> out;
   out.reserve(objectives.size());
   if (pool == nullptr || objectives.size() <= 1) {

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/crosswalk_plan.h"
 #include "core/geoalign.h"
 
 namespace geoalign::common {
@@ -17,15 +18,16 @@ namespace geoalign::core {
 /// integration system" (§6), where a data portal realigns every
 /// column of every table onto a canonical unit system.
 ///
-/// Compared to looping over `GeoAlign::Crosswalk`, the batch reuses
-/// everything objective-independent: the normalized design matrix and
-/// its Gram matrix for weight learning, and the per-reference
-/// normalization factors for disaggregation. With R references and B
-/// objectives this removes the O(B · R · |U^s|) re-normalization and
-/// O(B · R² · |U^s|) Gram rebuild.
+/// A thin batching façade over CrosswalkPlan: `Create` compiles the
+/// plan once (normalized design matrix, Gram matrix, per-reference
+/// normalizers, DM structure), `Run` executes it per objective. With R
+/// references and B objectives this removes the O(B · R · |U^s|)
+/// re-normalization and O(B · R² · |U^s|) Gram rebuild that looping
+/// over `GeoAlign::Crosswalk` would pay. Every WeightSolver is
+/// supported (the plan hoists the Gram matrix only for kSimplex).
 class BatchCrosswalk {
  public:
-  /// Validates and preprocesses the shared references. All objectives
+  /// Validates and compiles the shared references. All objectives
   /// passed to `Run` must use source vectors of `references[0]`'s
   /// length.
   static Result<BatchCrosswalk> Create(
@@ -54,29 +56,22 @@ class BatchCrosswalk {
   Result<std::vector<BatchResult>> Run(
       const std::vector<Objective>& objectives) const;
 
-  size_t NumSourceUnits() const { return num_source_; }
-  size_t NumTargetUnits() const { return num_target_; }
-  const std::vector<ReferenceAttribute>& references() const {
-    return references_;
-  }
+  size_t NumSourceUnits() const { return plan_.num_source_units(); }
+  size_t NumTargetUnits() const { return plan_.num_target_units(); }
+
+  /// The compiled plan executed per objective (also exposes the
+  /// prepared references).
+  const CrosswalkPlan& plan() const { return plan_; }
 
  private:
-  BatchCrosswalk(std::vector<ReferenceAttribute> references,
-                 GeoAlignOptions options);
+  explicit BatchCrosswalk(CrosswalkPlan plan);
 
   /// Realigns one objective; `pool` parallelizes the sparse kernels
   /// inside this single crosswalk (null = inline).
   Result<BatchResult> RunOne(const Objective& objective,
                              common::ThreadPool* pool) const;
 
-  std::vector<ReferenceAttribute> references_;
-  GeoAlignOptions options_;
-  size_t num_source_ = 0;
-  size_t num_target_ = 0;
-  // Objective-independent precomputations.
-  linalg::Matrix design_;             // normalized reference columns A
-  linalg::Matrix gram_;               // A^T A
-  linalg::Vector normalizers_;        // max_i a^s_rk[i] per reference
+  CrosswalkPlan plan_;
 };
 
 }  // namespace geoalign::core

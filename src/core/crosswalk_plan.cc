@@ -1,0 +1,257 @@
+#include "core/crosswalk_plan.h"
+
+#include <utility>
+
+#include "common/float_eq.h"
+#include "linalg/nnls.h"
+#include "linalg/qr.h"
+#include "sparse/coo_builder.h"
+#include "sparse/sparse_ops.h"
+
+namespace geoalign::core {
+
+namespace internal {
+
+Result<linalg::Vector> SolveWeightsForDesign(const linalg::Matrix& a,
+                                             const linalg::Vector& b,
+                                             const GeoAlignOptions& options) {
+  size_t n = a.cols();
+  switch (options.solver) {
+    case WeightSolver::kSimplex: {
+      GEOALIGN_ASSIGN_OR_RETURN(
+          linalg::SimplexLsSolution sol,
+          linalg::SolveSimplexLeastSquares(a, b, options.solver_options));
+      return sol.beta;
+    }
+    case WeightSolver::kNnlsNormalized: {
+      GEOALIGN_ASSIGN_OR_RETURN(linalg::NnlsSolution sol,
+                                linalg::SolveNnls(a, b));
+      double total = linalg::Sum(sol.x);
+      if (total <= 0.0) {
+        // NNLS degenerated to the zero vector; fall back to uniform.
+        return linalg::Vector(n, 1.0 / static_cast<double>(n));
+      }
+      linalg::Scale(sol.x, 1.0 / total);
+      return sol.x;
+    }
+    case WeightSolver::kClampedLs: {
+      auto ls = linalg::LeastSquaresQr(a, b);
+      if (!ls.ok()) {
+        // Rank-deficient design (duplicate references): uniform.
+        return linalg::Vector(n, 1.0 / static_cast<double>(n));
+      }
+      linalg::Vector beta = std::move(ls).value();
+      double total = 0.0;
+      for (double& v : beta) {
+        if (v < 0.0) v = 0.0;
+        total += v;
+      }
+      if (total <= 0.0) {
+        return linalg::Vector(n, 1.0 / static_cast<double>(n));
+      }
+      linalg::Scale(beta, 1.0 / total);
+      return beta;
+    }
+    case WeightSolver::kUniform:
+      return linalg::Vector(n, 1.0 / static_cast<double>(n));
+  }
+  return Status::Internal("unknown weight solver");
+}
+
+}  // namespace internal
+
+CrosswalkPlan::CrosswalkPlan(sparse::PreparedReferenceSet prepared,
+                             GeoAlignOptions options)
+    : prepared_(std::move(prepared)), options_(std::move(options)) {}
+
+Result<CrosswalkPlan> CrosswalkPlan::Compile(
+    const CrosswalkInput& input, const GeoAlignOptions& options) {
+  return Compile(input.references, options);
+}
+
+Result<CrosswalkPlan> CrosswalkPlan::Compile(
+    const std::vector<ReferenceAttribute>& references,
+    const GeoAlignOptions& options) {
+  // Same early validation (and messages) as the legacy per-call path.
+  if (references.empty()) {
+    return Status::InvalidArgument("GeoAlign: no reference attributes");
+  }
+  if (options.zero_row_fallback == ZeroRowFallback::kFallbackDm &&
+      options.fallback_dm == nullptr) {
+    return Status::InvalidArgument(
+        "GeoAlign: kFallbackDm requires options.fallback_dm");
+  }
+
+  std::vector<sparse::ReferenceData> data;
+  data.reserve(references.size());
+  for (const ReferenceAttribute& ref : references) {
+    data.push_back(sparse::ReferenceData{ref.name, ref.source_aggregates,
+                                         ref.disaggregation});
+  }
+  GEOALIGN_ASSIGN_OR_RETURN(
+      sparse::PreparedReferenceSet prepared,
+      sparse::PreparedReferenceSet::Prepare(std::move(data)));
+
+  CrosswalkPlan plan(std::move(prepared), options);
+
+  // Eq. 15 design matrix: the same normalized columns the legacy
+  // BuildNormalizedSystem assembles per call.
+  std::vector<linalg::Vector> cols;
+  cols.reserve(plan.prepared_.size());
+  for (size_t k = 0; k < plan.prepared_.size(); ++k) {
+    cols.push_back(plan.prepared_.reference(k).normalized_aggregates);
+  }
+  plan.design_ = linalg::Matrix::FromColumns(cols);
+  if (plan.options_.solver == WeightSolver::kSimplex) {
+    // SolveSimplexLeastSquares(a, b) is literally
+    // SolveSimplexLsFromNormalEquations(a.Gram(), a.MatTVec(b), b·b),
+    // so hoisting the Gram matrix reproduces the legacy bits exactly.
+    plan.gram_ = plan.design_.Gram();
+  }
+
+  if (plan.options_.fallback_dm != nullptr) {
+    // Snapshot the fallback DM so the plan owns everything it reads at
+    // Execute time; a cached plan must not dangle on caller memory.
+    plan.fallback_dm_ = std::make_shared<const sparse::CsrMatrix>(
+        *plan.options_.fallback_dm);
+    plan.options_.fallback_dm = plan.fallback_dm_.get();
+    plan.fallback_shape_ok_ =
+        plan.fallback_dm_->rows() == plan.prepared_.num_source() &&
+        plan.fallback_dm_->cols() == plan.prepared_.num_target();
+    if (plan.fallback_shape_ok_) {
+      plan.fallback_row_sums_ = plan.fallback_dm_->RowSums();
+    }
+  }
+  return plan;
+}
+
+Result<linalg::Vector> CrosswalkPlan::SolveWeightsNormalized(
+    const linalg::Vector& b_normalized) const {
+  if (options_.solver == WeightSolver::kSimplex) {
+    GEOALIGN_ASSIGN_OR_RETURN(
+        linalg::SimplexLsSolution sol,
+        linalg::SolveSimplexLsFromNormalEquations(
+            gram_, design_.MatTVec(b_normalized),
+            linalg::Dot(b_normalized, b_normalized),
+            options_.solver_options));
+    return sol.beta;
+  }
+  return internal::SolveWeightsForDesign(design_, b_normalized, options_);
+}
+
+Result<linalg::Vector> CrosswalkPlan::LearnWeights(
+    const linalg::Vector& objective_source) const {
+  if (objective_source.size() != prepared_.num_source()) {
+    return Status::InvalidArgument(
+        "CrosswalkPlan: objective length does not match source units");
+  }
+  GEOALIGN_ASSIGN_OR_RETURN(linalg::Vector b,
+                            linalg::NormalizeByMax(objective_source));
+  return SolveWeightsNormalized(b);
+}
+
+Result<CrosswalkResult> CrosswalkPlan::Execute(
+    const linalg::Vector& objective_source) const {
+  return Execute(objective_source, options_.threads);
+}
+
+Result<CrosswalkResult> CrosswalkPlan::Execute(
+    const linalg::Vector& objective_source, size_t threads) const {
+  std::unique_ptr<common::ThreadPool> pool =
+      common::MakePoolOrNull(common::ResolveThreadCount(threads));
+  return ExecuteWith(objective_source, pool.get());
+}
+
+Result<CrosswalkResult> CrosswalkPlan::ExecuteWith(
+    const linalg::Vector& objective_source, common::ThreadPool* pool) const {
+  if (objective_source.size() != prepared_.num_source()) {
+    return Status::InvalidArgument(
+        "CrosswalkPlan: objective length does not match source units");
+  }
+  CrosswalkResult result;
+  Stopwatch watch;
+
+  // Step 1: weight learning (Eq. 15) over the precompiled design.
+  GEOALIGN_ASSIGN_OR_RETURN(linalg::Vector b,
+                            linalg::NormalizeByMax(objective_source));
+  GEOALIGN_ASSIGN_OR_RETURN(linalg::Vector beta, SolveWeightsNormalized(b));
+  result.timing.Add("weight_learning", watch.ElapsedSeconds());
+  watch.Restart();
+
+  // Step 2: disaggregation (Eq. 14). The scalar normalizers were
+  // hoisted at compile time; the division itself must stay here —
+  // beta[k]/norm then times the raw DM is the legacy operation order.
+  size_t num_refs = prepared_.size();
+  linalg::Vector effective(num_refs, 0.0);
+  for (size_t k = 0; k < num_refs; ++k) {
+    double norm = options_.scale_mode == ScaleMode::kNormalized
+                      ? prepared_.reference(k).normalizer
+                      : 1.0;
+    effective[k] = beta[k] / norm;
+  }
+
+  Result<sparse::CsrMatrix> summed =
+      prepared_.aligned()
+          ? sparse::WeightedSumAligned(prepared_.dms(), effective, pool)
+          : sparse::WeightedSum(prepared_.dms(), effective, pool);
+  GEOALIGN_ASSIGN_OR_RETURN(sparse::CsrMatrix numerator, std::move(summed));
+
+  linalg::Vector denom;
+  if (options_.denominator == DenominatorMode::kFromDmRowSums) {
+    denom = numerator.RowSums();
+  } else {
+    denom.assign(prepared_.num_source(), 0.0);
+    for (size_t k = 0; k < num_refs; ++k) {
+      if (ExactlyZero(effective[k])) continue;
+      linalg::Axpy(effective[k], prepared_.reference(k).source_aggregates,
+                   denom);
+    }
+  }
+
+  std::vector<size_t> zero_rows;
+  sparse::DivideRowsOrZero(numerator, denom, options_.zero_tolerance,
+                           &zero_rows, pool);
+  numerator.ScaleRows(objective_source);
+  sparse::CsrMatrix estimated = std::move(numerator);
+
+  if (options_.zero_row_fallback == ZeroRowFallback::kFallbackDm &&
+      !zero_rows.empty()) {
+    if (!fallback_shape_ok_) {
+      return Status::InvalidArgument("GeoAlign: fallback DM shape mismatch");
+    }
+    const sparse::CsrMatrix& fb = *fallback_dm_;
+    const linalg::Vector& fb_sums = fallback_row_sums_;
+    std::vector<bool> is_zero_row(estimated.rows(), false);
+    for (size_t r : zero_rows) is_zero_row[r] = true;
+    sparse::CooBuilder builder(estimated.rows(), estimated.cols());
+    for (size_t r = 0; r < estimated.rows(); ++r) {
+      if (!is_zero_row[r]) {
+        sparse::CsrMatrix::RowView row = estimated.Row(r);
+        for (size_t k = 0; k < row.size; ++k) {
+          builder.Add(r, row.cols[k], row.values[k]);
+        }
+        continue;
+      }
+      if (fb_sums[r] <= 0.0) continue;  // no fallback support either
+      double scale = objective_source[r] / fb_sums[r];
+      sparse::CsrMatrix::RowView row = fb.Row(r);
+      for (size_t k = 0; k < row.size; ++k) {
+        builder.Add(r, row.cols[k], row.values[k] * scale);
+      }
+    }
+    estimated = builder.Build();
+  }
+  result.timing.Add("disaggregation", watch.ElapsedSeconds());
+  watch.Restart();
+
+  // Step 3: re-aggregation (Eq. 17).
+  result.target_estimates = sparse::ColSumsDeterministic(estimated, pool);
+  result.timing.Add("reaggregation", watch.ElapsedSeconds());
+
+  result.estimated_dm = std::move(estimated);
+  result.weights = std::move(beta);
+  result.zero_rows = std::move(zero_rows);
+  return result;
+}
+
+}  // namespace geoalign::core

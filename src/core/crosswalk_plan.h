@@ -1,0 +1,127 @@
+#ifndef GEOALIGN_CORE_CROSSWALK_PLAN_H_
+#define GEOALIGN_CORE_CROSSWALK_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/crosswalk_input.h"
+#include "core/geoalign_options.h"
+#include "core/interpolator.h"
+#include "linalg/matrix.h"
+#include "sparse/prepared_reference.h"
+
+namespace geoalign::core {
+
+namespace internal {
+
+/// Learns β for a prebuilt normalized design (Eq. 15) under every
+/// WeightSolver — the solver dispatch previously private to
+/// GeoAlign::Crosswalk, shared verbatim by the legacy path and the
+/// compiled plan so both learn bit-identical weights.
+Result<linalg::Vector> SolveWeightsForDesign(const linalg::Matrix& a,
+                                             const linalg::Vector& b,
+                                             const GeoAlignOptions& options);
+
+}  // namespace internal
+
+/// The compiled, objective-independent half of a GeoAlign crosswalk
+/// (Algorithm 1): prepared references, the normalized design matrix of
+/// Eq. 15 (plus its Gram matrix for the simplex solver), and a
+/// snapshot of the zero-row fallback DM. Compile once, then Execute
+/// for any number of objective columns.
+///
+/// Bit-identity contract: for every objective vector and every
+/// {ScaleMode, WeightSolver, DenominatorMode, ZeroRowFallback} ×
+/// threads combination, `Compile(input, opts) → Execute(obj)` produces
+/// exactly the bits of the legacy per-call path (`CrosswalkUncompiled`
+/// in core/geoalign.h). The hoisted quantities make that possible:
+///  - the simplex solve goes through SolveSimplexLsFromNormalEquations,
+///    which is the literal tail of SolveSimplexLeastSquares, so a
+///    precomputed Gram matrix changes nothing;
+///  - DMs stay raw with a scalar normalizer folded into the per-execute
+///    effective weights, exactly as the legacy loop does (pre-scaling
+///    the matrix values would reorder IEEE divisions);
+///  - the structure-sharing WeightedSumAligned kernel accumulates per
+///    entry in operand order from 0.0, the same addition sequence as
+///    the general scatter-gather kernel.
+///
+/// Immutable after Compile and safe to share across threads: Execute
+/// is const and touches no mutable state. Move-only (the prepared set
+/// holds internal pointers that survive moves but not copies).
+class CrosswalkPlan {
+ public:
+  /// Compiles the objective-independent work for `input.references`
+  /// (the objective column in `input` is ignored). Surfaces the same
+  /// errors as the legacy path's per-call preprocessing: no
+  /// references, shape mismatches, non-normalizable aggregates, and a
+  /// missing fallback DM under ZeroRowFallback::kFallbackDm. When a
+  /// fallback DM is supplied it is snapshotted, so the plan never
+  /// dangles on the caller's pointer.
+  static Result<CrosswalkPlan> Compile(const CrosswalkInput& input,
+                                       const GeoAlignOptions& options);
+
+  /// Same, from a bare reference list.
+  static Result<CrosswalkPlan> Compile(
+      const std::vector<ReferenceAttribute>& references,
+      const GeoAlignOptions& options);
+
+  CrosswalkPlan(CrosswalkPlan&&) = default;
+  CrosswalkPlan& operator=(CrosswalkPlan&&) = default;
+  CrosswalkPlan(const CrosswalkPlan&) = delete;
+  CrosswalkPlan& operator=(const CrosswalkPlan&) = delete;
+
+  /// Runs weight learning (Eq. 15) + disaggregation (Eq. 14) +
+  /// re-aggregation (Eq. 17) for one objective column, spinning up a
+  /// pool per `options().threads` (the legacy Crosswalk behaviour).
+  Result<CrosswalkResult> Execute(
+      const linalg::Vector& objective_source) const;
+
+  /// Same, overriding the thread count for this execution only
+  /// (0 = hardware concurrency, 1 = inline).
+  Result<CrosswalkResult> Execute(const linalg::Vector& objective_source,
+                                  size_t threads) const;
+
+  /// Same, running the parallel kernels on a caller-owned pool
+  /// (nullptr = inline). This is the serving-path entry: RealignMany
+  /// and BatchCrosswalk execute one shared plan across their outer
+  /// pool.
+  Result<CrosswalkResult> ExecuteWith(const linalg::Vector& objective_source,
+                                      common::ThreadPool* pool) const;
+
+  /// Weight learning only (Eq. 15) — β for one objective column.
+  Result<linalg::Vector> LearnWeights(
+      const linalg::Vector& objective_source) const;
+
+  size_t num_source_units() const { return prepared_.num_source(); }
+  size_t num_target_units() const { return prepared_.num_target(); }
+  const GeoAlignOptions& options() const { return options_; }
+  const sparse::PreparedReferenceSet& references() const { return prepared_; }
+
+  /// Content fingerprint of the prepared reference set (names,
+  /// aggregates, CSR arrays) — the reference half of a PlanCache key.
+  uint64_t fingerprint() const { return prepared_.fingerprint(); }
+
+ private:
+  CrosswalkPlan(sparse::PreparedReferenceSet prepared,
+                GeoAlignOptions options);
+
+  /// β for an already max-normalized objective vector.
+  Result<linalg::Vector> SolveWeightsNormalized(
+      const linalg::Vector& b_normalized) const;
+
+  sparse::PreparedReferenceSet prepared_;
+  GeoAlignOptions options_;
+  linalg::Matrix design_;  ///< Eq. 15 design A (normalized columns)
+  linalg::Matrix gram_;    ///< A^T A; populated for kSimplex only
+  /// Owned snapshot of options.fallback_dm (kFallbackDm only); after
+  /// Compile, options_.fallback_dm points here, never at caller memory.
+  std::shared_ptr<const sparse::CsrMatrix> fallback_dm_;
+  linalg::Vector fallback_row_sums_;  ///< row sums of *fallback_dm_
+  bool fallback_shape_ok_ = false;
+};
+
+}  // namespace geoalign::core
+
+#endif  // GEOALIGN_CORE_CROSSWALK_PLAN_H_

@@ -4,8 +4,6 @@
 #include <memory>
 
 #include "common/thread_pool.h"
-#include "linalg/nnls.h"
-#include "linalg/qr.h"
 #include "sparse/coo_builder.h"
 #include "sparse/sparse_ops.h"
 #include "common/float_eq.h"
@@ -30,52 +28,6 @@ Result<std::pair<linalg::Matrix, linalg::Vector>> BuildNormalizedSystem(
   return std::make_pair(linalg::Matrix::FromColumns(cols), std::move(b));
 }
 
-Result<linalg::Vector> SolveWeights(const linalg::Matrix& a,
-                                    const linalg::Vector& b,
-                                    const GeoAlignOptions& options) {
-  size_t n = a.cols();
-  switch (options.solver) {
-    case WeightSolver::kSimplex: {
-      GEOALIGN_ASSIGN_OR_RETURN(
-          linalg::SimplexLsSolution sol,
-          linalg::SolveSimplexLeastSquares(a, b, options.solver_options));
-      return sol.beta;
-    }
-    case WeightSolver::kNnlsNormalized: {
-      GEOALIGN_ASSIGN_OR_RETURN(linalg::NnlsSolution sol,
-                                linalg::SolveNnls(a, b));
-      double total = linalg::Sum(sol.x);
-      if (total <= 0.0) {
-        // NNLS degenerated to the zero vector; fall back to uniform.
-        return linalg::Vector(n, 1.0 / static_cast<double>(n));
-      }
-      linalg::Scale(sol.x, 1.0 / total);
-      return sol.x;
-    }
-    case WeightSolver::kClampedLs: {
-      auto ls = linalg::LeastSquaresQr(a, b);
-      if (!ls.ok()) {
-        // Rank-deficient design (duplicate references): uniform.
-        return linalg::Vector(n, 1.0 / static_cast<double>(n));
-      }
-      linalg::Vector beta = std::move(ls).value();
-      double total = 0.0;
-      for (double& v : beta) {
-        if (v < 0.0) v = 0.0;
-        total += v;
-      }
-      if (total <= 0.0) {
-        return linalg::Vector(n, 1.0 / static_cast<double>(n));
-      }
-      linalg::Scale(beta, 1.0 / total);
-      return beta;
-    }
-    case WeightSolver::kUniform:
-      return linalg::Vector(n, 1.0 / static_cast<double>(n));
-  }
-  return Status::Internal("unknown weight solver");
-}
-
 }  // namespace
 
 GeoAlign::GeoAlign(GeoAlignOptions options) : options_(std::move(options)) {}
@@ -83,16 +35,37 @@ GeoAlign::GeoAlign(GeoAlignOptions options) : options_(std::move(options)) {}
 Result<linalg::Vector> GeoAlign::LearnWeights(
     const CrosswalkInput& input) const {
   GEOALIGN_ASSIGN_OR_RETURN(auto system, BuildNormalizedSystem(input));
-  return SolveWeights(system.first, system.second, options_);
+  return internal::SolveWeightsForDesign(system.first, system.second,
+                                         options_);
+}
+
+Result<CrosswalkPlan> GeoAlign::Compile(const CrosswalkInput& input) const {
+  return CrosswalkPlan::Compile(input, options_);
+}
+
+Result<CrosswalkPlan> GeoAlign::Compile(
+    const std::vector<ReferenceAttribute>& references) const {
+  return CrosswalkPlan::Compile(references, options_);
 }
 
 Result<CrosswalkResult> GeoAlign::Crosswalk(
     const CrosswalkInput& input) const {
+  // Thin compile-then-execute wrapper: one-shot callers pay one plan
+  // compilation (what the legacy path redid inline anyway); repeated
+  // callers should hold the plan. Bit-identical to CrosswalkUncompiled
+  // by the CrosswalkPlan contract, which plan_equivalence_test pins.
+  GEOALIGN_ASSIGN_OR_RETURN(CrosswalkPlan plan,
+                            CrosswalkPlan::Compile(input, options_));
+  return plan.Execute(input.objective_source);
+}
+
+Result<CrosswalkResult> CrosswalkUncompiled(const CrosswalkInput& input,
+                                            const GeoAlignOptions& options) {
   if (input.references.empty()) {
     return Status::InvalidArgument("GeoAlign: no reference attributes");
   }
-  if (options_.zero_row_fallback == ZeroRowFallback::kFallbackDm &&
-      options_.fallback_dm == nullptr) {
+  if (options.zero_row_fallback == ZeroRowFallback::kFallbackDm &&
+      options.fallback_dm == nullptr) {
     return Status::InvalidArgument(
         "GeoAlign: kFallbackDm requires options.fallback_dm");
   }
@@ -101,13 +74,13 @@ Result<CrosswalkResult> GeoAlign::Crosswalk(
   // The pool only changes who executes the fixed chunks, never the
   // combine order, so every thread count yields identical bits.
   std::unique_ptr<common::ThreadPool> pool =
-      common::MakePoolOrNull(common::ResolveThreadCount(options_.threads));
+      common::MakePoolOrNull(common::ResolveThreadCount(options.threads));
 
   // Step 1: weight learning (Eq. 15).
   GEOALIGN_ASSIGN_OR_RETURN(auto system, BuildNormalizedSystem(input));
   GEOALIGN_ASSIGN_OR_RETURN(
       linalg::Vector beta,
-      SolveWeights(system.first, system.second, options_));
+      internal::SolveWeightsForDesign(system.first, system.second, options));
   result.timing.Add("weight_learning", watch.ElapsedSeconds());
   watch.Restart();
 
@@ -119,7 +92,7 @@ Result<CrosswalkResult> GeoAlign::Crosswalk(
   linalg::Vector effective(num_refs, 0.0);
   for (size_t k = 0; k < num_refs; ++k) {
     double norm = 1.0;
-    if (options_.scale_mode == ScaleMode::kNormalized) {
+    if (options.scale_mode == ScaleMode::kNormalized) {
       norm = linalg::Max(input.references[k].source_aggregates);
       if (norm <= 0.0) {
         return Status::InvalidArgument(
@@ -139,7 +112,7 @@ Result<CrosswalkResult> GeoAlign::Crosswalk(
                             sparse::WeightedSum(dms, effective, pool.get()));
 
   linalg::Vector denom;
-  if (options_.denominator == DenominatorMode::kFromDmRowSums) {
+  if (options.denominator == DenominatorMode::kFromDmRowSums) {
     denom = numerator.RowSums();
   } else {
     denom.assign(input.NumSourceUnits(), 0.0);
@@ -152,14 +125,14 @@ Result<CrosswalkResult> GeoAlign::Crosswalk(
 
   // Rows scale by a^s_o[i] / denom[i]; zero denominators fall back.
   std::vector<size_t> zero_rows;
-  sparse::DivideRowsOrZero(numerator, denom, options_.zero_tolerance,
+  sparse::DivideRowsOrZero(numerator, denom, options.zero_tolerance,
                            &zero_rows, pool.get());
   numerator.ScaleRows(input.objective_source);
   sparse::CsrMatrix estimated = std::move(numerator);
 
-  if (options_.zero_row_fallback == ZeroRowFallback::kFallbackDm &&
+  if (options.zero_row_fallback == ZeroRowFallback::kFallbackDm &&
       !zero_rows.empty()) {
-    const sparse::CsrMatrix& fb = *options_.fallback_dm;
+    const sparse::CsrMatrix& fb = *options.fallback_dm;
     if (fb.rows() != estimated.rows() || fb.cols() != estimated.cols()) {
       return Status::InvalidArgument("GeoAlign: fallback DM shape mismatch");
     }

@@ -1,84 +1,11 @@
 #ifndef GEOALIGN_CORE_GEOALIGN_H_
 #define GEOALIGN_CORE_GEOALIGN_H_
 
+#include "core/crosswalk_plan.h"
+#include "core/geoalign_options.h"
 #include "core/interpolator.h"
-#include "linalg/simplex_ls.h"
 
 namespace geoalign::core {
-
-/// How reference scales are handled inside Eq. 14.
-enum class ScaleMode {
-  /// DM_rk and a^s_rk are both divided by max_i a^s_rk[i] before the
-  /// weighted combination — the scale-free reading of the paper's
-  /// "adapt it to the scale of reference attributes" remark. Volume
-  /// preservation holds exactly. Default.
-  kNormalized,
-  /// Weights are applied to the raw matrices/vectors (ablation only;
-  /// mixes reference magnitudes).
-  kRaw,
-};
-
-/// Which solver learns the weights β (Eq. 15). Alternatives exist for
-/// the ablation study; the paper's formulation is kSimplex.
-enum class WeightSolver {
-  /// min ||Aβ - b||², Σβ = 1, β >= 0 (paper Eq. 15).
-  kSimplex,
-  /// Lawson–Hanson NNLS, then rescale to Σβ = 1.
-  kNnlsNormalized,
-  /// Unconstrained least squares, negatives clamped to 0, rescaled.
-  kClampedLs,
-  /// β uniform over all references (no learning).
-  kUniform,
-};
-
-/// Where Eq. 14's per-row denominator Σ_k β_k a'^s_rk[i] comes from.
-enum class DenominatorMode {
-  /// Row sums of the weighted reference DMs. Identical to the
-  /// aggregate vectors when the input is consistent, but keeps volume
-  /// preservation (Eq. 16) exact even when the reported aggregates are
-  /// noisy — the regime of the paper's §4.4.1 robustness study, whose
-  /// near-1 deviation ratios are only reproducible this way. Default.
-  kFromDmRowSums,
-  /// The literal Eq. 14 denominator: the references' reported source
-  /// aggregate vectors. Under inconsistent (noisy) aggregates each
-  /// row's mass is scaled by the aggregate error. Ablation only.
-  kFromAggregates,
-};
-
-/// Behaviour for source rows whose weighted reference mass is zero
-/// (Eq. 14's "otherwise" branch).
-enum class ZeroRowFallback {
-  /// Emit an all-zero row (the paper's choice). The objective mass of
-  /// that source unit is lost — volume preservation holds only on
-  /// rows with reference support.
-  kZero,
-  /// Distribute the row by the supplied fallback DM (typically area),
-  /// keeping the method volume preserving everywhere.
-  kFallbackDm,
-};
-
-/// Options controlling the GeoAlign interpolator.
-struct GeoAlignOptions {
-  ScaleMode scale_mode = ScaleMode::kNormalized;
-  WeightSolver solver = WeightSolver::kSimplex;
-  DenominatorMode denominator = DenominatorMode::kFromDmRowSums;
-  ZeroRowFallback zero_row_fallback = ZeroRowFallback::kZero;
-  /// Row denominators with |d| <= zero_tolerance take the fallback.
-  double zero_tolerance = 0.0;
-  /// Required when zero_row_fallback == kFallbackDm: a consistent DM
-  /// (e.g. the measure/area DM) used for unsupported rows. Not owned;
-  /// must outlive the interpolator.
-  const sparse::CsrMatrix* fallback_dm = nullptr;
-  /// Worker threads for the disaggregation (Eq. 14) and re-aggregation
-  /// (Eq. 17) phases: 0 = one per hardware thread, 1 = run inline on
-  /// the calling thread (legacy single-threaded execution). Outputs
-  /// are bit-identical for every value — the parallel kernels use
-  /// fixed chunk boundaries and ordered combines (the deterministic-
-  /// reduction contract, docs/parallelism.md).
-  size_t threads = 0;
-  /// Options forwarded to the simplex solver.
-  linalg::SimplexLsOptions solver_options;
-};
 
 /// The paper's contribution (Algorithm 1): an adaptive multi-reference
 /// crosswalk.
@@ -93,6 +20,15 @@ struct GeoAlignOptions {
 ///
 /// Dimension-independent: nothing here inspects geometry, only
 /// aggregate vectors and disaggregation matrices.
+///
+/// Two ways to run it:
+///  - `Crosswalk(input)` — the Interpolator entry point; internally a
+///    thin Compile → Execute wrapper.
+///  - `Compile(input) → CrosswalkPlan`, then `plan.Execute(objective)`
+///    for each objective column — amortizes every objective-
+///    independent step (normalization, design/Gram assembly, DM
+///    walks) across columns. Bit-identical to `Crosswalk` per the
+///    CrosswalkPlan contract.
 class GeoAlign : public Interpolator {
  public:
   explicit GeoAlign(GeoAlignOptions options = {});
@@ -101,6 +37,16 @@ class GeoAlign : public Interpolator {
 
   Result<CrosswalkResult> Crosswalk(
       const CrosswalkInput& input) const override;
+
+  /// Compiles the objective-independent half of Algorithm 1 for
+  /// `input.references` (the objective column is ignored). The plan is
+  /// immutable, independent of this interpolator's lifetime, and
+  /// reusable for any number of `Execute` calls.
+  Result<CrosswalkPlan> Compile(const CrosswalkInput& input) const;
+
+  /// Same, from a bare reference list.
+  Result<CrosswalkPlan> Compile(
+      const std::vector<ReferenceAttribute>& references) const;
 
   /// Runs only step 1 and returns β. Exposed for experiments that
   /// inspect weights (e.g. §4.4.2 reference-selection analysis).
@@ -111,6 +57,17 @@ class GeoAlign : public Interpolator {
  private:
   GeoAlignOptions options_;
 };
+
+/// The legacy recompile-per-call implementation of Algorithm 1,
+/// preserved verbatim from before the compile/execute split. This is
+/// the reference oracle that `plan_equivalence_test` compares the
+/// compiled path against, and the baseline arm of
+/// bench/realign_throughput — it must keep redoing all objective-
+/// independent work per call, so do not "optimize" it. Production code
+/// goes through GeoAlign::Crosswalk or a CrosswalkPlan instead
+/// (enforced in src/ hot paths by the geoalign-plan-bypass lint).
+Result<CrosswalkResult> CrosswalkUncompiled(const CrosswalkInput& input,
+                                            const GeoAlignOptions& options);
 
 }  // namespace geoalign::core
 

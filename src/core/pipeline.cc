@@ -2,11 +2,32 @@
 
 #include <memory>
 #include <optional>
-#include <unordered_map>
 
 #include "common/thread_pool.h"
 
 namespace geoalign::core {
+
+namespace {
+
+// Builds a name→index map, rejecting duplicates (a duplicate would
+// silently shadow the earlier unit during column resolution).
+Result<std::unordered_map<std::string, size_t>> BuildUnitIndex(
+    const std::vector<std::string>& units, const char* which) {
+  std::unordered_map<std::string, size_t> index;
+  index.reserve(units.size());
+  for (size_t i = 0; i < units.size(); ++i) {
+    auto [it, inserted] = index.emplace(units[i], i);
+    (void)it;
+    if (!inserted) {
+      return Status::InvalidArgument(
+          std::string("CrosswalkPipeline: duplicate ") + which +
+          " unit name '" + units[i] + "'");
+    }
+  }
+  return index;
+}
+
+}  // namespace
 
 CrosswalkPipeline::CrosswalkPipeline(
     std::vector<std::string> source_units,
@@ -41,17 +62,40 @@ Result<CrosswalkPipeline> CrosswalkPipeline::Create(
   if (method == nullptr) {
     method = std::make_shared<GeoAlign>();
   }
-  return CrosswalkPipeline(std::move(source_units), std::move(target_units),
-                           std::move(references), std::move(method));
+  CrosswalkPipeline pipeline(std::move(source_units),
+                             std::move(target_units), std::move(references),
+                             std::move(method));
+  GEOALIGN_ASSIGN_OR_RETURN(
+      pipeline.source_index_,
+      BuildUnitIndex(pipeline.source_units_, "source"));
+  GEOALIGN_ASSIGN_OR_RETURN(
+      pipeline.target_index_,
+      BuildUnitIndex(pipeline.target_units_, "target"));
+
+  // Compile step: a GeoAlign method gets its objective-independent
+  // work hoisted into one shared plan here. Compilation failures (e.g.
+  // a reference whose aggregates cannot be normalized) intentionally
+  // do NOT fail Create — the legacy contract surfaces those errors at
+  // Realign time, so we fall back to the per-call path instead.
+  if (const auto* ga =
+          dynamic_cast<const GeoAlign*>(pipeline.method_.get())) {
+    Result<CrosswalkPlan> plan = ga->Compile(pipeline.references_);
+    if (plan.ok()) {
+      pipeline.plan_ = std::make_shared<const CrosswalkPlan>(
+          std::move(plan).value());
+      // The plan owns prepared copies of every reference; drop the
+      // now-redundant originals (they were only read per Realign call).
+      pipeline.references_.clear();
+      pipeline.references_.shrink_to_fit();
+    }
+  }
+  return pipeline;
 }
 
 Result<linalg::Vector> CrosswalkPipeline::ResolveColumn(
     const std::vector<std::pair<std::string, double>>& column,
-    const std::vector<std::string>& units) const {
-  std::unordered_map<std::string, size_t> index;
-  index.reserve(units.size());
-  for (size_t i = 0; i < units.size(); ++i) index.emplace(units[i], i);
-  linalg::Vector out(units.size(), 0.0);
+    const std::unordered_map<std::string, size_t>& index) const {
+  linalg::Vector out(index.size(), 0.0);
   for (const auto& [unit, value] : column) {
     auto it = index.find(unit);
     if (it == index.end()) {
@@ -65,17 +109,54 @@ Result<linalg::Vector> CrosswalkPipeline::ResolveColumn(
 
 Result<CrosswalkResult> CrosswalkPipeline::Realign(
     const std::vector<std::pair<std::string, double>>& objective) const {
+  GEOALIGN_ASSIGN_OR_RETURN(linalg::Vector objective_source,
+                            ResolveColumn(objective, source_index_));
+  if (plan_ != nullptr) {
+    return plan_->Execute(objective_source);
+  }
   CrosswalkInput input;
-  GEOALIGN_ASSIGN_OR_RETURN(input.objective_source,
-                            ResolveColumn(objective, source_units_));
+  input.objective_source = std::move(objective_source);
   input.references = references_;
-  return method_->Crosswalk(input);
+  // Non-GeoAlign interpolators (baselines, custom methods) have no
+  // compiled-plan form; this also serves GeoAlign when its plan failed
+  // to compile, preserving the legacy error-at-Realign contract.
+  return method_->Crosswalk(input);  // NOLINT(geoalign-plan-bypass)
 }
 
 Result<std::vector<CrosswalkResult>> CrosswalkPipeline::RealignMany(
     const std::vector<Column>& objectives, size_t threads) const {
   std::unique_ptr<common::ThreadPool> pool =
       common::MakePoolOrNull(common::ResolveThreadCount(threads));
+
+  if (plan_ != nullptr) {
+    // Serving path: every column executes the one shared plan. With an
+    // outer pool the inner kernels run inline (oversubscription
+    // guard); either way the deterministic kernels make the bits
+    // independent of the threading shape.
+    std::vector<std::optional<Result<CrosswalkResult>>> results(
+        objectives.size());
+    common::ParallelForChunks(pool.get(), objectives.size(), [&](size_t i) {
+      Result<linalg::Vector> column =
+          ResolveColumn(objectives[i], source_index_);
+      if (!column.ok()) {
+        results[i].emplace(column.status());
+        return;
+      }
+      if (pool != nullptr) {
+        results[i].emplace(
+            plan_->ExecuteWith(std::move(column).value(), nullptr));
+      } else {
+        results[i].emplace(plan_->Execute(std::move(column).value()));
+      }
+    });
+    std::vector<CrosswalkResult> out;
+    out.reserve(objectives.size());
+    for (std::optional<Result<CrosswalkResult>>& r : results) {
+      if (!r->ok()) return r->status();
+      out.push_back(std::move(*r).value());
+    }
+    return out;
+  }
 
   // With an outer pool, an interpolator that would itself spawn a pool
   // per crosswalk (GeoAlign with threads != 1) would oversubscribe the
@@ -95,14 +176,17 @@ Result<std::vector<CrosswalkResult>> CrosswalkPipeline::RealignMany(
   common::ParallelForChunks(pool.get(), objectives.size(), [&](size_t i) {
     CrosswalkInput input;
     Result<linalg::Vector> column =
-        ResolveColumn(objectives[i], source_units_);
+        ResolveColumn(objectives[i], source_index_);
     if (!column.ok()) {
       results[i].emplace(column.status());
       return;
     }
     input.objective_source = std::move(column).value();
     input.references = references_;
-    results[i].emplace(method->Crosswalk(input));
+    // Per-call fallback for interpolators without a compiled-plan form
+    // (see Realign).
+    results[i].emplace(
+        method->Crosswalk(input));  // NOLINT(geoalign-plan-bypass)
   });
 
   std::vector<CrosswalkResult> out;
@@ -121,7 +205,7 @@ Result<std::vector<CrosswalkPipeline::JoinedRow>> CrosswalkPipeline::Join(
   GEOALIGN_ASSIGN_OR_RETURN(CrosswalkResult realigned, Realign(objective));
   GEOALIGN_ASSIGN_OR_RETURN(
       linalg::Vector target_vals,
-      ResolveColumn(target_attribute, target_units_));
+      ResolveColumn(target_attribute, target_index_));
   std::vector<JoinedRow> rows;
   rows.reserve(target_units_.size());
   for (size_t j = 0; j < target_units_.size(); ++j) {

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -22,7 +23,16 @@ class CrosswalkPipeline {
  public:
   /// `references` carry the crosswalk knowledge (aggregates + DMs in
   /// the index order of the unit name lists). `method` defaults to
-  /// GeoAlign with default options when null.
+  /// GeoAlign with default options when null. Duplicate names within
+  /// either unit list are rejected (they would silently shadow earlier
+  /// indices during column resolution).
+  ///
+  /// Create is the COMPILE step of the serving path: it hoists the
+  /// name→index maps and, when `method` is GeoAlign, compiles the
+  /// shared CrosswalkPlan once; Realign/RealignMany then only execute.
+  /// (If plan compilation fails — e.g. a reference GeoAlign cannot
+  /// normalize — Create still succeeds and the error surfaces at
+  /// Realign time, matching the legacy behaviour.)
   static Result<CrosswalkPipeline> Create(
       std::vector<std::string> source_units,
       std::vector<std::string> target_units,
@@ -70,6 +80,10 @@ class CrosswalkPipeline {
   }
   const Interpolator& method() const { return *method_; }
 
+  /// The compiled plan shared by Realign/RealignMany, or null when the
+  /// method is not GeoAlign (or its references failed to compile).
+  const CrosswalkPlan* plan() const { return plan_.get(); }
+
  private:
   CrosswalkPipeline(std::vector<std::string> source_units,
                     std::vector<std::string> target_units,
@@ -78,12 +92,19 @@ class CrosswalkPipeline {
 
   Result<linalg::Vector> ResolveColumn(
       const std::vector<std::pair<std::string, double>>& column,
-      const std::vector<std::string>& units) const;
+      const std::unordered_map<std::string, size_t>& index) const;
 
   std::vector<std::string> source_units_;
   std::vector<std::string> target_units_;
+  /// Hoisted name→index maps; built (and checked for duplicates) once
+  /// in Create instead of once per Realign call.
+  std::unordered_map<std::string, size_t> source_index_;
+  std::unordered_map<std::string, size_t> target_index_;
+  /// Reference attributes, kept only for interpolators that take the
+  /// per-call CrosswalkInput path; empty once `plan_` is compiled.
   std::vector<ReferenceAttribute> references_;
   std::shared_ptr<const Interpolator> method_;
+  std::shared_ptr<const CrosswalkPlan> plan_;
 };
 
 }  // namespace geoalign::core

@@ -1,0 +1,121 @@
+#include "core/plan_cache.h"
+
+#include <utility>
+
+#include "sparse/prepared_reference.h"
+
+namespace geoalign::core {
+
+namespace {
+
+// Mixes everything execution-relevant about (references, options) into
+// one lane. Seeded differently per lane so a collision would have to
+// defeat two independent 64-bit hashes at once.
+uint64_t FingerprintLane(const std::vector<ReferenceAttribute>& references,
+                         const GeoAlignOptions& options, uint64_t seed) {
+  sparse::Fnv1a hash(seed);
+  hash.MixSize(references.size());
+  for (const ReferenceAttribute& ref : references) {
+    hash.MixString(ref.name);
+    hash.MixDoubles(ref.source_aggregates);
+    hash.MixSize(ref.disaggregation.rows());
+    hash.MixSize(ref.disaggregation.cols());
+    hash.MixSizes(ref.disaggregation.row_ptr());
+    hash.MixSizes(ref.disaggregation.col_idx());
+    hash.MixDoubles(ref.disaggregation.values());
+  }
+  hash.MixU64(static_cast<uint64_t>(options.scale_mode));
+  hash.MixU64(static_cast<uint64_t>(options.solver));
+  hash.MixU64(static_cast<uint64_t>(options.denominator));
+  hash.MixU64(static_cast<uint64_t>(options.zero_row_fallback));
+  hash.MixDouble(options.zero_tolerance);
+  hash.MixDouble(options.solver_options.tolerance);
+  hash.MixSize(options.solver_options.max_iterations);
+  hash.MixDouble(options.solver_options.ridge_on_singular);
+  // options.threads is intentionally NOT mixed (see class comment).
+  if (options.fallback_dm != nullptr) {
+    const sparse::CsrMatrix& fb = *options.fallback_dm;
+    hash.MixSize(fb.rows());
+    hash.MixSize(fb.cols());
+    hash.MixSizes(fb.row_ptr());
+    hash.MixSizes(fb.col_idx());
+    hash.MixDoubles(fb.values());
+  } else {
+    hash.MixU64(0);
+  }
+  return hash.value();
+}
+
+}  // namespace
+
+PlanCache::Key PlanCache::MakeKey(
+    const std::vector<ReferenceAttribute>& references,
+    const GeoAlignOptions& options) {
+  Key key;
+  key.lane0 = FingerprintLane(references, options, sparse::Fnv1a::kDefaultSeed);
+  key.lane1 = FingerprintLane(references, options, 0x6a09e667f3bcc909ull);
+  return key;
+}
+
+Result<std::shared_ptr<const CrosswalkPlan>> PlanCache::GetOrCompile(
+    const std::vector<ReferenceAttribute>& references,
+    const GeoAlignOptions& options) {
+  Key key = MakeKey(references, options);
+
+  if (capacity_ > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->plan;
+    }
+    ++stats_.misses;
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+  }
+
+  // Compile outside the lock: plan compilation walks every reference
+  // DM and must not serialize concurrent callers on unrelated keys.
+  GEOALIGN_ASSIGN_OR_RETURN(CrosswalkPlan compiled,
+                            CrosswalkPlan::Compile(references, options));
+  auto plan =
+      std::make_shared<const CrosswalkPlan>(std::move(compiled));
+  if (capacity_ == 0) return plan;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Another thread compiled the same key while we were unlocked;
+    // keep the incumbent so all callers share one plan.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->plan;
+  }
+  lru_.push_front(Entry{key, plan});
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return plan;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  index_.clear();
+  lru_.clear();
+}
+
+}  // namespace geoalign::core

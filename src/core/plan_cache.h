@@ -1,0 +1,94 @@
+#ifndef GEOALIGN_CORE_PLAN_CACHE_H_
+#define GEOALIGN_CORE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/crosswalk_plan.h"
+
+namespace geoalign::core {
+
+/// Counters for PlanCache observability (snapshot via stats()).
+struct PlanCacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t evictions = 0;
+};
+
+/// A small thread-safe LRU cache of compiled CrosswalkPlans for
+/// callers that construct pipelines repeatedly over the same reference
+/// sets — eval/cross_validation's leave-one-out loop revisits each
+/// reference subset once per objective and is the first consumer.
+///
+/// Keys are CONTENT fingerprints (two independent FNV-1a lanes over
+/// reference names/aggregates/CSR arrays, the option enums and
+/// tolerances, and the fallback DM's content), never pointer
+/// identities — equal inputs hit regardless of where they live.
+/// `GeoAlignOptions::threads` is deliberately excluded: execution
+/// results are bit-identical for every thread count (the
+/// deterministic-reduction contract), so plans are shared across
+/// thread configurations; use `Execute(obj, threads)`/`ExecuteWith`
+/// when the cached plan's default should be overridden.
+///
+/// Compilation runs outside the cache lock; when two threads miss the
+/// same key concurrently, both compile and the first insert wins (the
+/// loser's plan is dropped, both callers get valid plans).
+/// `capacity == 0` disables caching: every call compiles and is
+/// counted as a miss.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity = 16) : capacity_(capacity) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the cached plan for (references, options), compiling and
+  /// inserting it on a miss. The shared_ptr keeps the plan alive even
+  /// after eviction, so callers may hold it indefinitely.
+  Result<std::shared_ptr<const CrosswalkPlan>> GetOrCompile(
+      const std::vector<ReferenceAttribute>& references,
+      const GeoAlignOptions& options);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  PlanCacheStats stats() const;
+  void Clear();
+
+ private:
+  struct Key {
+    uint64_t lane0 = 0;
+    uint64_t lane1 = 0;
+    bool operator==(const Key& other) const {
+      return lane0 == other.lane0 && lane1 == other.lane1;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(k.lane0 ^ (k.lane1 * 0x9e3779b97f4a7c15ull));
+    }
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const CrosswalkPlan> plan;
+  };
+
+  static Key MakeKey(const std::vector<ReferenceAttribute>& references,
+                     const GeoAlignOptions& options);
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  /// Recency list, front = most recently used. The eviction scan walks
+  /// this ordered list; the unordered map below is only ever probed
+  /// point-wise (find/emplace/erase), never iterated.
+  std::list<Entry> lru_;
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace geoalign::core
+
+#endif  // GEOALIGN_CORE_PLAN_CACHE_H_

@@ -48,10 +48,22 @@ Result<CvReport> RunCrossValidation(const synth::Universe& universe,
                               universe.MakeLeaveOneOutInput(t));
     GEOALIGN_RETURN_IF_ERROR(input.Validate());
 
-    // GeoAlign with all remaining references.
+    // GeoAlign with all remaining references — through the compiled
+    // plan (cached across runs when options.plan_cache is supplied;
+    // bit-identical to the per-call path either way).
     {
-      GEOALIGN_ASSIGN_OR_RETURN(core::CrosswalkResult res,
-                                geoalign.Crosswalk(input));
+      core::CrosswalkResult res;
+      if (options.plan_cache != nullptr) {
+        GEOALIGN_ASSIGN_OR_RETURN(
+            std::shared_ptr<const core::CrosswalkPlan> plan,
+            options.plan_cache->GetOrCompile(input.references,
+                                             options.geoalign_options));
+        GEOALIGN_ASSIGN_OR_RETURN(res, plan->Execute(input.objective_source));
+      } else {
+        GEOALIGN_ASSIGN_OR_RETURN(core::CrosswalkPlan plan,
+                                  geoalign.Compile(input));
+        GEOALIGN_ASSIGN_OR_RETURN(res, plan.Execute(input.objective_source));
+      }
       CvCell cell;
       cell.dataset = test.name;
       cell.method = "GeoAlign";
@@ -79,8 +91,10 @@ Result<CvReport> RunCrossValidation(const synth::Universe& universe,
                                        ref_name + "' reference");
       }
       core::Dasymetric dasy(*ref_idx, cell.method);
-      GEOALIGN_ASSIGN_OR_RETURN(core::CrosswalkResult res,
-                                dasy.Crosswalk(input));
+      // Baseline interpolators have no compiled-plan form.
+      GEOALIGN_ASSIGN_OR_RETURN(
+          core::CrosswalkResult res,
+          dasy.Crosswalk(input));  // NOLINT(geoalign-plan-bypass)
       cell.rmse = Rmse(res.target_estimates, test.target);
       cell.nrmse = Nrmse(res.target_estimates, test.target);
       report.cells.push_back(std::move(cell));
@@ -90,8 +104,10 @@ Result<CvReport> RunCrossValidation(const synth::Universe& universe,
     // reference to withhold).
     if (options.run_regression) {
       core::RegressionBaseline reg;
-      GEOALIGN_ASSIGN_OR_RETURN(core::CrosswalkResult res,
-                                reg.Crosswalk(input));
+      // Baseline interpolators have no compiled-plan form.
+      GEOALIGN_ASSIGN_OR_RETURN(
+          core::CrosswalkResult res,
+          reg.Crosswalk(input));  // NOLINT(geoalign-plan-bypass)
       CvCell cell;
       cell.dataset = test.name;
       cell.method = "regression";
@@ -110,8 +126,10 @@ Result<CvReport> RunCrossValidation(const synth::Universe& universe,
         cell.nrmse = kNaN;
         cell.rmse = kNaN;
       } else {
-        GEOALIGN_ASSIGN_OR_RETURN(core::CrosswalkResult res,
-                                  areal.Crosswalk(input));
+        // Baseline interpolators have no compiled-plan form.
+        GEOALIGN_ASSIGN_OR_RETURN(
+            core::CrosswalkResult res,
+            areal.Crosswalk(input));  // NOLINT(geoalign-plan-bypass)
         cell.rmse = Rmse(res.target_estimates, test.target);
         cell.nrmse = Nrmse(res.target_estimates, test.target);
       }

@@ -1,0 +1,74 @@
+#include "sparse/prepared_reference.h"
+
+#include <utility>
+
+namespace geoalign::sparse {
+
+Result<PreparedReferenceSet> PreparedReferenceSet::Prepare(
+    std::vector<ReferenceData> references) {
+  if (references.empty()) {
+    return Status::InvalidArgument(
+        "PreparedReferenceSet: no reference attributes");
+  }
+  size_t rows = references[0].disaggregation.rows();
+  size_t cols = references[0].disaggregation.cols();
+  for (const ReferenceData& ref : references) {
+    if (ref.disaggregation.rows() != rows ||
+        ref.disaggregation.cols() != cols) {
+      return Status::InvalidArgument(
+          "PreparedReferenceSet: reference '" + ref.name +
+          "' disaggregation shape mismatch");
+    }
+    if (ref.source_aggregates.size() != rows) {
+      return Status::InvalidArgument(
+          "PreparedReferenceSet: reference '" + ref.name +
+          "' aggregate length does not match disaggregation rows");
+    }
+  }
+
+  PreparedReferenceSet set;
+  set.num_source_ = rows;
+  set.num_target_ = cols;
+  set.refs_.reserve(references.size());
+  Fnv1a hash;
+  hash.MixSize(references.size());
+  hash.MixSize(rows);
+  hash.MixSize(cols);
+  for (ReferenceData& ref : references) {
+    PreparedReference prepared;
+    // Same normalization (and therefore same failure messages) as the
+    // legacy per-call BuildNormalizedSystem.
+    GEOALIGN_ASSIGN_OR_RETURN(
+        prepared.normalized_aggregates,
+        linalg::NormalizeByMax(ref.source_aggregates));
+    // NormalizeByMax succeeded, so entries are non-negative with at
+    // least one positive: the max is a valid positive normalizer.
+    prepared.normalizer = linalg::Max(ref.source_aggregates);
+    prepared.dm_row_sums = ref.disaggregation.RowSums();
+    hash.MixString(ref.name);
+    hash.MixDoubles(ref.source_aggregates);
+    hash.MixSizes(ref.disaggregation.row_ptr());
+    hash.MixSizes(ref.disaggregation.col_idx());
+    hash.MixDoubles(ref.disaggregation.values());
+    prepared.name = std::move(ref.name);
+    prepared.source_aggregates = std::move(ref.source_aggregates);
+    prepared.disaggregation = std::move(ref.disaggregation);
+    set.refs_.push_back(std::move(prepared));
+  }
+  set.fingerprint_ = hash.value();
+
+  set.dms_.reserve(set.refs_.size());
+  for (const PreparedReference& ref : set.refs_) {
+    set.dms_.push_back(&ref.disaggregation);
+  }
+  set.aligned_ = true;
+  const CsrMatrix& first = set.refs_[0].disaggregation;
+  for (size_t k = 1; k < set.refs_.size() && set.aligned_; ++k) {
+    const CsrMatrix& dm = set.refs_[k].disaggregation;
+    set.aligned_ = dm.row_ptr() == first.row_ptr() &&
+                   dm.col_idx() == first.col_idx();
+  }
+  return set;
+}
+
+}  // namespace geoalign::sparse

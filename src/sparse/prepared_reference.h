@@ -1,0 +1,137 @@
+#ifndef GEOALIGN_SPARSE_PREPARED_REFERENCE_H_
+#define GEOALIGN_SPARSE_PREPARED_REFERENCE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/vector_ops.h"
+#include "sparse/csr_matrix.h"
+
+namespace geoalign::sparse {
+
+/// Incremental 64-bit FNV-1a hash used to fingerprint prepared
+/// reference sets (and, in core::PlanCache, option structs). Two
+/// instances seeded differently give an effectively 128-bit key.
+class Fnv1a {
+ public:
+  static constexpr uint64_t kDefaultSeed = 0xcbf29ce484222325ull;
+
+  explicit Fnv1a(uint64_t seed = kDefaultSeed) : state_(seed) {}
+
+  void MixBytes(const void* data, size_t bytes) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < bytes; ++i) {
+      state_ ^= p[i];
+      state_ *= 0x100000001b3ull;
+    }
+  }
+  void MixU64(uint64_t v) { MixBytes(&v, sizeof(v)); }
+  void MixSize(size_t v) { MixU64(static_cast<uint64_t>(v)); }
+  void MixDouble(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    MixU64(bits);
+  }
+  void MixDoubles(const std::vector<double>& v) {
+    MixSize(v.size());
+    MixBytes(v.data(), v.size() * sizeof(double));
+  }
+  void MixSizes(const std::vector<size_t>& v) {
+    MixSize(v.size());
+    MixBytes(v.data(), v.size() * sizeof(size_t));
+  }
+  void MixString(const std::string& s) {
+    MixSize(s.size());
+    MixBytes(s.data(), s.size());
+  }
+
+  uint64_t value() const { return state_; }
+
+ private:
+  uint64_t state_;
+};
+
+/// Raw per-reference inputs to PreparedReferenceSet::Prepare: one
+/// reference attribute α_r as the core layer sees it, without any core
+/// dependency (core depends on sparse, never the reverse).
+struct ReferenceData {
+  std::string name;
+  linalg::Vector source_aggregates;  ///< a^s_r, one entry per source unit
+  CsrMatrix disaggregation;          ///< DM_r, |U^s| x |U^t|
+};
+
+/// One reference after objective-independent compilation: everything
+/// Eq. 14/15 need that does not depend on the objective column,
+/// computed once and immutable afterwards.
+///
+/// The disaggregation matrix is kept RAW (not pre-divided by the
+/// normalizer): ScaleMode::kNormalized folds 1/normalizer into the
+/// per-execute effective weights instead, because IEEE division does
+/// not commute bit-exactly with the weighted row merge — pre-scaling
+/// the values would break the bit-identity contract between the
+/// compiled path and the legacy per-call path.
+struct PreparedReference {
+  std::string name;
+  linalg::Vector source_aggregates;     ///< a^s_r (owned copy)
+  CsrMatrix disaggregation;             ///< DM_r, raw values (owned copy)
+  linalg::Vector normalized_aggregates; ///< a^s_r / max_i a^s_r[i] (Eq. 15 column)
+  double normalizer = 1.0;              ///< max_i a^s_r[i]
+  linalg::Vector dm_row_sums;           ///< per-row sums of DM_r
+};
+
+/// An immutable, shareable set of prepared references — the sparse
+/// half of a compiled CrosswalkPlan. Detects once whether every
+/// reference DM shares one column-index structure (the common case
+/// when all DMs come from the same overlay), which lets the executor
+/// use the structure-sharing weighted-sum kernel.
+///
+/// Move-only: the cached DM pointer vector aliases the prepared
+/// references, which stay valid across moves of the owning vector but
+/// not across copies.
+class PreparedReferenceSet {
+ public:
+  /// Validates shapes, max-normalizes every aggregate vector (the
+  /// ScaleMode::kNormalized / Eq. 15 preprocessing; errors mirror the
+  /// legacy per-call path's NormalizeByMax failures), walks every DM
+  /// once for its row sums, and fingerprints the whole set.
+  static Result<PreparedReferenceSet> Prepare(
+      std::vector<ReferenceData> references);
+
+  PreparedReferenceSet(PreparedReferenceSet&&) = default;
+  PreparedReferenceSet& operator=(PreparedReferenceSet&&) = default;
+  PreparedReferenceSet(const PreparedReferenceSet&) = delete;
+  PreparedReferenceSet& operator=(const PreparedReferenceSet&) = delete;
+
+  size_t size() const { return refs_.size(); }
+  size_t num_source() const { return num_source_; }
+  size_t num_target() const { return num_target_; }
+  const PreparedReference& reference(size_t k) const { return refs_[k]; }
+
+  /// Pointers to every reference's raw DM, in reference order — the
+  /// operand list for sparse::WeightedSum / WeightedSumAligned.
+  const std::vector<const CsrMatrix*>& dms() const { return dms_; }
+
+  /// True when all DMs share identical row_ptr/col_idx arrays.
+  bool aligned() const { return aligned_; }
+
+  /// Content fingerprint (names, aggregates, CSR arrays) — the
+  /// reference-set half of a PlanCache key.
+  uint64_t fingerprint() const { return fingerprint_; }
+
+ private:
+  PreparedReferenceSet() = default;
+
+  std::vector<PreparedReference> refs_;
+  std::vector<const CsrMatrix*> dms_;
+  bool aligned_ = false;
+  uint64_t fingerprint_ = 0;
+  size_t num_source_ = 0;
+  size_t num_target_ = 0;
+};
+
+}  // namespace geoalign::sparse
+
+#endif  // GEOALIGN_SPARSE_PREPARED_REFERENCE_H_

@@ -17,6 +17,39 @@ constexpr size_t kRowMergeGrain = 128;  // WeightedSum row merge
 constexpr size_t kRowScaleGrain = 512;  // DivideRowsOrZero
 constexpr size_t kColSumGrain = 256;    // ColSumsDeterministic
 
+// Private per-chunk output of a row-parallel merge kernel.
+struct ChunkOut {
+  std::vector<size_t> cols;
+  std::vector<double> vals;
+  std::vector<size_t> row_nnz;  // entries per row in this chunk
+};
+
+// Stitches per-chunk outputs back into one CSR matrix in chunk order —
+// the deterministic combine step shared by WeightedSum and
+// WeightedSumAligned.
+Result<CsrMatrix> StitchRowChunks(size_t rows, size_t cols,
+                                  std::vector<ChunkOut>& parts) {
+  std::vector<size_t> out_rowptr(rows + 1, 0);
+  size_t total_nnz = 0;
+  size_t r = 0;
+  for (const ChunkOut& part : parts) {
+    for (size_t nnz : part.row_nnz) {
+      total_nnz += nnz;
+      out_rowptr[++r] = total_nnz;
+    }
+  }
+  std::vector<size_t> out_cols;
+  std::vector<double> out_vals;
+  out_cols.reserve(total_nnz);
+  out_vals.reserve(total_nnz);
+  for (ChunkOut& part : parts) {
+    out_cols.insert(out_cols.end(), part.cols.begin(), part.cols.end());
+    out_vals.insert(out_vals.end(), part.vals.begin(), part.vals.end());
+  }
+  return CsrMatrix::FromCsrArrays(rows, cols, std::move(out_rowptr),
+                                  std::move(out_cols), std::move(out_vals));
+}
+
 }  // namespace
 
 Result<CsrMatrix> Add(const CsrMatrix& a, const CsrMatrix& b, double alpha,
@@ -45,11 +78,6 @@ Result<CsrMatrix> WeightedSum(const std::vector<const CsrMatrix*>& mats,
   // rows are self-contained, so chunking changes no bit of the result.
   std::vector<common::ChunkRange> chunks =
       common::DeterministicChunks(rows, kRowMergeGrain);
-  struct ChunkOut {
-    std::vector<size_t> cols;
-    std::vector<double> vals;
-    std::vector<size_t> row_nnz;  // entries per row in this chunk
-  };
   std::vector<ChunkOut> parts(chunks.size());
   common::ParallelForChunks(pool, chunks.size(), [&](size_t ci) {
     const common::ChunkRange& range = chunks[ci];
@@ -83,27 +111,71 @@ Result<CsrMatrix> WeightedSum(const std::vector<const CsrMatrix*>& mats,
       part.row_nnz.push_back(part.cols.size() - before);
     }
   });
+  return StitchRowChunks(rows, cols, parts);
+}
 
-  // Stitch the chunk outputs back together in chunk order.
-  std::vector<size_t> out_rowptr(rows + 1, 0);
-  size_t total_nnz = 0;
-  size_t r = 0;
-  for (const ChunkOut& part : parts) {
-    for (size_t nnz : part.row_nnz) {
-      total_nnz += nnz;
-      out_rowptr[++r] = total_nnz;
+Result<CsrMatrix> WeightedSumAligned(const std::vector<const CsrMatrix*>& mats,
+                                     const linalg::Vector& weights,
+                                     common::ThreadPool* pool) {
+  if (mats.empty()) {
+    return Status::InvalidArgument("WeightedSumAligned: no matrices");
+  }
+  if (mats.size() != weights.size()) {
+    return Status::InvalidArgument(
+        "WeightedSumAligned: weight count mismatch");
+  }
+  size_t rows = mats[0]->rows();
+  size_t cols = mats[0]->cols();
+  for (const CsrMatrix* m : mats) {
+    if (m->rows() != rows || m->cols() != cols) {
+      return Status::InvalidArgument("WeightedSumAligned: shape mismatch");
     }
+    // Full structure equality is the caller's precondition (checked
+    // once at plan-compile time); re-verify only in debug builds.
+    GEOALIGN_DCHECK(m->row_ptr() == mats[0]->row_ptr() &&
+                    m->col_idx() == mats[0]->col_idx())
+        << "WeightedSumAligned: sparsity structures differ";
   }
-  std::vector<size_t> out_cols;
-  std::vector<double> out_vals;
-  out_cols.reserve(total_nnz);
-  out_vals.reserve(total_nnz);
-  for (ChunkOut& part : parts) {
-    out_cols.insert(out_cols.end(), part.cols.begin(), part.cols.end());
-    out_vals.insert(out_vals.end(), part.vals.begin(), part.vals.end());
+
+  // Operands that the scatter-gather path would skip entirely.
+  std::vector<const CsrMatrix*> active_mats;
+  std::vector<double> active_weights;
+  active_mats.reserve(mats.size());
+  active_weights.reserve(mats.size());
+  for (size_t mi = 0; mi < mats.size(); ++mi) {
+    if (ExactlyZero(weights[mi])) continue;
+    active_mats.push_back(mats[mi]);
+    active_weights.push_back(weights[mi]);
   }
-  return CsrMatrix::FromCsrArrays(rows, cols, std::move(out_rowptr),
-                                  std::move(out_cols), std::move(out_vals));
+
+  const std::vector<size_t>& row_ptr = mats[0]->row_ptr();
+  const std::vector<size_t>& col_idx = mats[0]->col_idx();
+  std::vector<common::ChunkRange> chunks =
+      common::DeterministicChunks(rows, kRowMergeGrain);
+  std::vector<ChunkOut> parts(chunks.size());
+  common::ParallelForChunks(pool, chunks.size(), [&](size_t ci) {
+    const common::ChunkRange& range = chunks[ci];
+    ChunkOut& part = parts[ci];
+    part.row_nnz.reserve(range.end - range.begin);
+    for (size_t r = range.begin; r < range.end; ++r) {
+      size_t before = part.cols.size();
+      for (size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+        // Accumulate in operand order from 0.0 — the same addition
+        // sequence per column as WeightedSum's dense accumulator, so
+        // the result is bit-identical to the general kernel.
+        double acc = 0.0;
+        for (size_t mi = 0; mi < active_mats.size(); ++mi) {
+          acc += active_weights[mi] * active_mats[mi]->values()[k];
+        }
+        if (!ExactlyZero(acc)) {
+          part.cols.push_back(col_idx[k]);
+          part.vals.push_back(acc);
+        }
+      }
+      part.row_nnz.push_back(part.cols.size() - before);
+    }
+  });
+  return StitchRowChunks(rows, cols, parts);
 }
 
 void DivideRowsOrZero(CsrMatrix& m, const linalg::Vector& denom,

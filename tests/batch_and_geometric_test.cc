@@ -105,14 +105,29 @@ TEST(BatchCrosswalk, ValidatesInput) {
   // Wrong objective length.
   auto bad = batch.Run({{"x", linalg::Vector{1.0, 2.0}}});
   EXPECT_FALSE(bad.ok());
-  // Non-simplex solver unsupported.
+  // Non-simplex solvers are supported since the compiled-plan rewrite
+  // (the plan simply skips the Gram hoist); results must match the
+  // individual path.
   core::GeoAlignOptions opts;
   opts.solver = core::WeightSolver::kUniform;
   core::ReferenceAttribute ref2;
   ref2.name = uni.datasets[2].name;
   ref2.source_aggregates = uni.datasets[2].source;
   ref2.disaggregation = uni.datasets[2].dm;
-  EXPECT_FALSE(core::BatchCrosswalk::Create({ref2}, opts).ok());
+  auto uniform_batch =
+      std::move(core::BatchCrosswalk::Create({ref2}, opts)).ValueOrDie();
+  auto uniform_results = std::move(
+      uniform_batch.Run({{uni.datasets[3].name, uni.datasets[3].source}}))
+      .ValueOrDie();
+  ASSERT_EQ(uniform_results.size(), 1u);
+  core::CrosswalkInput uniform_input;
+  uniform_input.objective_source = uni.datasets[3].source;
+  uniform_input.references = {ref2};
+  auto uniform_individual =
+      std::move(core::GeoAlign(opts).Crosswalk(uniform_input)).ValueOrDie();
+  EXPECT_EQ(uniform_results[0].target_estimates,
+            uniform_individual.target_estimates);
+  EXPECT_EQ(uniform_results[0].weights, uniform_individual.weights);
 }
 
 const synth::GeometricUniverse& SmallGeometric() {

@@ -1,0 +1,481 @@
+// Bit-identity contract of the compile/execute split: for every
+// {ScaleMode, WeightSolver, DenominatorMode, ZeroRowFallback} × threads
+// combination, `CrosswalkPlan::Compile → Execute` and the thin
+// `GeoAlign::Crosswalk` wrapper must produce exactly the bits of the
+// preserved legacy oracle `CrosswalkUncompiled` — no tolerances. Also
+// covers plan reuse/immutability, the PlanCache, the pipeline serving
+// path, and the batch façade.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/batch.h"
+#include "core/geoalign.h"
+#include "core/pipeline.h"
+#include "core/plan_cache.h"
+#include "eval/cross_validation.h"
+#include "sparse/coo_builder.h"
+#include "synth/universe.h"
+
+namespace geoalign {
+namespace {
+
+synth::Universe MakeWorldUniverse() {
+  synth::UniverseOptions opts;
+  opts.seed = 555;
+  opts.scale = 0.08;
+  opts.suite = synth::SuiteKind::kUnitedStates;
+  return std::move(synth::BuildUniverse(synth::UniverseId::kNewYork, opts))
+      .ValueOrDie();
+}
+
+core::CrosswalkInput MakeWorldInput() {
+  synth::Universe universe = MakeWorldUniverse();
+  return std::move(universe.MakeLeaveOneOutInput(0)).ValueOrDie();
+}
+
+// A consistent fallback DM for the world input (uniform support on
+// every target, rows summing to the objective so Validate-style
+// consistency is irrelevant — only support matters).
+sparse::CsrMatrix MakeDenseFallback(size_t rows, size_t cols) {
+  sparse::CooBuilder builder(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      builder.Add(r, c, 1.0 + static_cast<double>((r * 7 + c * 3) % 5));
+    }
+  }
+  return builder.Build();
+}
+
+void ExpectBitIdentical(const core::CrosswalkResult& got,
+                        const core::CrosswalkResult& want) {
+  ASSERT_EQ(got.target_estimates, want.target_estimates);
+  ASSERT_EQ(got.weights, want.weights);
+  ASSERT_EQ(got.zero_rows, want.zero_rows);
+  ASSERT_EQ(got.estimated_dm.row_ptr(), want.estimated_dm.row_ptr());
+  ASSERT_EQ(got.estimated_dm.col_idx(), want.estimated_dm.col_idx());
+  ASSERT_EQ(got.estimated_dm.values(), want.estimated_dm.values());
+}
+
+// Runs the full option sweep on `input`, comparing the legacy oracle,
+// the Crosswalk wrapper, and an explicitly compiled plan bit-for-bit.
+void SweepAllOptions(const core::CrosswalkInput& input,
+                     const sparse::CsrMatrix& fallback) {
+  for (core::ScaleMode scale :
+       {core::ScaleMode::kNormalized, core::ScaleMode::kRaw}) {
+    for (core::WeightSolver solver :
+         {core::WeightSolver::kSimplex, core::WeightSolver::kNnlsNormalized,
+          core::WeightSolver::kClampedLs, core::WeightSolver::kUniform}) {
+      for (core::DenominatorMode den :
+           {core::DenominatorMode::kFromDmRowSums,
+            core::DenominatorMode::kFromAggregates}) {
+        for (core::ZeroRowFallback fb :
+             {core::ZeroRowFallback::kZero,
+              core::ZeroRowFallback::kFallbackDm}) {
+          for (size_t threads : {size_t{1}, size_t{4}}) {
+            SCOPED_TRACE(StrFormat("scale=%d solver=%d den=%d fb=%d thr=%zu",
+                                   static_cast<int>(scale),
+                                   static_cast<int>(solver),
+                                   static_cast<int>(den),
+                                   static_cast<int>(fb), threads));
+            core::GeoAlignOptions opts;
+            opts.scale_mode = scale;
+            opts.solver = solver;
+            opts.denominator = den;
+            opts.zero_row_fallback = fb;
+            if (fb == core::ZeroRowFallback::kFallbackDm) {
+              opts.fallback_dm = &fallback;
+            }
+            opts.threads = threads;
+
+            auto legacy =
+                std::move(core::CrosswalkUncompiled(input, opts)).ValueOrDie();
+            core::GeoAlign geoalign(opts);
+            auto wrapped = std::move(geoalign.Crosswalk(input)).ValueOrDie();
+            ExpectBitIdentical(wrapped, legacy);
+
+            auto plan = std::move(geoalign.Compile(input)).ValueOrDie();
+            auto executed =
+                std::move(plan.Execute(input.objective_source)).ValueOrDie();
+            ExpectBitIdentical(executed, legacy);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PlanEquivalenceTest, AllOptionCombosBitIdentical) {
+  core::CrosswalkInput input = MakeWorldInput();
+  sparse::CsrMatrix fallback = MakeDenseFallback(
+      input.NumSourceUnits(), input.NumTargetUnits());
+  SweepAllOptions(input, fallback);
+}
+
+TEST(PlanEquivalenceTest, NoisyAggregatesBitIdentical) {
+  // Inconsistent inputs (reported aggregates ≠ DM row sums) are the
+  // §4.4.1 robustness regime; kFromAggregates vs kFromDmRowSums only
+  // diverge here, so the sweep must stay bit-identical on such inputs
+  // too.
+  core::CrosswalkInput input = MakeWorldInput();
+  for (size_t k = 0; k < input.references.size(); ++k) {
+    linalg::Vector& agg = input.references[k].source_aggregates;
+    for (size_t i = 0; i < agg.size(); ++i) {
+      agg[i] *= 1.0 + 0.25 * std::sin(static_cast<double>(i * 13 + k * 7));
+    }
+  }
+  sparse::CsrMatrix fallback = MakeDenseFallback(
+      input.NumSourceUnits(), input.NumTargetUnits());
+  SweepAllOptions(input, fallback);
+}
+
+// Hand-built 3-source × 4-target world where source row 1 has no
+// reference support but carries objective mass.
+struct ZeroRowWorld {
+  core::CrosswalkInput input;
+  sparse::CsrMatrix fallback;
+};
+
+ZeroRowWorld MakeZeroRowWorld() {
+  ZeroRowWorld w;
+  w.input.objective_source = {5.0, 7.0, 9.0};
+
+  core::ReferenceAttribute a;
+  a.name = "A";
+  a.source_aggregates = {2.0, 0.0, 4.0};
+  sparse::CooBuilder ba(3, 4);
+  ba.Add(0, 0, 1.0);
+  ba.Add(0, 1, 1.0);
+  ba.Add(2, 0, 2.0);
+  ba.Add(2, 2, 2.0);
+  a.disaggregation = ba.Build();
+
+  core::ReferenceAttribute b;
+  b.name = "B";
+  b.source_aggregates = {1.0, 0.0, 3.0};
+  sparse::CooBuilder bb(3, 4);
+  bb.Add(0, 1, 1.0);
+  bb.Add(2, 2, 1.0);
+  bb.Add(2, 3, 2.0);
+  b.disaggregation = bb.Build();
+
+  w.input.references = {std::move(a), std::move(b)};
+
+  sparse::CooBuilder bf(3, 4);
+  bf.Add(0, 0, 5.0);
+  bf.Add(1, 1, 3.0);
+  bf.Add(1, 3, 4.0);
+  bf.Add(2, 2, 9.0);
+  w.fallback = bf.Build();
+  return w;
+}
+
+TEST(PlanEquivalenceTest, ZeroRowWorldBitIdentical) {
+  ZeroRowWorld w = MakeZeroRowWorld();
+  SweepAllOptions(w.input, w.fallback);
+
+  // Semantics spot-checks on top of bit-identity: kZero loses row 1's
+  // mass, kFallbackDm distributes it by the fallback row.
+  core::GeoAlignOptions opts;
+  auto zero = std::move(core::GeoAlign(opts).Crosswalk(w.input)).ValueOrDie();
+  ASSERT_EQ(zero.zero_rows, (std::vector<size_t>{1}));
+  EXPECT_DOUBLE_EQ(linalg::Sum(zero.target_estimates), 5.0 + 9.0);
+
+  opts.zero_row_fallback = core::ZeroRowFallback::kFallbackDm;
+  opts.fallback_dm = &w.fallback;
+  auto fb = std::move(core::GeoAlign(opts).Crosswalk(w.input)).ValueOrDie();
+  ASSERT_EQ(fb.zero_rows, (std::vector<size_t>{1}));
+  EXPECT_DOUBLE_EQ(linalg::Sum(fb.target_estimates), 5.0 + 7.0 + 9.0);
+  EXPECT_DOUBLE_EQ(fb.estimated_dm.At(1, 1), 7.0 * 3.0 / 7.0);
+  EXPECT_DOUBLE_EQ(fb.estimated_dm.At(1, 3), 7.0 * 4.0 / 7.0);
+}
+
+TEST(PlanEquivalenceTest, FallbackErrorParity) {
+  ZeroRowWorld w = MakeZeroRowWorld();
+  core::GeoAlignOptions opts;
+  opts.zero_row_fallback = core::ZeroRowFallback::kFallbackDm;
+
+  // Missing fallback DM: both paths reject identically (the plan at
+  // Compile time, matching the legacy up-front check).
+  {
+    auto legacy = core::CrosswalkUncompiled(w.input, opts);
+    ASSERT_FALSE(legacy.ok());
+    auto plan = core::CrosswalkPlan::Compile(w.input, opts);
+    ASSERT_FALSE(plan.ok());
+    EXPECT_EQ(plan.status().message(), legacy.status().message());
+    EXPECT_EQ(plan.status().code(), legacy.status().code());
+  }
+
+  // Shape-mismatched fallback DM: the legacy path only errors once a
+  // zero row actually needs it, so the plan compiles fine and surfaces
+  // the identical error at Execute time.
+  sparse::CsrMatrix bad(2, 4);
+  opts.fallback_dm = &bad;
+  {
+    auto legacy = core::CrosswalkUncompiled(w.input, opts);
+    ASSERT_FALSE(legacy.ok());
+    auto plan = std::move(core::CrosswalkPlan::Compile(w.input, opts))
+                    .ValueOrDie();
+    auto executed = plan.Execute(w.input.objective_source);
+    ASSERT_FALSE(executed.ok());
+    EXPECT_EQ(executed.status().message(), legacy.status().message());
+    EXPECT_EQ(executed.status().code(), legacy.status().code());
+  }
+}
+
+TEST(PlanEquivalenceTest, PlanIsReusableAndOutlivesInput) {
+  core::CrosswalkInput input = MakeWorldInput();
+  core::GeoAlignOptions opts;
+  opts.threads = 1;
+  auto want = std::move(core::CrosswalkUncompiled(input, opts)).ValueOrDie();
+
+  std::optional<core::CrosswalkPlan> plan;
+  linalg::Vector objective = input.objective_source;
+  {
+    // The plan must not alias caller memory: destroy the input (and
+    // the interpolator that compiled it) before executing.
+    core::CrosswalkInput doomed = input;
+    core::GeoAlign geoalign(opts);
+    plan.emplace(std::move(geoalign.Compile(doomed)).ValueOrDie());
+  }
+  for (int rep = 0; rep < 3; ++rep) {
+    auto got = std::move(plan->Execute(objective)).ValueOrDie();
+    ExpectBitIdentical(got, want);
+  }
+  // Thread-count overrides are a pure scheduling choice on the shared
+  // immutable plan.
+  auto threaded = std::move(plan->Execute(objective, 4)).ValueOrDie();
+  ExpectBitIdentical(threaded, want);
+}
+
+TEST(PlanEquivalenceTest, PlanCacheHitsMissesEviction) {
+  core::CrosswalkInput input = MakeWorldInput();
+  core::GeoAlignOptions opts;
+  opts.threads = 1;
+
+  core::PlanCache cache(2);
+  auto p1 = std::move(cache.GetOrCompile(input.references, opts)).ValueOrDie();
+  auto p2 = std::move(cache.GetOrCompile(input.references, opts)).ValueOrDie();
+  EXPECT_EQ(p1.get(), p2.get()) << "equal inputs must share one plan";
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // threads is excluded from the key: results are bit-identical across
+  // thread counts, so the plan is shared.
+  core::GeoAlignOptions threaded = opts;
+  threaded.threads = 4;
+  auto p3 =
+      std::move(cache.GetOrCompile(input.references, threaded)).ValueOrDie();
+  EXPECT_EQ(p1.get(), p3.get());
+  EXPECT_EQ(cache.stats().hits, 2u);
+
+  // A semantic option change is a different key.
+  core::GeoAlignOptions uniform = opts;
+  uniform.solver = core::WeightSolver::kUniform;
+  auto p4 =
+      std::move(cache.GetOrCompile(input.references, uniform)).ValueOrDie();
+  EXPECT_NE(p1.get(), p4.get());
+  EXPECT_EQ(cache.stats().misses, 2u);
+
+  // Third distinct key in a capacity-2 cache evicts the LRU entry; the
+  // caller-held shared_ptr stays valid.
+  core::GeoAlignOptions raw = opts;
+  raw.scale_mode = core::ScaleMode::kRaw;
+  auto p5 = std::move(cache.GetOrCompile(input.references, raw)).ValueOrDie();
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  auto via_evicted =
+      std::move(p1->Execute(input.objective_source)).ValueOrDie();
+  auto want = std::move(core::CrosswalkUncompiled(input, opts)).ValueOrDie();
+  ExpectBitIdentical(via_evicted, want);
+
+  // Reference-content changes are part of the key.
+  core::CrosswalkInput other = input;
+  other.references[0].source_aggregates[0] *= 2.0;
+  auto p6 = std::move(cache.GetOrCompile(other.references, opts)).ValueOrDie();
+  EXPECT_NE(p5.get(), p6.get());
+
+  // capacity == 0 disables caching entirely.
+  core::PlanCache none(0);
+  auto n1 = std::move(none.GetOrCompile(input.references, opts)).ValueOrDie();
+  auto n2 = std::move(none.GetOrCompile(input.references, opts)).ValueOrDie();
+  EXPECT_NE(n1.get(), n2.get());
+  EXPECT_EQ(none.stats().hits, 0u);
+  EXPECT_EQ(none.stats().misses, 2u);
+  EXPECT_EQ(none.size(), 0u);
+}
+
+TEST(PlanEquivalenceTest, CrossValidationWithPlanCacheBitIdentical) {
+  // The first PlanCache consumer: a cached cross-validation run must
+  // reproduce the uncached report bit-for-bit, and a second run over
+  // the same universe must hit every fold's plan.
+  synth::Universe universe = MakeWorldUniverse();
+  eval::CvOptions options;
+  options.dasymetric_references.clear();
+  options.run_areal_weighting = false;
+  options.geoalign_options.threads = 1;
+  auto base = std::move(eval::RunCrossValidation(universe, options))
+                  .ValueOrDie();
+
+  core::PlanCache cache(32);
+  options.plan_cache = &cache;
+  auto cached = std::move(eval::RunCrossValidation(universe, options))
+                    .ValueOrDie();
+  size_t first_run_misses = cache.stats().misses;
+  EXPECT_EQ(first_run_misses, universe.datasets.size())
+      << "each leave-one-out fold is a distinct reference subset";
+  auto rerun = std::move(eval::RunCrossValidation(universe, options))
+                   .ValueOrDie();
+  EXPECT_EQ(cache.stats().misses, first_run_misses)
+      << "the second run must be served entirely from the cache";
+  EXPECT_EQ(cache.stats().hits, universe.datasets.size());
+
+  for (const auto* report : {&cached, &rerun}) {
+    ASSERT_EQ(report->cells.size(), base.cells.size());
+    for (size_t i = 0; i < base.cells.size(); ++i) {
+      EXPECT_EQ(report->cells[i].dataset, base.cells[i].dataset);
+      EXPECT_EQ(report->cells[i].method, base.cells[i].method);
+      EXPECT_EQ(report->cells[i].nrmse, base.cells[i].nrmse);
+      EXPECT_EQ(report->cells[i].rmse, base.cells[i].rmse);
+    }
+  }
+}
+
+std::vector<std::string> MakeUnitNames(const char* prefix, size_t n) {
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    names.push_back(StrFormat("%s%06zu", prefix, i));
+  }
+  return names;
+}
+
+TEST(PlanEquivalenceTest, PipelineRejectsDuplicateUnitNames) {
+  ZeroRowWorld w = MakeZeroRowWorld();
+  std::vector<std::string> sources = {"s0", "s1", "s0"};
+  std::vector<std::string> targets = MakeUnitNames("t", 4);
+  auto dup_source = core::CrosswalkPipeline::Create(
+      sources, targets, w.input.references);
+  ASSERT_FALSE(dup_source.ok());
+  EXPECT_EQ(dup_source.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(dup_source.status().message().find(
+                "duplicate source unit name 's0'"),
+            std::string::npos)
+      << dup_source.status().message();
+
+  auto dup_target = core::CrosswalkPipeline::Create(
+      MakeUnitNames("s", 3), {"t0", "t1", "t2", "t1"}, w.input.references);
+  ASSERT_FALSE(dup_target.ok());
+  EXPECT_EQ(dup_target.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(dup_target.status().message().find(
+                "duplicate target unit name 't1'"),
+            std::string::npos)
+      << dup_target.status().message();
+}
+
+TEST(PlanEquivalenceTest, PipelineServesSharedPlanBitIdentically) {
+  core::CrosswalkInput input = MakeWorldInput();
+  std::vector<std::string> sources =
+      MakeUnitNames("s", input.NumSourceUnits());
+  std::vector<std::string> targets =
+      MakeUnitNames("t", input.NumTargetUnits());
+  auto pipeline = std::move(core::CrosswalkPipeline::Create(
+                                sources, targets, input.references))
+                      .ValueOrDie();
+  ASSERT_NE(pipeline.plan(), nullptr)
+      << "a GeoAlign pipeline must compile its plan in Create";
+
+  // A few named columns: full, sparse (missing units read as 0), and
+  // one with a repeated unit (values add).
+  std::vector<core::CrosswalkPipeline::Column> columns;
+  core::CrosswalkPipeline::Column full;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    full.emplace_back(sources[i], input.objective_source[i]);
+  }
+  columns.push_back(full);
+  core::CrosswalkPipeline::Column sparse_col;
+  for (size_t i = 0; i < sources.size(); i += 3) {
+    sparse_col.emplace_back(sources[i], 1.0 + static_cast<double>(i));
+  }
+  columns.push_back(sparse_col);
+  core::CrosswalkPipeline::Column repeated = sparse_col;
+  repeated.emplace_back(sources[0], 2.5);
+  columns.push_back(repeated);
+
+  // RealignMany over the shared plan ≡ looping Realign, for any thread
+  // count — and Realign itself ≡ the legacy oracle.
+  auto many1 = std::move(pipeline.RealignMany(columns, 1)).ValueOrDie();
+  auto many4 = std::move(pipeline.RealignMany(columns, 4)).ValueOrDie();
+  ASSERT_EQ(many1.size(), columns.size());
+  ASSERT_EQ(many4.size(), columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    SCOPED_TRACE(StrFormat("column %zu", i));
+    auto single = std::move(pipeline.Realign(columns[i])).ValueOrDie();
+    ExpectBitIdentical(many1[i], single);
+    ExpectBitIdentical(many4[i], single);
+
+    core::CrosswalkInput per_call = input;
+    per_call.objective_source.assign(sources.size(), 0.0);
+    for (const auto& [unit, value] : columns[i]) {
+      size_t idx = static_cast<size_t>(
+          std::stoul(unit.substr(1)));  // "s%06zu" → index
+      per_call.objective_source[idx] += value;
+    }
+    auto legacy = std::move(core::CrosswalkUncompiled(
+                                per_call, core::GeoAlignOptions{}))
+                      .ValueOrDie();
+    ExpectBitIdentical(single, legacy);
+  }
+
+  // Unknown unit names still error through the hoisted index.
+  auto unknown = pipeline.Realign({{"nope", 1.0}});
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().message().find("unknown unit 'nope'"),
+            std::string::npos);
+}
+
+TEST(PlanEquivalenceTest, BatchMatchesCrosswalkBitIdentically) {
+  core::CrosswalkInput input = MakeWorldInput();
+  for (core::WeightSolver solver :
+       {core::WeightSolver::kSimplex, core::WeightSolver::kNnlsNormalized,
+        core::WeightSolver::kClampedLs, core::WeightSolver::kUniform}) {
+    SCOPED_TRACE(StrFormat("solver=%d", static_cast<int>(solver)));
+    core::GeoAlignOptions opts;
+    opts.solver = solver;
+    opts.threads = 1;
+    auto batch =
+        std::move(core::BatchCrosswalk::Create(input.references, opts))
+            .ValueOrDie();
+
+    std::vector<core::BatchCrosswalk::Objective> objectives;
+    objectives.push_back({"base", input.objective_source});
+    linalg::Vector scaled = input.objective_source;
+    linalg::Scale(scaled, 3.25);
+    objectives.push_back({"scaled", std::move(scaled)});
+
+    auto results = std::move(batch.Run(objectives)).ValueOrDie();
+    ASSERT_EQ(results.size(), objectives.size());
+    core::GeoAlign geoalign(opts);
+    for (size_t i = 0; i < objectives.size(); ++i) {
+      SCOPED_TRACE(objectives[i].name);
+      core::CrosswalkInput per_call = input;
+      per_call.objective_source = objectives[i].source;
+      auto want = std::move(geoalign.Crosswalk(per_call)).ValueOrDie();
+      EXPECT_EQ(results[i].name, objectives[i].name);
+      ASSERT_EQ(results[i].target_estimates, want.target_estimates);
+      ASSERT_EQ(results[i].weights, want.weights);
+      ASSERT_EQ(results[i].zero_rows, want.zero_rows);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace geoalign

@@ -3,6 +3,9 @@
 # (docs/static_analysis.md). Five gates, each independently skippable:
 #
 #   plain   build + full ctest, GEOALIGN_WERROR=ON (default)
+#   bench   realign_throughput smoke at tiny scale — exercises the
+#           compiled serving path against the legacy per-call oracle
+#           and fails on any bit difference
 #   tsan    rebuild with GEOALIGN_SANITIZE=thread, full ctest
 #   ubsan   rebuild with GEOALIGN_SANITIZE=undefined
 #           (-fno-sanitize-recover=all), full ctest
@@ -20,7 +23,7 @@
 #   CTEST_FILTER  optional ctest -R regex applied to every test run;
 #                 e.g. CTEST_FILTER='ThreadPool|Parallel' for a quick
 #                 concurrency-only smoke.
-#   SKIP_TSAN=1 SKIP_UBSAN=1 SKIP_TIDY=1 SKIP_LINT=1
+#   SKIP_TSAN=1 SKIP_UBSAN=1 SKIP_TIDY=1 SKIP_LINT=1 SKIP_BENCH=1
 #                 skip the corresponding gate (recorded as "skipped"
 #                 in the summary, never as a pass).
 set -uo pipefail
@@ -32,7 +35,7 @@ TSAN_DIR="${TSAN_DIR:-build-tsan}"
 UBSAN_DIR="${UBSAN_DIR:-build-ubsan}"
 CTEST_FILTER="${CTEST_FILTER:-}"
 
-GATES=(plain tsan ubsan tidy lint)
+GATES=(plain bench tsan ubsan tidy lint)
 declare -A RESULT
 failed=0
 
@@ -65,6 +68,10 @@ run_gate() {
 }
 
 run_gate plain 0 run_suite "$BUILD_DIR"
+run_gate bench "${SKIP_BENCH:-0}" env \
+  GEOALIGN_BENCH_SCALE=0.05 GEOALIGN_BENCH_REPS=2 GEOALIGN_BENCH_MAX_COLS=64 \
+  "$BUILD_DIR/bench/realign_throughput" \
+  "$BUILD_DIR/BENCH_realign_throughput_smoke.json"
 run_gate tsan "${SKIP_TSAN:-0}" run_suite "$TSAN_DIR" -DGEOALIGN_SANITIZE=thread
 run_gate ubsan "${SKIP_UBSAN:-0}" run_suite "$UBSAN_DIR" -DGEOALIGN_SANITIZE=undefined
 run_gate tidy "${SKIP_TIDY:-0}" tools/run_clang_tidy.sh "$BUILD_DIR"

@@ -29,6 +29,17 @@ documented in docs/static_analysis.md:
       build configurations that demote warnings, and catches discards
       hidden from the compiler (e.g. behind (void)).
 
+  geoalign-plan-bypass
+      No calls to the legacy recompile-per-call crosswalk entry points
+      (`*.Crosswalk(...)` / `CrosswalkUncompiled(...)`) inside the
+      serving hot paths (src/core/pipeline.*, src/core/batch.*,
+      src/eval/). Since the compile/execute split these paths must go
+      through a compiled CrosswalkPlan (optionally via PlanCache) so
+      objective-independent work is hoisted once; a per-call Crosswalk
+      silently recompiles everything per objective. Legitimate uses —
+      baseline interpolators without a plan form, freshly perturbed
+      references — carry a NOLINT with a rationale.
+
 Suppression: append `// NOLINT(geoalign-<rule>)` (or bare `NOLINT`) to
 the offending line, or put `// NOLINTNEXTLINE(geoalign-<rule>)` on the
 line above. Suppressions should carry a rationale.
@@ -49,10 +60,16 @@ RULES = (
     "geoalign-float-eq",
     "geoalign-no-throw",
     "geoalign-discarded-status",
+    "geoalign-plan-bypass",
 )
 
 # Subsystems whose kernels feed the deterministic reductions.
 KERNEL_DIRS = ("src/sparse", "src/core", "src/linalg")
+
+# Serving hot paths that must execute compiled CrosswalkPlans rather
+# than the legacy recompile-per-call entry points. Path *prefixes*:
+# "src/core/pipeline." covers pipeline.h and pipeline.cc.
+HOT_PATH_PREFIXES = ("src/core/pipeline.", "src/core/batch.", "src/eval/")
 
 FLOAT_LITERAL = r"(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?[fFlL]?|\d+[eE][+-]?\d+[fFlL]?"
 FLOAT_EQ_RE = re.compile(
@@ -60,6 +77,10 @@ FLOAT_EQ_RE = re.compile(
     % (FLOAT_LITERAL, FLOAT_LITERAL)
 )
 THROW_RE = re.compile(r"\bthrow\b")
+# Member call to any interpolator's Crosswalk, or the preserved legacy
+# free function. Plan execution (Execute/ExecuteWith) never matches.
+PLAN_BYPASS_RE = re.compile(
+    r"(?:\.|->)\s*Crosswalk\s*\(|\bCrosswalkUncompiled\s*\(")
 UNORDERED_DECL_RE = re.compile(
     r"unordered_(?:map|set)\s*<[^;{}]*?>\s*(?:const\s*)?[&*]?\s*([A-Za-z_]\w*)"
 )
@@ -194,12 +215,16 @@ class Linter:
         in_kernels = any(
             rel.startswith(d + "/") for d in KERNEL_DIRS)
 
+        in_hot_paths = any(rel.startswith(p) for p in HOT_PATH_PREFIXES)
+
         if not in_tests:
             self.check_float_eq(path, stripped, raw_lines)
             self.check_no_throw(path, stripped, raw_lines)
             self.check_discarded_status(path, stripped, raw_lines)
         if in_kernels:
             self.check_unordered_iteration(path, stripped, raw_lines)
+        if in_hot_paths and not in_tests:
+            self.check_plan_bypass(path, stripped, raw_lines)
 
     def check_float_eq(self, path, stripped, raw_lines):
         for m in FLOAT_EQ_RE.finditer(stripped):
@@ -215,6 +240,15 @@ class Linter:
                 path, line_of(m.start(), stripped), "geoalign-no-throw",
                 "`throw` in library code; return Status/Result "
                 "(common/status.h) or abort via GEOALIGN_CHECK",
+                raw_lines)
+
+    def check_plan_bypass(self, path, stripped, raw_lines):
+        for m in PLAN_BYPASS_RE.finditer(stripped):
+            self.report(
+                path, line_of(m.start(), stripped), "geoalign-plan-bypass",
+                "legacy recompile-per-call crosswalk entry point in a "
+                "serving hot path; compile a CrosswalkPlan (or use "
+                "PlanCache) and Execute it, or NOLINT with a rationale",
                 raw_lines)
 
     def check_unordered_iteration(self, path, stripped, raw_lines):
