@@ -24,7 +24,7 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "common/stopwatch.h"
+#include "obs/timer.h"
 #include "core/batch.h"
 #include "core/geoalign.h"
 #include "eval/report.h"

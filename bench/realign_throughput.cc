@@ -30,7 +30,8 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "common/stopwatch.h"
+#include "obs/telemetry.h"
+#include "obs/timer.h"
 #include "common/string_util.h"
 #include "core/geoalign.h"
 #include "core/pipeline.h"
@@ -198,9 +199,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> targets =
       MakeUnitNames("c", input.NumTargetUnits());
   std::printf("universe: %s (%zu zips -> %zu counties), %zu references, "
-              "scale %.3f\n",
+              "scale %.3f, telemetry %s\n",
               uni.name.c_str(), uni.NumZips(), uni.NumCounties(),
-              input.references.size(), bench::BenchScale());
+              input.references.size(), bench::BenchScale(),
+              obs::Enabled() ? "on" : "off (set GEOALIGN_TELEMETRY=1)");
 
   std::vector<size_t> column_counts;
   for (size_t b : {size_t{1}, size_t{8}, size_t{64}, size_t{512}}) {
@@ -250,6 +252,8 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"references\": %zu,\n", input.references.size());
   std::fprintf(f, "  \"bench_scale\": %.4f,\n", bench::BenchScale());
   std::fprintf(f, "  \"repetitions\": %zu,\n", Reps());
+  std::fprintf(f, "  \"telemetry_enabled\": %s,\n",
+               obs::Enabled() ? "true" : "false");
   std::fprintf(f, "  \"bit_identical_all\": %s,\n",
                all_identical ? "true" : "false");
   std::fprintf(f, "  \"series\": [\n");

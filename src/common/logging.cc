@@ -3,11 +3,21 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace geoalign {
 
 namespace {
 std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
+std::atomic<LogSink> g_sink{nullptr};
+
+/// Serializes emission: without it two threads' fprintf calls may
+/// interleave within one line on some libc buffering modes, and a
+/// custom sink would race outright.
+std::mutex& EmitMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -29,6 +39,8 @@ const char* LevelName(LogLevel level) {
 void SetLogThreshold(LogLevel level) { g_threshold.store(level); }
 LogLevel GetLogThreshold() { return g_threshold.load(); }
 
+void SetLogSink(LogSink sink) { g_sink.store(sink); }
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -43,7 +55,14 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (level_ >= GetLogThreshold() || level_ == LogLevel::kFatal) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::string line = stream_.str();
+    LogSink sink = g_sink.load();
+    std::lock_guard<std::mutex> lock(EmitMutex());
+    if (sink != nullptr) {
+      sink(level_, line);
+    } else {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
   }
   if (level_ == LogLevel::kFatal) std::abort();
 }

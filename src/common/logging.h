@@ -11,8 +11,19 @@ namespace geoalign {
 enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
 
 /// Sets the minimum severity that is actually emitted (default: Info).
+/// Lock-free (std::atomic) and safe to call concurrently with logging.
 void SetLogThreshold(LogLevel level);
 LogLevel GetLogThreshold();
+
+/// Destination for fully-formatted log lines. The default (nullptr)
+/// writes to stderr. Emission is serialized under one mutex regardless
+/// of sink, so concurrent log lines never interleave mid-line
+/// (regression-tested under TSan in tests/common_test.cc).
+using LogSink = void (*)(LogLevel level, const std::string& line);
+
+/// Replaces the emission sink (nullptr restores stderr). Intended for
+/// tests and embedders capturing log output.
+void SetLogSink(LogSink sink);
 
 namespace internal {
 

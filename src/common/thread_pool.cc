@@ -1,11 +1,43 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cmath>
 #include <exception>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace geoalign::common {
+
+namespace {
+
+// Pool telemetry (metric catalog: docs/observability.md). References
+// are resolved once; increments are lock-free and no-ops while
+// telemetry is disabled. The gauge tracks instantaneous queue depth,
+// so it can drift if the switch flips mid-flight — counters stay exact.
+obs::Counter& TasksExecuted() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("thread_pool.tasks_executed");
+  return c;
+}
+obs::Counter& BusyMicros() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("thread_pool.busy_micros");
+  return c;
+}
+obs::Counter& WorkersStarted() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("thread_pool.workers_started");
+  return c;
+}
+obs::Gauge& QueueDepth() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().GetGauge("thread_pool.queue_depth");
+  return g;
+}
+
+}  // namespace
 
 size_t ResolveThreadCount(size_t requested) {
   if (requested != 0) return requested;
@@ -15,6 +47,7 @@ size_t ResolveThreadCount(size_t requested) {
 
 ThreadPool::ThreadPool(size_t num_threads) {
   size_t n = std::max<size_t>(1, num_threads);
+  WorkersStarted().Add(n);
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -41,6 +74,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
     GEOALIGN_CHECK(!stopping_) << "ThreadPool::Submit after shutdown";
     queue_.push_back(std::move(packaged));
   }
+  QueueDepth().Add(1);
   cv_.notify_one();
   return future;
 }
@@ -55,7 +89,16 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();  // exceptions land in the task's future
+    QueueDepth().Sub(1);
+    if (obs::Enabled()) {
+      obs::Stopwatch watch;
+      task();  // exceptions land in the task's future
+      BusyMicros().Add(
+          static_cast<uint64_t>(std::llround(watch.ElapsedMicros())));
+      TasksExecuted().Add(1);
+    } else {
+      task();  // exceptions land in the task's future
+    }
   }
 }
 

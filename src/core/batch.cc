@@ -5,8 +5,33 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
 
 namespace geoalign::core {
+
+namespace {
+
+// Same registry keys as CrosswalkPipeline: "realign.*" aggregates every
+// realigned column across both serving surfaces.
+obs::Histogram& RealignLatencyUs() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::Global().GetHistogram("realign.latency_us");
+  return h;
+}
+obs::Histogram& ColumnsPerBatch() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::Global().GetHistogram("realign.columns_per_batch");
+  return h;
+}
+obs::Counter& ColumnsTotal() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("realign.columns_total");
+  return c;
+}
+
+}  // namespace
 
 BatchCrosswalk::BatchCrosswalk(CrosswalkPlan plan)
     : plan_(std::move(plan)) {}
@@ -38,8 +63,11 @@ Result<BatchCrosswalk::BatchResult> BatchCrosswalk::RunOne(
     return Status::InvalidArgument("BatchCrosswalk: objective '" +
                                    objective.name + "' wrong length");
   }
+  obs::Stopwatch column_watch;
+  ColumnsTotal().Add(1);
   GEOALIGN_ASSIGN_OR_RETURN(CrosswalkResult full,
                             plan_.ExecuteWith(objective.source, pool));
+  RealignLatencyUs().Record(column_watch.ElapsedMicros());
   BatchResult result;
   result.name = objective.name;
   result.target_estimates = std::move(full.target_estimates);
@@ -50,6 +78,8 @@ Result<BatchCrosswalk::BatchResult> BatchCrosswalk::RunOne(
 
 Result<std::vector<BatchCrosswalk::BatchResult>> BatchCrosswalk::Run(
     const std::vector<Objective>& objectives) const {
+  GEOALIGN_TRACE_SPAN("realign.batch");
+  ColumnsPerBatch().Record(static_cast<double>(objectives.size()));
   std::unique_ptr<common::ThreadPool> pool = common::MakePoolOrNull(
       common::ResolveThreadCount(plan_.options().threads));
   std::vector<BatchResult> out;

@@ -5,16 +5,83 @@
 #include "common/float_eq.h"
 #include "linalg/nnls.h"
 #include "linalg/qr.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sparse/coo_builder.h"
 #include "sparse/sparse_ops.h"
 
 namespace geoalign::core {
+
+namespace {
+
+// Serving-path telemetry (catalog: docs/observability.md). Everything
+// here OBSERVES only — no branch below may influence the reductions,
+// preserving the bit-identity contract (tests/obs_test.cc pins
+// enabled-vs-disabled equivalence).
+obs::Counter& CompileCount() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("compile.count");
+  return c;
+}
+obs::Histogram& CompileLatencyUs() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::Global().GetHistogram("compile.latency_us");
+  return h;
+}
+obs::Counter& ExecuteCount() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("execute.count");
+  return c;
+}
+obs::Histogram& ExecuteLatencyUs() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::Global().GetHistogram("execute.latency_us");
+  return h;
+}
+obs::Counter& ZeroRowsTotal() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("execute.zero_rows");
+  return c;
+}
+obs::Counter& FallbackRebuilds() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("execute.fallback_rebuilds");
+  return c;
+}
+
+// One per-solver counter so the weight-solve mix is visible per
+// WeightSolver, not just in aggregate.
+obs::Counter& WeightSolveCount(WeightSolver solver) {
+  static obs::Counter& simplex =
+      obs::MetricsRegistry::Global().GetCounter("weight_solve.simplex");
+  static obs::Counter& nnls =
+      obs::MetricsRegistry::Global().GetCounter("weight_solve.nnls_normalized");
+  static obs::Counter& clamped =
+      obs::MetricsRegistry::Global().GetCounter("weight_solve.clamped_ls");
+  static obs::Counter& uniform =
+      obs::MetricsRegistry::Global().GetCounter("weight_solve.uniform");
+  switch (solver) {
+    case WeightSolver::kSimplex:
+      return simplex;
+    case WeightSolver::kNnlsNormalized:
+      return nnls;
+    case WeightSolver::kClampedLs:
+      return clamped;
+    case WeightSolver::kUniform:
+      return uniform;
+  }
+  return uniform;
+}
+
+}  // namespace
 
 namespace internal {
 
 Result<linalg::Vector> SolveWeightsForDesign(const linalg::Matrix& a,
                                              const linalg::Vector& b,
                                              const GeoAlignOptions& options) {
+  GEOALIGN_TRACE_SPAN("execute.weight_solve");
+  WeightSolveCount(options.solver).Add(1);
   size_t n = a.cols();
   switch (options.solver) {
     case WeightSolver::kSimplex: {
@@ -72,6 +139,8 @@ Result<CrosswalkPlan> CrosswalkPlan::Compile(
 Result<CrosswalkPlan> CrosswalkPlan::Compile(
     const std::vector<ReferenceAttribute>& references,
     const GeoAlignOptions& options) {
+  GEOALIGN_TRACE_SPAN("compile");
+  obs::Stopwatch compile_watch;
   // Same early validation (and messages) as the legacy per-call path.
   if (references.empty()) {
     return Status::InvalidArgument("GeoAlign: no reference attributes");
@@ -94,18 +163,22 @@ Result<CrosswalkPlan> CrosswalkPlan::Compile(
 
   CrosswalkPlan plan(std::move(prepared), options);
 
-  // Eq. 15 design matrix: the same normalized columns the legacy
-  // BuildNormalizedSystem assembles per call.
-  std::vector<linalg::Vector> cols;
-  cols.reserve(plan.prepared_.size());
-  for (size_t k = 0; k < plan.prepared_.size(); ++k) {
-    cols.push_back(plan.prepared_.reference(k).normalized_aggregates);
+  {
+    // Eq. 15 design matrix: the same normalized columns the legacy
+    // BuildNormalizedSystem assembles per call.
+    GEOALIGN_TRACE_SPAN("compile.design");
+    std::vector<linalg::Vector> cols;
+    cols.reserve(plan.prepared_.size());
+    for (size_t k = 0; k < plan.prepared_.size(); ++k) {
+      cols.push_back(plan.prepared_.reference(k).normalized_aggregates);
+    }
+    plan.design_ = linalg::Matrix::FromColumns(cols);
   }
-  plan.design_ = linalg::Matrix::FromColumns(cols);
   if (plan.options_.solver == WeightSolver::kSimplex) {
     // SolveSimplexLeastSquares(a, b) is literally
     // SolveSimplexLsFromNormalEquations(a.Gram(), a.MatTVec(b), b·b),
     // so hoisting the Gram matrix reproduces the legacy bits exactly.
+    GEOALIGN_TRACE_SPAN("compile.gram");
     plan.gram_ = plan.design_.Gram();
   }
 
@@ -122,12 +195,18 @@ Result<CrosswalkPlan> CrosswalkPlan::Compile(
       plan.fallback_row_sums_ = plan.fallback_dm_->RowSums();
     }
   }
+  CompileCount().Add(1);
+  CompileLatencyUs().Record(compile_watch.ElapsedMicros());
   return plan;
 }
 
 Result<linalg::Vector> CrosswalkPlan::SolveWeightsNormalized(
     const linalg::Vector& b_normalized) const {
   if (options_.solver == WeightSolver::kSimplex) {
+    // Fast path bypasses SolveWeightsForDesign, so it carries its own
+    // weight_solve span/counter.
+    GEOALIGN_TRACE_SPAN("execute.weight_solve");
+    WeightSolveCount(WeightSolver::kSimplex).Add(1);
     GEOALIGN_ASSIGN_OR_RETURN(
         linalg::SimplexLsSolution sol,
         linalg::SolveSimplexLsFromNormalEquations(
@@ -168,10 +247,14 @@ Result<CrosswalkResult> CrosswalkPlan::ExecuteWith(
     return Status::InvalidArgument(
         "CrosswalkPlan: objective length does not match source units");
   }
+  GEOALIGN_TRACE_SPAN("execute");
+  obs::Stopwatch execute_watch;
   CrosswalkResult result;
   Stopwatch watch;
 
   // Step 1: weight learning (Eq. 15) over the precompiled design.
+  // (The weight_solve span lives inside the solver dispatch so it
+  // covers every WeightSolver, simplex fast path included.)
   GEOALIGN_ASSIGN_OR_RETURN(linalg::Vector b,
                             linalg::NormalizeByMax(objective_source));
   GEOALIGN_ASSIGN_OR_RETURN(linalg::Vector beta, SolveWeightsNormalized(b));
@@ -181,76 +264,88 @@ Result<CrosswalkResult> CrosswalkPlan::ExecuteWith(
   // Step 2: disaggregation (Eq. 14). The scalar normalizers were
   // hoisted at compile time; the division itself must stay here —
   // beta[k]/norm then times the raw DM is the legacy operation order.
-  size_t num_refs = prepared_.size();
-  linalg::Vector effective(num_refs, 0.0);
-  for (size_t k = 0; k < num_refs; ++k) {
-    double norm = options_.scale_mode == ScaleMode::kNormalized
-                      ? prepared_.reference(k).normalizer
-                      : 1.0;
-    effective[k] = beta[k] / norm;
-  }
-
-  Result<sparse::CsrMatrix> summed =
-      prepared_.aligned()
-          ? sparse::WeightedSumAligned(prepared_.dms(), effective, pool)
-          : sparse::WeightedSum(prepared_.dms(), effective, pool);
-  GEOALIGN_ASSIGN_OR_RETURN(sparse::CsrMatrix numerator, std::move(summed));
-
-  linalg::Vector denom;
-  if (options_.denominator == DenominatorMode::kFromDmRowSums) {
-    denom = numerator.RowSums();
-  } else {
-    denom.assign(prepared_.num_source(), 0.0);
-    for (size_t k = 0; k < num_refs; ++k) {
-      if (ExactlyZero(effective[k])) continue;
-      linalg::Axpy(effective[k], prepared_.reference(k).source_aggregates,
-                   denom);
-    }
-  }
-
+  sparse::CsrMatrix estimated;
   std::vector<size_t> zero_rows;
-  sparse::DivideRowsOrZero(numerator, denom, options_.zero_tolerance,
-                           &zero_rows, pool);
-  numerator.ScaleRows(objective_source);
-  sparse::CsrMatrix estimated = std::move(numerator);
+  {
+    GEOALIGN_TRACE_SPAN("execute.eq14_disaggregate");
+    size_t num_refs = prepared_.size();
+    linalg::Vector effective(num_refs, 0.0);
+    for (size_t k = 0; k < num_refs; ++k) {
+      double norm = options_.scale_mode == ScaleMode::kNormalized
+                        ? prepared_.reference(k).normalizer
+                        : 1.0;
+      effective[k] = beta[k] / norm;
+    }
 
-  if (options_.zero_row_fallback == ZeroRowFallback::kFallbackDm &&
-      !zero_rows.empty()) {
-    if (!fallback_shape_ok_) {
-      return Status::InvalidArgument("GeoAlign: fallback DM shape mismatch");
+    Result<sparse::CsrMatrix> summed =
+        prepared_.aligned()
+            ? sparse::WeightedSumAligned(prepared_.dms(), effective, pool)
+            : sparse::WeightedSum(prepared_.dms(), effective, pool);
+    GEOALIGN_ASSIGN_OR_RETURN(sparse::CsrMatrix numerator, std::move(summed));
+
+    linalg::Vector denom;
+    if (options_.denominator == DenominatorMode::kFromDmRowSums) {
+      denom = numerator.RowSums();
+    } else {
+      denom.assign(prepared_.num_source(), 0.0);
+      for (size_t k = 0; k < num_refs; ++k) {
+        if (ExactlyZero(effective[k])) continue;
+        linalg::Axpy(effective[k], prepared_.reference(k).source_aggregates,
+                     denom);
+      }
     }
-    const sparse::CsrMatrix& fb = *fallback_dm_;
-    const linalg::Vector& fb_sums = fallback_row_sums_;
-    std::vector<bool> is_zero_row(estimated.rows(), false);
-    for (size_t r : zero_rows) is_zero_row[r] = true;
-    sparse::CooBuilder builder(estimated.rows(), estimated.cols());
-    for (size_t r = 0; r < estimated.rows(); ++r) {
-      if (!is_zero_row[r]) {
-        sparse::CsrMatrix::RowView row = estimated.Row(r);
-        for (size_t k = 0; k < row.size; ++k) {
-          builder.Add(r, row.cols[k], row.values[k]);
+
+    sparse::DivideRowsOrZero(numerator, denom, options_.zero_tolerance,
+                             &zero_rows, pool);
+    numerator.ScaleRows(objective_source);
+    estimated = std::move(numerator);
+
+    if (options_.zero_row_fallback == ZeroRowFallback::kFallbackDm &&
+        !zero_rows.empty()) {
+      if (!fallback_shape_ok_) {
+        return Status::InvalidArgument("GeoAlign: fallback DM shape mismatch");
+      }
+      GEOALIGN_TRACE_SPAN("execute.fallback_rebuild");
+      FallbackRebuilds().Add(1);
+      const sparse::CsrMatrix& fb = *fallback_dm_;
+      const linalg::Vector& fb_sums = fallback_row_sums_;
+      std::vector<bool> is_zero_row(estimated.rows(), false);
+      for (size_t r : zero_rows) is_zero_row[r] = true;
+      sparse::CooBuilder builder(estimated.rows(), estimated.cols());
+      for (size_t r = 0; r < estimated.rows(); ++r) {
+        if (!is_zero_row[r]) {
+          sparse::CsrMatrix::RowView row = estimated.Row(r);
+          for (size_t k = 0; k < row.size; ++k) {
+            builder.Add(r, row.cols[k], row.values[k]);
+          }
+          continue;
         }
-        continue;
+        if (fb_sums[r] <= 0.0) continue;  // no fallback support either
+        double scale = objective_source[r] / fb_sums[r];
+        sparse::CsrMatrix::RowView row = fb.Row(r);
+        for (size_t k = 0; k < row.size; ++k) {
+          builder.Add(r, row.cols[k], row.values[k] * scale);
+        }
       }
-      if (fb_sums[r] <= 0.0) continue;  // no fallback support either
-      double scale = objective_source[r] / fb_sums[r];
-      sparse::CsrMatrix::RowView row = fb.Row(r);
-      for (size_t k = 0; k < row.size; ++k) {
-        builder.Add(r, row.cols[k], row.values[k] * scale);
-      }
+      estimated = builder.Build();
     }
-    estimated = builder.Build();
   }
   result.timing.Add("disaggregation", watch.ElapsedSeconds());
   watch.Restart();
 
-  // Step 3: re-aggregation (Eq. 17).
-  result.target_estimates = sparse::ColSumsDeterministic(estimated, pool);
+  {
+    // Step 3: re-aggregation (Eq. 17).
+    GEOALIGN_TRACE_SPAN("execute.eq17_reaggregate");
+    result.target_estimates = sparse::ColSumsDeterministic(estimated, pool);
+  }
   result.timing.Add("reaggregation", watch.ElapsedSeconds());
 
   result.estimated_dm = std::move(estimated);
   result.weights = std::move(beta);
   result.zero_rows = std::move(zero_rows);
+  ZeroRowsTotal().Add(result.zero_rows.size());
+  ExecuteCount().Add(1);
+  ExecuteLatencyUs().Record(execute_watch.ElapsedMicros());
   return result;
 }
 

@@ -3,7 +3,7 @@
 
 #include <string>
 
-#include "common/stopwatch.h"
+#include "obs/timer.h"
 #include "core/crosswalk_input.h"
 
 namespace geoalign::core {

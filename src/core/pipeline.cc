@@ -4,10 +4,32 @@
 #include <optional>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
 
 namespace geoalign::core {
 
 namespace {
+
+// Serving-surface telemetry (catalog: docs/observability.md). The
+// registry keys are shared with BatchCrosswalk so "realign.*" counts
+// every realigned column regardless of entry point.
+obs::Histogram& RealignLatencyUs() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::Global().GetHistogram("realign.latency_us");
+  return h;
+}
+obs::Histogram& ColumnsPerBatch() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::Global().GetHistogram("realign.columns_per_batch");
+  return h;
+}
+obs::Counter& ColumnsTotal() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("realign.columns_total");
+  return c;
+}
 
 // Builds a name→index map, rejecting duplicates (a duplicate would
 // silently shadow the earlier unit during column resolution).
@@ -109,6 +131,13 @@ Result<linalg::Vector> CrosswalkPipeline::ResolveColumn(
 
 Result<CrosswalkResult> CrosswalkPipeline::Realign(
     const std::vector<std::pair<std::string, double>>& objective) const {
+  GEOALIGN_TRACE_SPAN("realign");
+  obs::Stopwatch realign_watch;
+  ColumnsTotal().Add(1);
+  struct LatencyRecorder {
+    obs::Stopwatch& watch;
+    ~LatencyRecorder() { RealignLatencyUs().Record(watch.ElapsedMicros()); }
+  } recorder{realign_watch};
   GEOALIGN_ASSIGN_OR_RETURN(linalg::Vector objective_source,
                             ResolveColumn(objective, source_index_));
   if (plan_ != nullptr) {
@@ -125,6 +154,9 @@ Result<CrosswalkResult> CrosswalkPipeline::Realign(
 
 Result<std::vector<CrosswalkResult>> CrosswalkPipeline::RealignMany(
     const std::vector<Column>& objectives, size_t threads) const {
+  GEOALIGN_TRACE_SPAN("realign.batch");
+  ColumnsPerBatch().Record(static_cast<double>(objectives.size()));
+  ColumnsTotal().Add(objectives.size());
   std::unique_ptr<common::ThreadPool> pool =
       common::MakePoolOrNull(common::ResolveThreadCount(threads));
 
@@ -136,6 +168,7 @@ Result<std::vector<CrosswalkResult>> CrosswalkPipeline::RealignMany(
     std::vector<std::optional<Result<CrosswalkResult>>> results(
         objectives.size());
     common::ParallelForChunks(pool.get(), objectives.size(), [&](size_t i) {
+      obs::Stopwatch column_watch;
       Result<linalg::Vector> column =
           ResolveColumn(objectives[i], source_index_);
       if (!column.ok()) {
@@ -148,6 +181,7 @@ Result<std::vector<CrosswalkResult>> CrosswalkPipeline::RealignMany(
       } else {
         results[i].emplace(plan_->Execute(std::move(column).value()));
       }
+      RealignLatencyUs().Record(column_watch.ElapsedMicros());
     });
     std::vector<CrosswalkResult> out;
     out.reserve(objectives.size());
@@ -174,6 +208,7 @@ Result<std::vector<CrosswalkResult>> CrosswalkPipeline::RealignMany(
   std::vector<std::optional<Result<CrosswalkResult>>> results(
       objectives.size());
   common::ParallelForChunks(pool.get(), objectives.size(), [&](size_t i) {
+    obs::Stopwatch column_watch;
     CrosswalkInput input;
     Result<linalg::Vector> column =
         ResolveColumn(objectives[i], source_index_);
@@ -187,6 +222,7 @@ Result<std::vector<CrosswalkResult>> CrosswalkPipeline::RealignMany(
     // (see Realign).
     results[i].emplace(
         method->Crosswalk(input));  // NOLINT(geoalign-plan-bypass)
+    RealignLatencyUs().Record(column_watch.ElapsedMicros());
   });
 
   std::vector<CrosswalkResult> out;

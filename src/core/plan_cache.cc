@@ -2,11 +2,41 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/timer.h"
 #include "sparse/prepared_reference.h"
 
 namespace geoalign::core {
 
 namespace {
+
+// Registry mirrors of PlanCacheStats, aggregated across instances
+// (catalog: docs/observability.md).
+obs::Counter& CacheHits() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("plan_cache.hits");
+  return c;
+}
+obs::Counter& CacheMisses() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("plan_cache.misses");
+  return c;
+}
+obs::Counter& CacheEvictions() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("plan_cache.evictions");
+  return c;
+}
+obs::Counter& CacheInsertRaces() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("plan_cache.insert_races");
+  return c;
+}
+obs::Histogram& CacheCompileLatencyUs() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "plan_cache.compile_latency_us");
+  return h;
+}
 
 // Mixes everything execution-relevant about (references, options) into
 // one lane. Seeded differently per lane so a collision would have to
@@ -67,6 +97,7 @@ Result<std::shared_ptr<const CrosswalkPlan>> PlanCache::GetOrCompile(
     auto it = index_.find(key);
     if (it != index_.end()) {
       ++stats_.hits;
+      CacheHits().Add(1);
       lru_.splice(lru_.begin(), lru_, it->second);
       return it->second->plan;
     }
@@ -75,11 +106,14 @@ Result<std::shared_ptr<const CrosswalkPlan>> PlanCache::GetOrCompile(
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.misses;
   }
+  CacheMisses().Add(1);
 
   // Compile outside the lock: plan compilation walks every reference
   // DM and must not serialize concurrent callers on unrelated keys.
+  obs::Stopwatch compile_watch;
   GEOALIGN_ASSIGN_OR_RETURN(CrosswalkPlan compiled,
                             CrosswalkPlan::Compile(references, options));
+  CacheCompileLatencyUs().Record(compile_watch.ElapsedMicros());
   auto plan =
       std::make_shared<const CrosswalkPlan>(std::move(compiled));
   if (capacity_ == 0) return plan;
@@ -88,7 +122,10 @@ Result<std::shared_ptr<const CrosswalkPlan>> PlanCache::GetOrCompile(
   auto it = index_.find(key);
   if (it != index_.end()) {
     // Another thread compiled the same key while we were unlocked;
-    // keep the incumbent so all callers share one plan.
+    // keep the incumbent so all callers share one plan. The dropped
+    // compile is recorded as an insert race (see PlanCacheStats).
+    ++stats_.insert_races;
+    CacheInsertRaces().Add(1);
     lru_.splice(lru_.begin(), lru_, it->second);
     return it->second->plan;
   }
@@ -98,6 +135,7 @@ Result<std::shared_ptr<const CrosswalkPlan>> PlanCache::GetOrCompile(
     index_.erase(lru_.back().key);
     lru_.pop_back();
     ++stats_.evictions;
+    CacheEvictions().Add(1);
   }
   return plan;
 }

@@ -12,11 +12,23 @@
 
 namespace geoalign::core {
 
-/// Counters for PlanCache observability (snapshot via stats()).
+/// Counters for PlanCache observability (snapshot via stats()). The
+/// same values are mirrored onto the process-wide metrics registry as
+/// `plan_cache.hits` / `plan_cache.misses` / `plan_cache.evictions` /
+/// `plan_cache.insert_races` (catalog: docs/observability.md); the
+/// registry aggregates across every PlanCache instance while this
+/// struct stays per-instance.
 struct PlanCacheStats {
   size_t hits = 0;
   size_t misses = 0;
   size_t evictions = 0;
+  /// GetOrCompile races: both threads missed the same key, both
+  /// compiled outside the lock, and this caller lost the re-lock — its
+  /// freshly compiled plan was dropped in favor of the incumbent.
+  /// Every insert_race was already counted as a miss; a persistently
+  /// nonzero rate means concurrent cold-start compiles are being
+  /// duplicated (wasted work, not incorrect results).
+  size_t insert_races = 0;
 };
 
 /// A small thread-safe LRU cache of compiled CrosswalkPlans for

@@ -4,10 +4,24 @@
 #include <cmath>
 
 #include "linalg/qr.h"
+#include "obs/metrics.h"
 
 namespace geoalign::linalg {
 
 namespace {
+
+// Solver telemetry (docs/observability.md): one `solves` tick per
+// successful solve, `iterations` accumulates outer-loop passes.
+obs::Counter& NnlsSolves() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("solver.nnls.solves");
+  return c;
+}
+obs::Counter& NnlsIterations() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("solver.nnls.iterations");
+  return c;
+}
 
 // Solves the unconstrained least squares restricted to the passive
 // columns, returning a full-size vector with zeros elsewhere.
@@ -99,6 +113,8 @@ Result<NnlsSolution> SolveNnls(const Matrix& a, const Vector& b,
   sol.residual_norm = Norm2(Sub(a.MatVec(x), b));
   sol.x = std::move(x);
   sol.iterations = outer;
+  NnlsSolves().Add(1);
+  NnlsIterations().Add(outer);
   return sol;
 }
 

@@ -5,10 +5,24 @@
 
 #include "common/logging.h"
 #include "linalg/lu.h"
+#include "obs/metrics.h"
 
 namespace geoalign::linalg {
 
 namespace {
+
+// Solver telemetry (docs/observability.md): one `solves` tick per
+// successful solve, `iterations` accumulates active-set steps.
+obs::Counter& SimplexSolves() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("solver.simplex.solves");
+  return c;
+}
+obs::Counter& SimplexIterations() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("solver.simplex.iterations");
+  return c;
+}
 
 // Solves the equality-constrained subproblem restricted to the passive
 // variables:
@@ -73,6 +87,7 @@ Result<SimplexLsSolution> SolveSimplexLsFromNormalEquations(
     sol.beta = {1.0};
     sol.residual_norm = ResidualFromNormal(gram, atb, btb, sol.beta);
     sol.iterations = 0;
+    SimplexSolves().Add(1);
     return sol;
   }
   size_t max_iter =
@@ -169,6 +184,8 @@ Result<SimplexLsSolution> SolveSimplexLsFromNormalEquations(
       sol.residual_norm = ResidualFromNormal(gram, atb, btb, beta);
       sol.beta = std::move(beta);
       sol.iterations = iterations;
+      SimplexSolves().Add(1);
+      SimplexIterations().Add(iterations);
       return sol;
     }
     passive[worst_j] = true;

@@ -1,0 +1,227 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace geoalign::obs {
+
+namespace {
+
+/// Formats a double compactly for JSON/text export (no trailing-zero
+/// soup, round-trippable enough for telemetry).
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void AppendEscapedJson(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+size_t Counter::ShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+const std::vector<double>& Histogram::DefaultBounds() {
+  // 1-2-5 ladder: 1 µs .. 50 s when recording latencies in
+  // microseconds; also covers counts like columns-per-batch.
+  static const std::vector<double> kBounds = {
+      1,    2,    5,    10,   20,   50,   100,  200,  500,
+      1e3,  2e3,  5e3,  1e4,  2e4,  5e4,  1e5,  2e5,  5e5,
+      1e6,  2e6,  5e6,  1e7,  2e7,  5e7};
+  return kBounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Record(double value) {
+  if (!Enabled()) return;
+  size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < bucket_counts.size(); ++i) {
+    seen += bucket_counts[i];
+    if (seen > rank) {
+      // Overflow bucket has no upper bound; report the last finite one.
+      return i < bounds.size() ? bounds[i]
+                               : (bounds.empty() ? 0.0 : bounds.back());
+    }
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  for (const CounterSnapshot& c : counters) {
+    out += c.name;
+    out += ' ';
+    out += std::to_string(c.value);
+    out += '\n';
+  }
+  for (const GaugeSnapshot& g : gauges) {
+    out += g.name;
+    out += ' ';
+    out += std::to_string(g.value);
+    out += '\n';
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    out += h.name + "_count " + std::to_string(h.count) + '\n';
+    out += h.name + "_sum " + FormatDouble(h.sum) + '\n';
+    out += h.name + "_mean " + FormatDouble(h.Mean()) + '\n';
+    out += h.name + "_p50 " + FormatDouble(h.Quantile(0.5)) + '\n';
+    out += h.name + "_p99 " + FormatDouble(h.Quantile(0.99)) + '\n';
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendEscapedJson(out, counters[i].name);
+    out += ": " + std::to_string(counters[i].value);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendEscapedJson(out, gauges[i].name);
+    out += ": " + std::to_string(gauges[i].value);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendEscapedJson(out, h.name);
+    out += ": {\"count\": " + std::to_string(h.count);
+    out += ", \"sum\": " + FormatDouble(h.sum);
+    out += ", \"mean\": " + FormatDouble(h.Mean());
+    out += ", \"p50\": " + FormatDouble(h.Quantile(0.5));
+    out += ", \"p99\": " + FormatDouble(h.Quantile(0.99));
+    out += ", \"bounds\": [";
+    for (size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += FormatDouble(h.bounds[b]);
+    }
+    out += "], \"bucket_counts\": [";
+    for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += std::to_string(h.bucket_counts[b]);
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(
+        bounds.empty() ? Histogram::DefaultBounds() : std::move(bounds));
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->Value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->Value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.count = hist->Count();
+    h.sum = hist->Sum();
+    h.bounds = hist->bounds();
+    h.bucket_counts.reserve(h.bounds.size() + 1);
+    for (size_t i = 0; i <= h.bounds.size(); ++i) {
+      h.bucket_counts.push_back(hist->BucketCount(i));
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+}  // namespace geoalign::obs

@@ -1,6 +1,6 @@
-#include "common/stopwatch.h"
+#include "obs/timer.h"
 
-namespace geoalign {
+namespace geoalign::obs {
 
 void PhaseTimer::Add(const std::string& phase, double seconds) {
   for (auto& [name, total] : entries_) {
@@ -34,4 +34,4 @@ std::vector<std::string> PhaseTimer::Phases() const {
 
 void PhaseTimer::Clear() { entries_.clear(); }
 
-}  // namespace geoalign
+}  // namespace geoalign::obs

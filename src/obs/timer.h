@@ -1,0 +1,81 @@
+#ifndef GEOALIGN_OBS_TIMER_H_
+#define GEOALIGN_OBS_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace geoalign::obs {
+
+/// THE clock-source policy: every timing measurement in the tree —
+/// stopwatches, span tracing, latency histograms, benchmark harnesses —
+/// reads std::chrono::steady_clock through the helpers below. Nothing
+/// outside src/obs/ may call a chrono clock directly (enforced by the
+/// geoalign-raw-clock lint), so monotonicity and comparability of
+/// timestamps are decided in exactly one place.
+using Clock = std::chrono::steady_clock;
+
+/// Raw monotonic timestamp in clock ticks. Cheap enough for hot paths;
+/// convert with TicksToSeconds/TicksToMicros only at reporting time.
+inline int64_t NowTicks() { return Clock::now().time_since_epoch().count(); }
+
+inline double TicksToSeconds(int64_t ticks) {
+  return std::chrono::duration<double>(Clock::duration(ticks)).count();
+}
+
+inline double TicksToMicros(int64_t ticks) {
+  return std::chrono::duration<double, std::micro>(Clock::duration(ticks))
+      .count();
+}
+
+/// Monotonic wall-clock stopwatch (steady_clock via the policy above).
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = NowTicks(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const { return TicksToSeconds(NowTicks() - start_); }
+
+  /// Microseconds elapsed since construction or the last Restart().
+  double ElapsedMicros() const { return TicksToMicros(NowTicks() - start_); }
+
+ private:
+  int64_t start_ = 0;
+};
+
+/// Accumulates named phase timings (e.g. "weight_learning",
+/// "disaggregation", "reaggregation") so experiments can report the
+/// per-phase breakdown the paper discusses in §4.3.
+class PhaseTimer {
+ public:
+  /// Adds `seconds` to the named phase (created on first use).
+  void Add(const std::string& phase, double seconds);
+
+  /// Total over all phases.
+  double TotalSeconds() const;
+
+  /// Seconds recorded for `phase` (0 if never recorded).
+  double Seconds(const std::string& phase) const;
+
+  /// Phase names in insertion order.
+  std::vector<std::string> Phases() const;
+
+  void Clear();
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+}  // namespace geoalign::obs
+
+namespace geoalign {
+// Historical spellings: Stopwatch/PhaseTimer predate the obs subsystem
+// and are used throughout core/bench; keep them reachable unqualified.
+using obs::PhaseTimer;
+using obs::Stopwatch;
+}  // namespace geoalign
+
+#endif  // GEOALIGN_OBS_TIMER_H_

@@ -1,0 +1,131 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace geoalign::obs {
+
+void TraceBuffer::Record(const SpanEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < kCapacity) {
+    ring_.push_back(event);
+    return;
+  }
+  // Full: overwrite the oldest event (next_ chases the logical head).
+  ring_[next_] = event;
+  next_ = (next_ + 1) % kCapacity;
+  ++dropped_;
+}
+
+void TraceBuffer::CollectInto(std::vector<SpanEvent>& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Oldest-first: [next_, end) wrapped before [0, next_) once full.
+  for (size_t i = next_; i < ring_.size(); ++i) out.push_back(ring_[i]);
+  for (size_t i = 0; i < next_; ++i) out.push_back(ring_[i]);
+}
+
+uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  dropped_ = 0;
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceBuffer& TraceRecorder::LocalBuffer() {
+  thread_local std::shared_ptr<TraceBuffer> local;
+  if (local == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    local = std::make_shared<TraceBuffer>(
+        static_cast<uint32_t>(buffers_.size()));
+    buffers_.push_back(local);
+  }
+  return *local;
+}
+
+void TraceRecorder::Record(const SpanEvent& event) {
+  TraceBuffer& buffer = LocalBuffer();
+  SpanEvent stamped = event;
+  stamped.thread_index = buffer.thread_index();
+  buffer.Record(stamped);
+}
+
+std::vector<SpanEvent> TraceRecorder::Collect() const {
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  std::vector<SpanEvent> events;
+  for (const std::shared_ptr<TraceBuffer>& b : buffers) {
+    b->CollectInto(events);
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     return a.start_ticks < b.start_ticks;
+                   });
+  return events;
+}
+
+uint64_t TraceRecorder::TotalDropped() const {
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  uint64_t total = 0;
+  for (const std::shared_ptr<TraceBuffer>& b : buffers) total += b->dropped();
+  return total;
+}
+
+void TraceRecorder::Clear() {
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  for (const std::shared_ptr<TraceBuffer>& b : buffers) b->Clear();
+}
+
+std::string TraceRecorder::ExportChromeTrace() const {
+  std::vector<SpanEvent> events = Collect();
+  int64_t base = events.empty() ? 0 : events.front().start_ticks;
+
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  char buf[256];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const SpanEvent& e = events[i];
+    double ts = TicksToMicros(e.start_ticks - base);
+    double dur = TicksToMicros(e.end_ticks - e.start_ticks);
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n  {\"name\": \"%s\", \"cat\": \"geoalign\", "
+                  "\"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
+                  "\"pid\": 1, \"tid\": %u, "
+                  "\"args\": {\"depth\": %u}}",
+                  i == 0 ? "" : ",", e.name, ts, dur, e.thread_index,
+                  e.depth);
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+namespace internal {
+
+uint32_t& ThreadSpanDepth() {
+  thread_local uint32_t depth = 0;
+  return depth;
+}
+
+}  // namespace internal
+
+}  // namespace geoalign::obs

@@ -1,0 +1,137 @@
+#ifndef GEOALIGN_OBS_TRACE_H_
+#define GEOALIGN_OBS_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.h"
+#include "obs/timer.h"
+
+namespace geoalign::obs {
+
+/// One completed span. `name` must point at a string with static
+/// storage duration (the GEOALIGN_TRACE_SPAN macro passes literals).
+struct SpanEvent {
+  const char* name = nullptr;
+  int64_t start_ticks = 0;
+  int64_t end_ticks = 0;
+  uint32_t thread_index = 0;  ///< stable small id, first-use order
+  uint32_t depth = 0;         ///< nesting depth at record time (1 = top)
+};
+
+/// Bounded per-thread ring buffer of completed spans. Single writer
+/// (the owning thread); concurrent readers (export) synchronize on the
+/// per-buffer mutex, so recording never contends with other threads'
+/// recording — only with an in-flight export.
+class TraceBuffer {
+ public:
+  static constexpr size_t kCapacity = 8192;
+
+  explicit TraceBuffer(uint32_t thread_index)
+      : thread_index_(thread_index) {}
+
+  void Record(const SpanEvent& event);
+
+  /// Appends the buffered events (oldest first) to `out`.
+  void CollectInto(std::vector<SpanEvent>& out) const;
+
+  uint64_t dropped() const;
+  uint32_t thread_index() const { return thread_index_; }
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  uint32_t thread_index_;
+  std::vector<SpanEvent> ring_;  ///< grows to kCapacity, then wraps
+  size_t next_ = 0;              ///< write cursor once full
+  uint64_t dropped_ = 0;         ///< events overwritten after wrap
+};
+
+/// Process-wide trace sink: owns one TraceBuffer per thread that ever
+/// recorded a span (buffers outlive their threads so short-lived pool
+/// workers' spans survive into the export).
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Records into the calling thread's buffer (created on first use).
+  void Record(const SpanEvent& event);
+
+  /// All buffered spans across all threads, sorted by start time.
+  std::vector<SpanEvent> Collect() const;
+
+  /// Chrome trace-event JSON ("X" complete events, µs timestamps
+  /// rebased to the earliest span) — loadable in Perfetto and
+  /// chrome://tracing. Always valid JSON, even with zero spans.
+  std::string ExportChromeTrace() const;
+
+  /// Total events overwritten by ring wrap-around across all threads.
+  uint64_t TotalDropped() const;
+
+  /// Drops all buffered spans (buffers stay registered).
+  void Clear();
+
+ private:
+  TraceBuffer& LocalBuffer();
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<TraceBuffer>> buffers_;
+};
+
+namespace internal {
+/// Per-thread span nesting depth for the RAII spans below.
+uint32_t& ThreadSpanDepth();
+}  // namespace internal
+
+/// RAII timed span; records into the global TraceRecorder on
+/// destruction. Inert (two relaxed loads, no clock read) while
+/// telemetry is disabled. Use via GEOALIGN_TRACE_SPAN.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (!Enabled()) return;
+    name_ = name;
+    depth_ = ++internal::ThreadSpanDepth();
+    start_ticks_ = NowTicks();
+  }
+
+  ~ScopedSpan() {
+    if (name_ == nullptr) return;
+    --internal::ThreadSpanDepth();
+    SpanEvent event;
+    event.name = name_;
+    event.start_ticks = start_ticks_;
+    event.end_ticks = NowTicks();
+    event.depth = depth_;
+    TraceRecorder::Global().Record(event);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  int64_t start_ticks_ = 0;
+  uint32_t depth_ = 0;
+};
+
+#define GEOALIGN_OBS_CONCAT_INNER(a, b) a##b
+#define GEOALIGN_OBS_CONCAT(a, b) GEOALIGN_OBS_CONCAT_INNER(a, b)
+
+/// GEOALIGN_TRACE_SPAN("execute.weight_solve"); — times the enclosing
+/// scope as a nested per-thread span. Span naming convention
+/// (docs/observability.md): lowercase dotted paths, `<stage>.<step>`.
+#define GEOALIGN_TRACE_SPAN(name)                 \
+  ::geoalign::obs::ScopedSpan GEOALIGN_OBS_CONCAT(\
+      geoalign_trace_span_, __COUNTER__)(name)
+
+}  // namespace geoalign::obs
+
+#endif  // GEOALIGN_OBS_TRACE_H_

@@ -5,10 +5,14 @@
 
 #include <cmath>
 #include <set>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/status.h"
-#include "common/stopwatch.h"
+#include "obs/timer.h"
 #include "common/string_util.h"
 
 namespace geoalign {
@@ -232,6 +236,51 @@ TEST(PhaseTimer, AccumulatesByPhase) {
 TEST(Stopwatch, MeasuresNonNegativeTime) {
   Stopwatch w;
   EXPECT_GE(w.ElapsedSeconds(), 0.0);
+}
+
+// Captured log lines for the serialization test. The sink runs under
+// the logging emission mutex, so plain (non-atomic) state is safe here;
+// TSan verifies that claim.
+std::vector<std::string>* g_captured_lines = nullptr;
+
+void CaptureSink(LogLevel /*level*/, const std::string& line) {
+  g_captured_lines->push_back(line);
+}
+
+TEST(Logging, ThresholdIsAtomicAndSinkSerializesEmission) {
+  LogLevel saved = GetLogThreshold();
+  std::vector<std::string> captured;
+  g_captured_lines = &captured;
+  SetLogSink(&CaptureSink);
+  SetLogThreshold(LogLevel::kInfo);
+
+  constexpr int kThreads = 4;
+  constexpr int kLinesPerThread = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLinesPerThread; ++i) {
+        // Concurrent threshold flips exercise the atomic accessors.
+        SetLogThreshold(i % 2 == 0 ? LogLevel::kInfo : LogLevel::kDebug);
+        GEOALIGN_LOG(Warning) << "thread=" << t << " line=" << i
+                              << " payload=abcdefghij";
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  SetLogSink(nullptr);
+  SetLogThreshold(saved);
+  g_captured_lines = nullptr;
+
+  // Warnings outrank both threshold settings: every line must arrive,
+  // intact (prefix and full payload), with no interleaving.
+  ASSERT_EQ(captured.size(),
+            static_cast<size_t>(kThreads) * kLinesPerThread);
+  for (const std::string& line : captured) {
+    EXPECT_TRUE(StartsWith(line, "[WARN ")) << line;
+    EXPECT_NE(line.find(" payload=abcdefghij"), std::string::npos) << line;
+  }
 }
 
 }  // namespace

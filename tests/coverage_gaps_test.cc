@@ -6,7 +6,7 @@
 
 #include <cmath>
 
-#include "common/stopwatch.h"
+#include "obs/timer.h"
 #include "core/areal_weighting.h"
 #include "core/dasymetric.h"
 #include "core/geoalign.h"

@@ -1,0 +1,26 @@
+// Fixture for tools/geoalign_lint.py: raw std::chrono clock reads in
+// library code outside src/obs/ must be flagged — all timing goes
+// through the obs primitives so one steady_clock policy holds
+// tree-wide (docs/observability.md).
+#include <chrono>
+
+namespace geoalign::core {
+
+long TicksNow() {
+  // violation: raw steady_clock read outside src/obs/
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long WallNow() {
+  using namespace std::chrono;  // partially qualified spelling
+  return system_clock::now().time_since_epoch().count();  // violation
+}
+
+long HighResNow() {
+  // violation: high_resolution_clock is an alias with no extra policy
+  return std::chrono::high_resolution_clock::now()
+      .time_since_epoch()
+      .count();
+}
+
+}  // namespace geoalign::core

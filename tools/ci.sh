@@ -14,6 +14,10 @@
 #           skipped gate reads as a passing one. Skip explicitly with
 #           SKIP_TIDY=1 on machines without clang-tidy.
 #   lint    tools/geoalign_lint.py project-specific correctness lints
+#   obs     run geoalign_cli on a generated example with --metrics-out
+#           and --trace-out, then validate both outputs parse as JSON
+#           (the trace must be Chrome trace-event shaped, i.e. carry a
+#           traceEvents array — docs/observability.md)
 #
 # Environment knobs:
 #   JOBS          parallel build/test jobs (default: nproc)
@@ -24,7 +28,7 @@
 #                 e.g. CTEST_FILTER='ThreadPool|Parallel' for a quick
 #                 concurrency-only smoke.
 #   SKIP_TSAN=1 SKIP_UBSAN=1 SKIP_TIDY=1 SKIP_LINT=1 SKIP_BENCH=1
-#                 skip the corresponding gate (recorded as "skipped"
+#   SKIP_OBS=1    skip the corresponding gate (recorded as "skipped"
 #                 in the summary, never as a pass).
 set -uo pipefail
 cd "$(dirname "$0")/.."
@@ -35,9 +39,50 @@ TSAN_DIR="${TSAN_DIR:-build-tsan}"
 UBSAN_DIR="${UBSAN_DIR:-build-ubsan}"
 CTEST_FILTER="${CTEST_FILTER:-}"
 
-GATES=(plain bench tsan ubsan tidy lint)
+GATES=(plain bench tsan ubsan tidy lint obs)
 declare -A RESULT
 failed=0
+
+# Observability end-to-end: tiny synthetic crosswalk through the CLI,
+# then both telemetry artifacts must parse. Runs out of the plain
+# build tree, so order it after the plain gate.
+obs_gate() {
+  local dir
+  dir=$(mktemp -d) || return 1
+  cat >"$dir/objective.csv" <<'EOF'
+unit,value
+s1,10
+s2,20
+s3,30
+EOF
+  cat >"$dir/ref.csv" <<'EOF'
+source,target,value
+s1,t1,1
+s1,t2,2
+s2,t1,3
+s2,t2,1
+s3,t2,4
+EOF
+  "$BUILD_DIR/tools/geoalign_cli" \
+    --objective "$dir/objective.csv" --ref "population=$dir/ref.csv" \
+    --metrics-out="$dir/metrics.json" --trace-out="$dir/trace.json" \
+    --out "$dir/out.csv" || { rm -rf "$dir"; return 1; }
+  python3 - "$dir/metrics.json" "$dir/trace.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    metrics = json.load(f)
+assert "counters" in metrics and "histograms" in metrics, metrics.keys()
+assert metrics["counters"].get("compile.count", 0) >= 1, metrics["counters"]
+with open(sys.argv[2]) as f:
+    trace = json.load(f)
+assert isinstance(trace.get("traceEvents"), list), type(trace)
+print("obs gate: metrics + trace both parse; "
+      f"{len(trace['traceEvents'])} trace event(s)")
+EOF
+  local rc=$?
+  rm -rf "$dir"
+  return "$rc"
+}
 
 run_suite() {
   local dir="$1"
@@ -76,6 +121,7 @@ run_gate tsan "${SKIP_TSAN:-0}" run_suite "$TSAN_DIR" -DGEOALIGN_SANITIZE=thread
 run_gate ubsan "${SKIP_UBSAN:-0}" run_suite "$UBSAN_DIR" -DGEOALIGN_SANITIZE=undefined
 run_gate tidy "${SKIP_TIDY:-0}" tools/run_clang_tidy.sh "$BUILD_DIR"
 run_gate lint "${SKIP_LINT:-0}" python3 tools/geoalign_lint.py --root .
+run_gate obs "${SKIP_OBS:-0}" obs_gate
 
 echo
 echo "=== gate summary ==="

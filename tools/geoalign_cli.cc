@@ -6,6 +6,11 @@
 //                [--method geoalign|dasymetric=<ref>|areal|regression]
 //                [--out <path>]        (default: stdout)
 //                [--weights]           (print learned weights to stderr)
+//                [--metrics-out <path>] (write metrics JSON; see
+//                                        docs/observability.md)
+//                [--trace-out <path>]   (write Chrome trace-event JSON,
+//                                        loadable at ui.perfetto.dev)
+//                [--telemetry on|off]   (override GEOALIGN_TELEMETRY)
 //
 // Crosswalk CSVs are long-form: columns `source,target,value` (one row
 // per non-empty intersection; the reference's source aggregates are
@@ -32,6 +37,7 @@
 #include "core/regression.h"
 #include "io/crosswalk_io.h"
 #include "io/csv.h"
+#include "obs/telemetry.h"
 
 namespace geoalign {
 namespace {
@@ -41,6 +47,8 @@ struct CliArgs {
   std::vector<std::pair<std::string, std::string>> refs;  // name -> path
   std::string method = "geoalign";
   std::string out_path;
+  std::string metrics_out;
+  std::string trace_out;
   bool print_weights = false;
 };
 
@@ -54,6 +62,35 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       }
       return std::string(argv[++i]);
     };
+    // Accept both `--flag value` and `--flag=value` for the telemetry
+    // flags (scripted callers tend to use the `=` form).
+    auto match_valued = [&](const char* flag, std::string* out) -> bool {
+      std::string prefix = std::string(flag) + "=";
+      if (StartsWith(arg, prefix)) {
+        *out = arg.substr(prefix.size());
+        return true;
+      }
+      return false;
+    };
+    if (match_valued("--metrics-out", &args.metrics_out) ||
+        match_valued("--trace-out", &args.trace_out)) {
+      continue;
+    }
+    std::string telemetry_value;
+    if (arg == "--telemetry" || match_valued("--telemetry",
+                                             &telemetry_value)) {
+      if (telemetry_value.empty()) {
+        GEOALIGN_ASSIGN_OR_RETURN(telemetry_value, next());
+      }
+      if (telemetry_value == "on") {
+        obs::SetEnabled(true);
+      } else if (telemetry_value == "off") {
+        obs::SetEnabled(false);
+      } else {
+        return Status::InvalidArgument("--telemetry expects on|off");
+      }
+      continue;
+    }
     if (arg == "--objective") {
       GEOALIGN_ASSIGN_OR_RETURN(args.objective_path, next());
     } else if (arg == "--ref") {
@@ -67,6 +104,10 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       GEOALIGN_ASSIGN_OR_RETURN(args.method, next());
     } else if (arg == "--out") {
       GEOALIGN_ASSIGN_OR_RETURN(args.out_path, next());
+    } else if (arg == "--metrics-out") {
+      GEOALIGN_ASSIGN_OR_RETURN(args.metrics_out, next());
+    } else if (arg == "--trace-out") {
+      GEOALIGN_ASSIGN_OR_RETURN(args.trace_out, next());
     } else if (arg == "--weights") {
       args.print_weights = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -90,6 +131,7 @@ void PrintUsage() {
       "usage: geoalign_cli --objective <csv> --ref <name>=<csv> [...]\n"
       "  [--method geoalign|dasymetric=<ref>|areal|regression]\n"
       "  [--out <path>] [--weights]\n"
+      "  [--metrics-out <path>] [--trace-out <path>] [--telemetry on|off]\n"
       "objective csv columns: unit,value\n"
       "crosswalk csv columns: source,target,value\n");
 }
@@ -177,6 +219,23 @@ Result<int> Run(const CliArgs& args) {
     std::fputs(io::ToCsv(out).c_str(), stdout);
   } else {
     GEOALIGN_RETURN_IF_ERROR(io::WriteCsvFile(out, args.out_path));
+  }
+
+  // Telemetry exports run last so they cover the whole crosswalk.
+  if (!args.metrics_out.empty()) {
+    std::string error;
+    if (!obs::WriteMetricsJsonFile(args.metrics_out, &error)) {
+      return Status::Internal("--metrics-out: " + error);
+    }
+  }
+  if (!args.trace_out.empty()) {
+    std::string error;
+    if (!obs::WriteTraceJsonFile(args.trace_out, &error)) {
+      return Status::Internal("--trace-out: " + error);
+    }
+  }
+  if (!args.metrics_out.empty() || !args.trace_out.empty()) {
+    std::fprintf(stderr, "%s", obs::SummaryTable().c_str());
   }
   return 0;
 }

@@ -40,6 +40,14 @@ documented in docs/static_analysis.md:
       baseline interpolators without a plan form, freshly perturbed
       references — carry a NOLINT with a rationale.
 
+  geoalign-raw-clock
+      No raw `std::chrono::*_clock::now()` in library code (src/)
+      outside src/obs/. Time reads must go through the obs timing
+      primitives (obs::NowTicks, obs::Stopwatch, obs::PhaseTimer,
+      GEOALIGN_TRACE_SPAN) so the whole tree shares one steady_clock
+      policy and timing shows up in the telemetry exports instead of in
+      ad-hoc locals. See docs/observability.md.
+
 Suppression: append `// NOLINT(geoalign-<rule>)` (or bare `NOLINT`) to
 the offending line, or put `// NOLINTNEXTLINE(geoalign-<rule>)` on the
 line above. Suppressions should carry a rationale.
@@ -61,6 +69,7 @@ RULES = (
     "geoalign-no-throw",
     "geoalign-discarded-status",
     "geoalign-plan-bypass",
+    "geoalign-raw-clock",
 )
 
 # Subsystems whose kernels feed the deterministic reductions.
@@ -81,6 +90,12 @@ THROW_RE = re.compile(r"\bthrow\b")
 # free function. Plan execution (Execute/ExecuteWith) never matches.
 PLAN_BYPASS_RE = re.compile(
     r"(?:\.|->)\s*Crosswalk\s*\(|\bCrosswalkUncompiled\s*\(")
+# Raw clock reads outside src/obs/. Matches the fully and partially
+# qualified spellings (`std::chrono::steady_clock::now(`,
+# `chrono::steady_clock::now(`, `steady_clock::now(`).
+RAW_CLOCK_RE = re.compile(
+    r"(?:std\s*::\s*)?(?:chrono\s*::\s*)?"
+    r"(?:steady|system|high_resolution)_clock\s*::\s*now\s*\(")
 UNORDERED_DECL_RE = re.compile(
     r"unordered_(?:map|set)\s*<[^;{}]*?>\s*(?:const\s*)?[&*]?\s*([A-Za-z_]\w*)"
 )
@@ -225,6 +240,8 @@ class Linter:
             self.check_unordered_iteration(path, stripped, raw_lines)
         if in_hot_paths and not in_tests:
             self.check_plan_bypass(path, stripped, raw_lines)
+        if rel.startswith("src/") and not rel.startswith("src/obs/"):
+            self.check_raw_clock(path, stripped, raw_lines)
 
     def check_float_eq(self, path, stripped, raw_lines):
         for m in FLOAT_EQ_RE.finditer(stripped):
@@ -250,6 +267,15 @@ class Linter:
                 "serving hot path; compile a CrosswalkPlan (or use "
                 "PlanCache) and Execute it, or NOLINT with a rationale",
                 raw_lines)
+
+    def check_raw_clock(self, path, stripped, raw_lines):
+        for m in RAW_CLOCK_RE.finditer(stripped):
+            self.report(
+                path, line_of(m.start(), stripped), "geoalign-raw-clock",
+                "raw std::chrono clock read outside src/obs/; use the "
+                "obs timing primitives (obs::Stopwatch, obs::NowTicks, "
+                "GEOALIGN_TRACE_SPAN) so one steady_clock policy holds "
+                "tree-wide", raw_lines)
 
     def check_unordered_iteration(self, path, stripped, raw_lines):
         names = set(UNORDERED_DECL_RE.findall(stripped))
