@@ -1,0 +1,333 @@
+// Fused aggregates-only serving vs the materializing execute path:
+// RealignMany over one shared compiled plan, comparing
+//
+//  * materializing — RealignMany(columns) with the default
+//    ExecuteOutput::kFullDm: every column materializes DM̂_o (Eq. 14)
+//    as a fresh CSR and reduces it to â_o^t (Eq. 17);
+//  * fused — RealignMany(columns, ..., kAggregatesOnly): one pass over
+//    the shared PreparedReferenceSet structure scattering straight
+//    into the target accumulator, DM̂_o never allocated, all scratch
+//    served from plan-spec'd reusable workspaces.
+//
+// Axes: universe size (nnz of the shared CSR structure) × reference
+// count (dense synth layers extended by structure-preserving clones,
+// so the set stays aligned and the fused kernel engages). Every
+// sample checks â_o^t / weights / zero_rows BIT-identical across the
+// two arms and reads the execute.hot_path_allocs /
+// execute.workspace_reuse counters across the timed fused reps (after
+// a warmup pass); the exit code gates identity, alignment, and the
+// zero-hot-allocation promise. Results go to BENCH_fused_execute.json.
+//
+// Usage: fused_execute [output.json]
+//   GEOALIGN_BENCH_SCALE     rescales the universes  (default 1.0)
+//   GEOALIGN_BENCH_REPS      timing repetitions      (default 3)
+//   GEOALIGN_BENCH_MAX_COLS  caps the column count   (default 512)
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/geoalign.h"
+#include "core/pipeline.h"
+#include "eval/report.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/timer.h"
+#include "sparse/coo_builder.h"
+
+namespace geoalign {
+namespace {
+
+struct Sample {
+  std::string universe;
+  size_t zips = 0;
+  size_t counties = 0;
+  size_t references = 0;
+  size_t shared_nnz = 0;  // nnz of the shared CSR structure
+  size_t columns = 0;
+  double materializing_seconds = 0.0;  // best of reps
+  double fused_seconds = 0.0;          // best of reps
+  double speedup = 1.0;
+  uint64_t hot_path_allocs = 0;  // delta across timed fused reps
+  uint64_t workspace_reuse = 0;  // delta across timed fused reps
+  bool aligned = false;
+  bool bit_identical = true;
+};
+
+size_t Reps() {
+  const char* env = std::getenv("GEOALIGN_BENCH_REPS");
+  if (env == nullptr) return 3;
+  long v = std::atol(env);
+  return v > 0 ? static_cast<size_t>(v) : 3;
+}
+
+size_t MaxCols() {
+  const char* env = std::getenv("GEOALIGN_BENCH_MAX_COLS");
+  if (env == nullptr) return 512;
+  long v = std::atol(env);
+  return v > 0 ? static_cast<size_t>(v) : 512;
+}
+
+std::vector<std::string> MakeUnitNames(const char* prefix, size_t n) {
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    names.push_back(StrFormat("%s%06zu", prefix, i));
+  }
+  return names;
+}
+
+// B full-length objective columns: deterministic multiplicative
+// perturbations of the base objective, keyed by unit name.
+std::vector<core::CrosswalkPipeline::Column> MakeColumns(
+    const std::vector<std::string>& sources, const linalg::Vector& base,
+    size_t count) {
+  std::vector<core::CrosswalkPipeline::Column> columns;
+  columns.reserve(count);
+  for (size_t b = 0; b < count; ++b) {
+    core::CrosswalkPipeline::Column col;
+    col.reserve(sources.size());
+    for (size_t i = 0; i < sources.size(); ++i) {
+      double wobble =
+          1.0 + 0.1 * std::sin(static_cast<double>(i * 31 + b * 17 + 1));
+      col.emplace_back(sources[i], base[i] * wobble);
+    }
+    columns.push_back(std::move(col));
+  }
+  return columns;
+}
+
+// `count` references sharing one CSR structure: the universe's dense
+// layers (Poisson layers drop zero cells and would break alignment),
+// extended past five by structure-preserving clones — same
+// coordinates, values wobbled within (0.75, 1.25) so none cancels to
+// zero, aggregates recomputed as the new row sums.
+Result<std::vector<core::ReferenceAttribute>> MakeAlignedReferences(
+    const synth::Universe& uni, size_t count, linalg::Vector* objective) {
+  GEOALIGN_ASSIGN_OR_RETURN(size_t test_index, uni.FindDataset("Starbucks"));
+  GEOALIGN_ASSIGN_OR_RETURN(core::CrosswalkInput input,
+                            uni.MakeLeaveOneOutInput(test_index));
+  *objective = std::move(input.objective_source);
+  std::vector<core::ReferenceAttribute> refs;
+  for (core::ReferenceAttribute& ref : input.references) {
+    if (ref.name == "Accidents" || ref.name == "Area (Sq. Miles)" ||
+        ref.name == "Population" || ref.name == "USPS Business Address" ||
+        ref.name == "USPS Residential Address") {
+      refs.push_back(std::move(ref));
+    }
+  }
+  if (refs.empty()) {
+    return Status::Internal("fused_execute: no dense layers in suite");
+  }
+  const size_t base = refs.size();
+  while (refs.size() < count) {
+    const size_t k = refs.size();
+    const core::ReferenceAttribute& seed = refs[k % base];
+    core::ReferenceAttribute clone;
+    clone.name = seed.name + StrFormat(" clone %zu", k / base);
+    const sparse::CsrMatrix& dm = seed.disaggregation;
+    sparse::CooBuilder builder(dm.rows(), dm.cols());
+    for (size_t r = 0; r < dm.rows(); ++r) {
+      sparse::CsrMatrix::RowView row = dm.Row(r);
+      for (size_t j = 0; j < row.size; ++j) {
+        double wobble =
+            1.0 + 0.25 * std::sin(static_cast<double>(k * 131 + r * 17 + j));
+        builder.Add(r, row.cols[j], row.values[j] * wobble);
+      }
+    }
+    clone.disaggregation = builder.Build();
+    clone.source_aggregates = clone.disaggregation.RowSums();
+    refs.push_back(std::move(clone));
+  }
+  refs.resize(std::min(count, refs.size()));
+  return refs;
+}
+
+// Exact equality on everything the fused lane produces; the fused arm
+// must additionally carry no DM at all.
+bool BitIdenticalAggregates(const std::vector<core::CrosswalkResult>& fused,
+                            const std::vector<core::CrosswalkResult>& mat) {
+  if (fused.size() != mat.size()) return false;
+  for (size_t i = 0; i < fused.size(); ++i) {
+    if (fused[i].target_estimates != mat[i].target_estimates ||
+        fused[i].weights != mat[i].weights ||
+        fused[i].zero_rows != mat[i].zero_rows ||
+        fused[i].estimated_dm.values().size() != 0 ||
+        fused[i].estimated_dm.rows() != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Sample BenchOne(const synth::Universe& uni, size_t num_references,
+                size_t num_columns) {
+  Sample s;
+  s.universe = uni.name;
+  s.zips = uni.NumZips();
+  s.counties = uni.NumCounties();
+  s.references = num_references;
+  s.columns = num_columns;
+  s.materializing_seconds = 1e300;
+  s.fused_seconds = 1e300;
+
+  linalg::Vector objective;
+  auto refs = MakeAlignedReferences(uni, num_references, &objective);
+  refs.status().CheckOK();
+  std::vector<std::string> sources = MakeUnitNames("z", objective.size());
+  std::vector<std::string> targets =
+      MakeUnitNames("c", refs->front().disaggregation.cols());
+  std::vector<core::CrosswalkPipeline::Column> columns =
+      MakeColumns(sources, objective, num_columns);
+
+  core::GeoAlignOptions options;
+  options.threads = 1;
+  auto pipeline = core::CrosswalkPipeline::Create(
+      sources, targets, *refs, std::make_shared<core::GeoAlign>(options));
+  pipeline.status().CheckOK();
+  if (pipeline->plan() == nullptr) {
+    std::fprintf(stderr, "fused_execute: plan failed to compile\n");
+    return s;
+  }
+  s.aligned = pipeline->plan()->references().aligned();
+  s.shared_nnz = pipeline->plan()->references().dms()[0]->values().size();
+
+  // Warmup both arms (also the arms for the identity check).
+  auto mat = pipeline->RealignMany(columns, /*threads=*/1);
+  mat.status().CheckOK();
+  auto fused = pipeline->RealignMany(columns, /*threads=*/1,
+                                     core::ExecuteOutput::kAggregatesOnly);
+  fused.status().CheckOK();
+  s.bit_identical = BitIdenticalAggregates(*fused, *mat);
+
+  for (size_t rep = 0; rep < Reps(); ++rep) {
+    Stopwatch watch;
+    auto res = pipeline->RealignMany(columns, /*threads=*/1);
+    res.status().CheckOK();
+    s.materializing_seconds =
+        std::min(s.materializing_seconds, watch.ElapsedSeconds());
+  }
+
+  obs::Counter& allocs = obs::MetricsRegistry::Global().GetCounter(
+      "execute.hot_path_allocs");
+  obs::Counter& reuse = obs::MetricsRegistry::Global().GetCounter(
+      "execute.workspace_reuse");
+  uint64_t allocs_before = allocs.Value();
+  uint64_t reuse_before = reuse.Value();
+  for (size_t rep = 0; rep < Reps(); ++rep) {
+    Stopwatch watch;
+    auto res = pipeline->RealignMany(columns, /*threads=*/1,
+                                     core::ExecuteOutput::kAggregatesOnly);
+    res.status().CheckOK();
+    s.fused_seconds = std::min(s.fused_seconds, watch.ElapsedSeconds());
+  }
+  s.hot_path_allocs = allocs.Value() - allocs_before;
+  s.workspace_reuse = reuse.Value() - reuse_before;
+  s.speedup = s.materializing_seconds / s.fused_seconds;
+  return s;
+}
+
+}  // namespace
+}  // namespace geoalign
+
+int main(int argc, char** argv) {
+  using namespace geoalign;
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_fused_execute.json";
+
+  // The alloc/reuse counters are the point of the bench; both arms pay
+  // the same (shards-and-relaxed-atomics) telemetry cost.
+  obs::SetEnabled(true);
+
+  // nnz axis: two nested universes, same US suite (§4.3 subsetting).
+  std::vector<const synth::Universe*> universes = {
+      &bench::GetUniverse(synth::UniverseId::kNewYork,
+                          synth::SuiteKind::kUnitedStates),
+      &bench::GetUniverse(synth::UniverseId::kUnitedStates,
+                          synth::SuiteKind::kUnitedStates)};
+  std::vector<size_t> reference_counts = {2, 5, 10};
+  size_t columns = MaxCols();
+
+  std::printf("bench_scale %.3f, %zu columns, reps %zu\n",
+              bench::BenchScale(), columns, Reps());
+
+  std::vector<Sample> samples;
+  for (const synth::Universe* uni : universes) {
+    for (size_t refs : reference_counts) {
+      samples.push_back(BenchOne(*uni, refs, columns));
+    }
+  }
+
+  eval::TextTable table({"universe", "refs", "nnz", "materializing s",
+                         "fused s", "speedup", "hot allocs", "ws reuse",
+                         "bit-identical"});
+  for (const Sample& s : samples) {
+    table.Row()
+        .Text(s.universe)
+        .Num(static_cast<double>(s.references))
+        .Num(static_cast<double>(s.shared_nnz))
+        .Num(s.materializing_seconds)
+        .Num(s.fused_seconds)
+        .Num(s.speedup)
+        .Num(static_cast<double>(s.hot_path_allocs))
+        .Num(static_cast<double>(s.workspace_reuse))
+        .Text(s.bit_identical ? "yes" : "NO");
+  }
+  table.Print();
+
+  bool ok = true;
+  for (const Sample& s : samples) {
+    ok &= s.bit_identical && s.aligned && s.hot_path_allocs == 0;
+  }
+  std::printf("\nbit-identity, alignment, and zero hot-path allocations "
+              "after warmup: %s\n",
+              ok ? "PASS" : "FAIL");
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::time_t now = std::time(nullptr);
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%d", std::gmtime(&now));
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"fused_execute\",\n");
+  std::fprintf(f, "  \"date\": \"%s\",\n", stamp);
+  std::fprintf(f, "  \"bench_scale\": %.4f,\n", bench::BenchScale());
+  std::fprintf(f, "  \"columns\": %zu,\n", columns);
+  std::fprintf(f, "  \"repetitions\": %zu,\n", Reps());
+  std::fprintf(f, "  \"all_checks_pass\": %s,\n", ok ? "true" : "false");
+  std::fprintf(f, "  \"series\": [\n");
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(
+        f,
+        "    {\"universe\": \"%s\", \"zips\": %zu, \"counties\": %zu, "
+        "\"references\": %zu, \"shared_nnz\": %zu, \"columns\": %zu, "
+        "\"materializing_seconds\": %.6e, \"fused_seconds\": %.6e, "
+        "\"materializing_cols_per_sec\": %.3f, "
+        "\"fused_cols_per_sec\": %.3f, \"speedup\": %.3f, "
+        "\"hot_path_allocs_after_warmup\": %llu, "
+        "\"workspace_reuse\": %llu, \"aligned\": %s, "
+        "\"bit_identical\": %s}%s\n",
+        s.universe.c_str(), s.zips, s.counties, s.references, s.shared_nnz,
+        s.columns, s.materializing_seconds, s.fused_seconds,
+        static_cast<double>(s.columns) / s.materializing_seconds,
+        static_cast<double>(s.columns) / s.fused_seconds, s.speedup,
+        static_cast<unsigned long long>(s.hot_path_allocs),
+        static_cast<unsigned long long>(s.workspace_reuse),
+        s.aligned ? "true" : "false", s.bit_identical ? "true" : "false",
+        i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return ok ? 0 : 1;
+}

@@ -37,6 +37,10 @@ obs::Gauge& QueueDepth() {
   return g;
 }
 
+// Index of this thread within the pool that spawned it; workers set it
+// once at startup and it is never written again, so reads are free.
+thread_local size_t t_worker_index = ThreadPool::kNoWorkerIndex;
+
 }  // namespace
 
 size_t ResolveThreadCount(size_t requested) {
@@ -50,7 +54,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
   WorkersStarted().Add(n);
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -79,7 +83,10 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   return future;
 }
 
-void ThreadPool::WorkerLoop() {
+size_t ThreadPool::CurrentWorkerIndex() { return t_worker_index; }
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  t_worker_index = worker_index;
   for (;;) {
     std::packaged_task<void()> task;
     {

@@ -42,8 +42,20 @@ class ThreadPool {
   /// has started is a programming error and throws.
   std::future<void> Submit(std::function<void()> task);
 
+  /// Sentinel returned by CurrentWorkerIndex() off pool threads.
+  static constexpr size_t kNoWorkerIndex = static_cast<size_t>(-1);
+
+  /// Index of the calling thread within the pool that spawned it
+  /// ([0, size())), or kNoWorkerIndex when the caller is not a pool
+  /// worker. Lets chunked kernels pick a private scratch slot without
+  /// any synchronization. Note the index identifies the thread within
+  /// its *owning* pool — a kernel running inline on a worker of some
+  /// outer pool must key its slot choice off whether *its own*
+  /// invocation was pooled, not off this value alone.
+  static size_t CurrentWorkerIndex();
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
   std::mutex mu_;
   std::condition_variable cv_;

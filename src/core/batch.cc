@@ -58,15 +58,21 @@ Result<BatchCrosswalk> BatchCrosswalk::Create(
 }
 
 Result<BatchCrosswalk::BatchResult> BatchCrosswalk::RunOne(
-    const Objective& objective, common::ThreadPool* pool) const {
+    const Objective& objective, common::ThreadPool* pool,
+    ExecuteWorkspace* workspace) const {
   if (objective.source.size() != plan_.num_source_units()) {
     return Status::InvalidArgument("BatchCrosswalk: objective '" +
                                    objective.name + "' wrong length");
   }
   obs::Stopwatch column_watch;
   ColumnsTotal().Add(1);
-  GEOALIGN_ASSIGN_OR_RETURN(CrosswalkResult full,
-                            plan_.ExecuteWith(objective.source, pool));
+  // BatchResult never carries the DM, so take the fused lane: Eq. 14
+  // and Eq. 17 in one pass over the shared structure, no DM̂_o
+  // allocation (bit-identical to the materializing path).
+  GEOALIGN_ASSIGN_OR_RETURN(
+      CrosswalkResult full,
+      plan_.ExecuteWith(objective.source, pool,
+                        ExecuteOutput::kAggregatesOnly, workspace));
   RealignLatencyUs().Record(column_watch.ElapsedMicros());
   BatchResult result;
   result.name = objective.name;
@@ -86,10 +92,15 @@ Result<std::vector<BatchCrosswalk::BatchResult>> BatchCrosswalk::Run(
   out.reserve(objectives.size());
   if (pool == nullptr || objectives.size() <= 1) {
     // Single objective (or inline mode): spend any pool inside the
-    // one crosswalk's sparse kernels instead.
+    // one crosswalk's sparse kernels instead. One workspace, sized
+    // once from the plan-compiled spec, serves every column.
+    ExecuteWorkspace workspace;
+    workspace.Prepare(plan_.workspace_spec(),
+                      pool != nullptr && pool->size() > 1 ? pool->size() + 1
+                                                          : 1);
     for (const Objective& objective : objectives) {
       GEOALIGN_ASSIGN_OR_RETURN(BatchResult result,
-                                RunOne(objective, pool.get()));
+                                RunOne(objective, pool.get(), &workspace));
       out.push_back(std::move(result));
     }
     return out;
@@ -99,9 +110,18 @@ Result<std::vector<BatchCrosswalk::BatchResult>> BatchCrosswalk::Run(
   // boundaries are fixed either way, so the outputs carry exactly the
   // same bits as the sequential path; on error, the lowest-index
   // objective's status is returned, matching sequential behavior.
+  // One workspace per worker slot, prepared up front so steady-state
+  // columns never grow a buffer.
+  std::vector<ExecuteWorkspace> bank(pool->size() + 1);
+  for (ExecuteWorkspace& ws : bank) {
+    ws.Prepare(plan_.workspace_spec(), /*slots=*/1);
+  }
   std::vector<std::optional<Result<BatchResult>>> results(objectives.size());
   common::ParallelForChunks(pool.get(), objectives.size(), [&](size_t i) {
-    results[i].emplace(RunOne(objectives[i], nullptr));
+    size_t wi = common::ThreadPool::CurrentWorkerIndex();
+    ExecuteWorkspace& ws =
+        bank[wi == common::ThreadPool::kNoWorkerIndex ? 0 : wi + 1];
+    results[i].emplace(RunOne(objectives[i], nullptr, &ws));
   });
   for (std::optional<Result<BatchResult>>& r : results) {
     if (!r->ok()) return r->status();

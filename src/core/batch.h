@@ -40,7 +40,9 @@ class BatchCrosswalk {
     linalg::Vector source;  ///< a^s_o
   };
 
-  /// One realigned column.
+  /// One realigned column. The batch surface never exposes DM̂_o, so
+  /// Run executes through the fused aggregates-only lane — the DM is
+  /// never materialized on this path.
   struct BatchResult {
     std::string name;
     linalg::Vector target_estimates;
@@ -67,9 +69,12 @@ class BatchCrosswalk {
   explicit BatchCrosswalk(CrosswalkPlan plan);
 
   /// Realigns one objective; `pool` parallelizes the sparse kernels
-  /// inside this single crosswalk (null = inline).
+  /// inside this single crosswalk (null = inline). `workspace` is the
+  /// reusable per-slot buffer arena, sized once from the plan-compiled
+  /// workspace spec.
   Result<BatchResult> RunOne(const Objective& objective,
-                             common::ThreadPool* pool) const;
+                             common::ThreadPool* pool,
+                             ExecuteWorkspace* workspace) const;
 
   CrosswalkPlan plan_;
 };

@@ -48,6 +48,19 @@ obs::Counter& FallbackRebuilds() {
       obs::MetricsRegistry::Global().GetCounter("execute.fallback_rebuilds");
   return c;
 }
+// Workspace-growth events seen by executes (0 in steady state once a
+// reused workspace is warm) and executes that completed through an
+// externally supplied workspace without growing it.
+obs::Counter& HotPathAllocs() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("execute.hot_path_allocs");
+  return c;
+}
+obs::Counter& WorkspaceReuse() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("execute.workspace_reuse");
+  return c;
+}
 
 // One per-solver counter so the weight-solve mix is visible per
 // WeightSolver, not just in aggregate.
@@ -182,6 +195,16 @@ Result<CrosswalkPlan> CrosswalkPlan::Compile(
     plan.gram_ = plan.design_.Gram();
   }
 
+  // The plan-compiled workspace spec: every scratch size an execute
+  // needs, resolved once here so serving loops never re-derive it.
+  plan.workspace_spec_.num_references = plan.prepared_.size();
+  plan.workspace_spec_.num_source = plan.prepared_.num_source();
+  plan.workspace_spec_.aligned = plan.prepared_.aligned();
+  if (plan.workspace_spec_.aligned) {
+    plan.workspace_spec_.fused = sparse::FusedWorkspace::ComputeSpec(
+        *plan.prepared_.dms()[0], plan.prepared_.size());
+  }
+
   if (plan.options_.fallback_dm != nullptr) {
     // Snapshot the fallback DM so the plan owns everything it reads at
     // Execute time; a cached plan must not dangle on caller memory.
@@ -241,8 +264,21 @@ Result<CrosswalkResult> CrosswalkPlan::Execute(
   return ExecuteWith(objective_source, pool.get());
 }
 
+Result<CrosswalkResult> CrosswalkPlan::Execute(
+    const linalg::Vector& objective_source, ExecuteOutput output) const {
+  std::unique_ptr<common::ThreadPool> pool =
+      common::MakePoolOrNull(common::ResolveThreadCount(options_.threads));
+  return ExecuteWith(objective_source, pool.get(), output, nullptr);
+}
+
 Result<CrosswalkResult> CrosswalkPlan::ExecuteWith(
     const linalg::Vector& objective_source, common::ThreadPool* pool) const {
+  return ExecuteWith(objective_source, pool, ExecuteOutput::kFullDm, nullptr);
+}
+
+Result<CrosswalkResult> CrosswalkPlan::ExecuteWith(
+    const linalg::Vector& objective_source, common::ThreadPool* pool,
+    ExecuteOutput output, ExecuteWorkspace* workspace) const {
   if (objective_source.size() != prepared_.num_source()) {
     return Status::InvalidArgument(
         "CrosswalkPlan: objective length does not match source units");
@@ -259,23 +295,67 @@ Result<CrosswalkResult> CrosswalkPlan::ExecuteWith(
                             linalg::NormalizeByMax(objective_source));
   GEOALIGN_ASSIGN_OR_RETURN(linalg::Vector beta, SolveWeightsNormalized(b));
   result.timing.Add("weight_learning", watch.ElapsedSeconds());
-  watch.Restart();
 
-  // Step 2: disaggregation (Eq. 14). The scalar normalizers were
-  // hoisted at compile time; the division itself must stay here —
-  // beta[k]/norm then times the raw DM is the legacy operation order.
+  // Steps 2+3: disaggregation (Eq. 14) + re-aggregation (Eq. 17),
+  // through one of two bit-identical lanes. The fused lane needs the
+  // shared-structure invariant; a non-aligned prepared set asked for
+  // aggregates only goes through the materializing lane and drops the
+  // DM at the end.
+  ExecuteWorkspace local_workspace;
+  ExecuteWorkspace* ws =
+      workspace != nullptr ? workspace : &local_workspace;
+  const uint64_t allocs_before = ws->alloc_events();
+
+  if (output == ExecuteOutput::kAggregatesOnly && prepared_.aligned()) {
+    GEOALIGN_RETURN_IF_ERROR(
+        ExecuteFusedAggregates(objective_source, beta, pool, ws, &result));
+  } else {
+    GEOALIGN_RETURN_IF_ERROR(
+        ExecuteMaterializing(objective_source, beta, pool, ws, &result));
+    if (output == ExecuteOutput::kAggregatesOnly) {
+      result.estimated_dm = sparse::CsrMatrix();
+    }
+  }
+
+  result.weights = std::move(beta);
+  ZeroRowsTotal().Add(result.zero_rows.size());
+  // Workspace telemetry (observe-only): growth events this execute,
+  // and reuse of an externally supplied workspace that stayed warm.
+  const uint64_t grown = ws->alloc_events() - allocs_before;
+  HotPathAllocs().Add(grown);
+  if (workspace != nullptr && grown == 0) WorkspaceReuse().Add(1);
+  ExecuteCount().Add(1);
+  ExecuteLatencyUs().Record(execute_watch.ElapsedMicros());
+  return result;
+}
+
+const linalg::Vector& CrosswalkPlan::EffectiveWeights(
+    const linalg::Vector& beta, ExecuteWorkspace* ws) const {
+  // The scalar normalizers were hoisted at compile time; the division
+  // itself must stay here — beta[k]/norm then times the raw DM is the
+  // legacy operation order.
+  size_t num_refs = prepared_.size();
+  linalg::Vector& effective = ws->EffectiveWeights(num_refs);
+  for (size_t k = 0; k < num_refs; ++k) {
+    double norm = options_.scale_mode == ScaleMode::kNormalized
+                      ? prepared_.reference(k).normalizer
+                      : 1.0;
+    effective[k] = beta[k] / norm;
+  }
+  return effective;
+}
+
+Status CrosswalkPlan::ExecuteMaterializing(
+    const linalg::Vector& objective_source, const linalg::Vector& beta,
+    common::ThreadPool* pool, ExecuteWorkspace* ws,
+    CrosswalkResult* result) const {
+  Stopwatch watch;
   sparse::CsrMatrix estimated;
   std::vector<size_t> zero_rows;
   {
     GEOALIGN_TRACE_SPAN("execute.eq14_disaggregate");
     size_t num_refs = prepared_.size();
-    linalg::Vector effective(num_refs, 0.0);
-    for (size_t k = 0; k < num_refs; ++k) {
-      double norm = options_.scale_mode == ScaleMode::kNormalized
-                        ? prepared_.reference(k).normalizer
-                        : 1.0;
-      effective[k] = beta[k] / norm;
-    }
+    const linalg::Vector& effective = EffectiveWeights(beta, ws);
 
     Result<sparse::CsrMatrix> summed =
         prepared_.aligned()
@@ -283,19 +363,22 @@ Result<CrosswalkResult> CrosswalkPlan::ExecuteWith(
             : sparse::WeightedSum(prepared_.dms(), effective, pool);
     GEOALIGN_ASSIGN_OR_RETURN(sparse::CsrMatrix numerator, std::move(summed));
 
-    linalg::Vector denom;
+    linalg::Vector row_sums;
+    const linalg::Vector* denom;
     if (options_.denominator == DenominatorMode::kFromDmRowSums) {
-      denom = numerator.RowSums();
+      row_sums = numerator.RowSums();
+      denom = &row_sums;
     } else {
-      denom.assign(prepared_.num_source(), 0.0);
+      linalg::Vector& agg = ws->Denominators(prepared_.num_source());
       for (size_t k = 0; k < num_refs; ++k) {
         if (ExactlyZero(effective[k])) continue;
         linalg::Axpy(effective[k], prepared_.reference(k).source_aggregates,
-                     denom);
+                     agg);
       }
+      denom = &agg;
     }
 
-    sparse::DivideRowsOrZero(numerator, denom, options_.zero_tolerance,
+    sparse::DivideRowsOrZero(numerator, *denom, options_.zero_tolerance,
                              &zero_rows, pool);
     numerator.ScaleRows(objective_source);
     estimated = std::move(numerator);
@@ -330,23 +413,69 @@ Result<CrosswalkResult> CrosswalkPlan::ExecuteWith(
       estimated = builder.Build();
     }
   }
-  result.timing.Add("disaggregation", watch.ElapsedSeconds());
+  result->timing.Add("disaggregation", watch.ElapsedSeconds());
   watch.Restart();
 
   {
     // Step 3: re-aggregation (Eq. 17).
     GEOALIGN_TRACE_SPAN("execute.eq17_reaggregate");
-    result.target_estimates = sparse::ColSumsDeterministic(estimated, pool);
+    result->target_estimates = sparse::ColSumsDeterministic(estimated, pool);
   }
-  result.timing.Add("reaggregation", watch.ElapsedSeconds());
+  result->timing.Add("reaggregation", watch.ElapsedSeconds());
 
-  result.estimated_dm = std::move(estimated);
-  result.weights = std::move(beta);
-  result.zero_rows = std::move(zero_rows);
-  ZeroRowsTotal().Add(result.zero_rows.size());
-  ExecuteCount().Add(1);
-  ExecuteLatencyUs().Record(execute_watch.ElapsedMicros());
-  return result;
+  result->estimated_dm = std::move(estimated);
+  result->zero_rows = std::move(zero_rows);
+  return Status::OK();
+}
+
+Status CrosswalkPlan::ExecuteFusedAggregates(
+    const linalg::Vector& objective_source, const linalg::Vector& beta,
+    common::ThreadPool* pool, ExecuteWorkspace* ws,
+    CrosswalkResult* result) const {
+  GEOALIGN_TRACE_SPAN("execute.fused");
+  Stopwatch watch;
+  const linalg::Vector& effective = EffectiveWeights(beta, ws);
+
+  sparse::FusedAggregatesInputs in;
+  in.mats = &prepared_.dms();
+  in.weights = &effective;
+  if (options_.denominator == DenominatorMode::kFromAggregates) {
+    linalg::Vector& denom = ws->Denominators(prepared_.num_source());
+    for (size_t k = 0; k < prepared_.size(); ++k) {
+      if (ExactlyZero(effective[k])) continue;
+      linalg::Axpy(effective[k], prepared_.reference(k).source_aggregates,
+                   denom);
+    }
+    in.denominators = &denom;
+  }  // kFromDmRowSums: the kernel derives the denominators in-pass.
+  in.zero_tolerance = options_.zero_tolerance;
+  in.row_scale = &objective_source;
+  // A fallback DM whose shape never validated is withheld from the
+  // kernel; the error below fires on exactly the executes where the
+  // materializing lane's rebuild would have failed (zero rows hit).
+  const bool use_fallback =
+      options_.zero_row_fallback == ZeroRowFallback::kFallbackDm &&
+      fallback_shape_ok_;
+  in.fallback_dm = use_fallback ? fallback_dm_.get() : nullptr;
+  in.fallback_row_sums = use_fallback ? &fallback_row_sums_ : nullptr;
+
+  GEOALIGN_RETURN_IF_ERROR(sparse::FusedAggregatesAligned(
+      in, workspace_spec_.fused, &result->target_estimates,
+      &result->zero_rows, &ws->fused(), pool));
+
+  if (options_.zero_row_fallback == ZeroRowFallback::kFallbackDm &&
+      !result->zero_rows.empty()) {
+    if (!fallback_shape_ok_) {
+      return Status::InvalidArgument("GeoAlign: fallback DM shape mismatch");
+    }
+    FallbackRebuilds().Add(1);
+  }
+  // One pass does Eq. 14 and Eq. 17 together; report it as the
+  // disaggregation phase and an explicit zero for re-aggregation so
+  // the timing key set matches the materializing lane.
+  result->timing.Add("disaggregation", watch.ElapsedSeconds());
+  result->timing.Add("reaggregation", 0.0);
+  return Status::OK();
 }
 
 }  // namespace geoalign::core

@@ -7,6 +7,7 @@
 
 #include "common/thread_pool.h"
 #include "core/crosswalk_input.h"
+#include "core/execute_workspace.h"
 #include "core/geoalign_options.h"
 #include "core/interpolator.h"
 #include "linalg/matrix.h"
@@ -83,12 +84,32 @@ class CrosswalkPlan {
   Result<CrosswalkResult> Execute(const linalg::Vector& objective_source,
                                   size_t threads) const;
 
+  /// Same as Execute(objective_source), selecting the output shape:
+  /// ExecuteOutput::kAggregatesOnly takes the fused Eq. 14+17 lane
+  /// (aligned reference structures) and never materializes DM̂_o.
+  Result<CrosswalkResult> Execute(const linalg::Vector& objective_source,
+                                  ExecuteOutput output) const;
+
   /// Same, running the parallel kernels on a caller-owned pool
   /// (nullptr = inline). This is the serving-path entry: RealignMany
   /// and BatchCrosswalk execute one shared plan across their outer
   /// pool.
   Result<CrosswalkResult> ExecuteWith(const linalg::Vector& objective_source,
                                       common::ThreadPool* pool) const;
+
+  /// Full serving-path entry: output shape plus an optional reusable
+  /// workspace (sized per workspace_spec(); grown only if needed, so
+  /// steady-state executes through a prepared workspace perform zero
+  /// hot-path buffer growth — the `execute.hot_path_allocs` /
+  /// `execute.workspace_reuse` counters). A workspace serves one
+  /// concurrent execute at a time; nullptr uses a per-call local one.
+  /// Bit-identity: output shape and workspace reuse never change any
+  /// produced value — `target_estimates`, `weights`, and `zero_rows`
+  /// carry exactly the kFullDm/no-workspace bits.
+  Result<CrosswalkResult> ExecuteWith(const linalg::Vector& objective_source,
+                                      common::ThreadPool* pool,
+                                      ExecuteOutput output,
+                                      ExecuteWorkspace* workspace) const;
 
   /// Weight learning only (Eq. 15) — β for one objective column.
   Result<linalg::Vector> LearnWeights(
@@ -103,6 +124,13 @@ class CrosswalkPlan {
   /// aggregates, CSR arrays) — the reference half of a PlanCache key.
   uint64_t fingerprint() const { return prepared_.fingerprint(); }
 
+  /// Scratch sizing for ExecuteWorkspace, fixed at Compile time —
+  /// serving loops size their workspace bank from this once instead of
+  /// re-resolving scratch sizes per call.
+  const ExecuteWorkspaceSpec& workspace_spec() const {
+    return workspace_spec_;
+  }
+
  private:
   CrosswalkPlan(sparse::PreparedReferenceSet prepared,
                 GeoAlignOptions options);
@@ -110,6 +138,27 @@ class CrosswalkPlan {
   /// β for an already max-normalized objective vector.
   Result<linalg::Vector> SolveWeightsNormalized(
       const linalg::Vector& b_normalized) const;
+
+  /// Eq. 14+15-effective-weight prologue shared by both lanes: fills
+  /// the workspace's effective-weight buffer with β_k / normalizer_k.
+  const linalg::Vector& EffectiveWeights(const linalg::Vector& beta,
+                                         ExecuteWorkspace* ws) const;
+
+  /// The materializing lane: WeightedSum → DivideRowsOrZero →
+  /// ScaleRows → [fallback rebuild] → ColSumsDeterministic; fills
+  /// result's estimated_dm / target_estimates / zero_rows / timing.
+  Status ExecuteMaterializing(const linalg::Vector& objective_source,
+                              const linalg::Vector& beta,
+                              common::ThreadPool* pool, ExecuteWorkspace* ws,
+                              CrosswalkResult* result) const;
+
+  /// The fused aggregates-only lane (aligned structures only):
+  /// sparse::FusedAggregatesAligned straight into target_estimates.
+  Status ExecuteFusedAggregates(const linalg::Vector& objective_source,
+                                const linalg::Vector& beta,
+                                common::ThreadPool* pool,
+                                ExecuteWorkspace* ws,
+                                CrosswalkResult* result) const;
 
   sparse::PreparedReferenceSet prepared_;
   GeoAlignOptions options_;
@@ -120,6 +169,7 @@ class CrosswalkPlan {
   std::shared_ptr<const sparse::CsrMatrix> fallback_dm_;
   linalg::Vector fallback_row_sums_;  ///< row sums of *fallback_dm_
   bool fallback_shape_ok_ = false;
+  ExecuteWorkspaceSpec workspace_spec_;  ///< scratch sizing, see accessor
 };
 
 }  // namespace geoalign::core

@@ -1,0 +1,26 @@
+#include "core/execute_workspace.h"
+
+namespace geoalign::core {
+
+void ExecuteWorkspace::Prepare(const ExecuteWorkspaceSpec& spec,
+                               size_t slots) {
+  Reset(effective_weights_, spec.num_references);
+  Reset(denominators_, spec.num_source);
+  if (spec.aligned) fused_.Prepare(spec.fused, slots);
+}
+
+linalg::Vector& ExecuteWorkspace::EffectiveWeights(size_t n) {
+  return Reset(effective_weights_, n);
+}
+
+linalg::Vector& ExecuteWorkspace::Denominators(size_t n) {
+  return Reset(denominators_, n);
+}
+
+linalg::Vector& ExecuteWorkspace::Reset(linalg::Vector& v, size_t n) {
+  if (v.capacity() < n) ++alloc_events_;
+  v.assign(n, 0.0);
+  return v;
+}
+
+}  // namespace geoalign::core

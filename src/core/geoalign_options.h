@@ -62,6 +62,22 @@ enum class ZeroRowFallback {
   kFallbackDm,
 };
 
+/// What a plan execute must produce. An execute-time parameter of
+/// `CrosswalkPlan::Execute`/`ExecuteWith` (not a compile-time option,
+/// so it never affects plan-cache keys): the same compiled plan serves
+/// both shapes.
+enum class ExecuteOutput {
+  /// Materialize the estimated DM̂_o (Eq. 14) and re-aggregate it —
+  /// `CrosswalkResult::estimated_dm` is populated. Default; the only
+  /// choice for callers that inspect the DM.
+  kFullDm,
+  /// Fused Eq. 14+17: scatter straight into the target accumulator
+  /// without ever allocating DM̂_o. `estimated_dm` comes back empty
+  /// (0×0); `target_estimates`, `weights`, `zero_rows`, timing, and
+  /// every error path are bit-/behavior-identical to kFullDm.
+  kAggregatesOnly,
+};
+
 /// Options controlling the GeoAlign interpolator.
 struct GeoAlignOptions {
   ScaleMode scale_mode = ScaleMode::kNormalized;

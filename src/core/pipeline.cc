@@ -153,7 +153,8 @@ Result<CrosswalkResult> CrosswalkPipeline::Realign(
 }
 
 Result<std::vector<CrosswalkResult>> CrosswalkPipeline::RealignMany(
-    const std::vector<Column>& objectives, size_t threads) const {
+    const std::vector<Column>& objectives, size_t threads,
+    ExecuteOutput output) const {
   GEOALIGN_TRACE_SPAN("realign.batch");
   ColumnsPerBatch().Record(static_cast<double>(objectives.size()));
   ColumnsTotal().Add(objectives.size());
@@ -163,8 +164,26 @@ Result<std::vector<CrosswalkResult>> CrosswalkPipeline::RealignMany(
   if (plan_ != nullptr) {
     // Serving path: every column executes the one shared plan. With an
     // outer pool the inner kernels run inline (oversubscription
-    // guard); either way the deterministic kernels make the bits
-    // independent of the threading shape.
+    // guard); without one, every column shares one inner pool instead
+    // of spinning a pool per call. Either way the deterministic
+    // kernels make the bits independent of the threading shape.
+    std::unique_ptr<common::ThreadPool> inner =
+        pool == nullptr ? common::MakePoolOrNull(common::ResolveThreadCount(
+                              plan_->options().threads))
+                        : nullptr;
+
+    // One reusable workspace per worker slot, sized once from the
+    // plan-compiled spec — steady-state columns grow nothing (the
+    // execute.hot_path_allocs counter stays flat from column 0).
+    const bool outer_inline =
+        pool == nullptr || pool->size() <= 1 || objectives.size() == 1;
+    std::vector<ExecuteWorkspace> bank(outer_inline ? 1 : pool->size() + 1);
+    const size_t fused_slots =
+        inner != nullptr && inner->size() > 1 ? inner->size() + 1 : 1;
+    for (ExecuteWorkspace& ws : bank) {
+      ws.Prepare(plan_->workspace_spec(), fused_slots);
+    }
+
     std::vector<std::optional<Result<CrosswalkResult>>> results(
         objectives.size());
     common::ParallelForChunks(pool.get(), objectives.size(), [&](size_t i) {
@@ -175,12 +194,18 @@ Result<std::vector<CrosswalkResult>> CrosswalkPipeline::RealignMany(
         results[i].emplace(column.status());
         return;
       }
-      if (pool != nullptr) {
-        results[i].emplace(
-            plan_->ExecuteWith(std::move(column).value(), nullptr));
-      } else {
-        results[i].emplace(plan_->Execute(std::move(column).value()));
-      }
+      // Inline runs use slot 0; outer-pool workers take their worker
+      // index (one slot per thread, so a workspace never sees two
+      // concurrent executes).
+      size_t wi = common::ThreadPool::CurrentWorkerIndex();
+      ExecuteWorkspace& ws =
+          bank[outer_inline || wi == common::ThreadPool::kNoWorkerIndex
+                   ? 0
+                   : wi + 1];
+      results[i].emplace(plan_->ExecuteWith(std::move(column).value(),
+                                            pool != nullptr ? nullptr
+                                                            : inner.get(),
+                                            output, &ws));
       RealignLatencyUs().Record(column_watch.ElapsedMicros());
     });
     std::vector<CrosswalkResult> out;
@@ -230,6 +255,11 @@ Result<std::vector<CrosswalkResult>> CrosswalkPipeline::RealignMany(
   for (std::optional<Result<CrosswalkResult>>& r : results) {
     if (!r->ok()) return r->status();
     out.push_back(std::move(*r).value());
+    if (output == ExecuteOutput::kAggregatesOnly) {
+      // Per-call interpolators have no fused form; honor the requested
+      // shape by dropping the materialized DM.
+      out.back().estimated_dm = sparse::CsrMatrix();
+    }
   }
   return out;
 }

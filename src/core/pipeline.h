@@ -54,8 +54,17 @@ class CrosswalkPipeline {
   /// Results are index-aligned with `objectives` and bit-identical to
   /// looping over Realign for every thread count; on error the
   /// lowest-index failing column's status is returned.
+  ///
+  /// `output` selects the result shape: ExecuteOutput::kAggregatesOnly
+  /// serves each column through the fused zero-materialization lane
+  /// (results carry an empty estimated_dm; target_estimates, weights,
+  /// and zero_rows are bit-identical to kFullDm). The compiled plan's
+  /// workspace spec sizes one reusable workspace per worker slot up
+  /// front, so steady-state columns execute without hot-path buffer
+  /// growth.
   Result<std::vector<CrosswalkResult>> RealignMany(
-      const std::vector<Column>& objectives, size_t threads = 0) const;
+      const std::vector<Column>& objectives, size_t threads = 0,
+      ExecuteOutput output = ExecuteOutput::kFullDm) const;
 
   /// One row of the joined output.
   struct JoinedRow {

@@ -1,0 +1,141 @@
+#ifndef GEOALIGN_SPARSE_FUSED_EXECUTE_H_
+#define GEOALIGN_SPARSE_FUSED_EXECUTE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "sparse/csr_matrix.h"
+
+namespace geoalign::sparse {
+
+/// Reusable buffers for FusedAggregatesAligned: per-chunk partial
+/// target vectors, per-chunk zero-row lists, per-slot row scratch, and
+/// the active-operand staging arrays. One workspace serves one
+/// concurrent execute at a time; serving loops keep one per worker
+/// slot and reuse it across columns so the steady-state kernel never
+/// touches the heap.
+///
+/// Prepare() grows buffers monotonically and counts every buffer that
+/// actually grew in alloc_events() — the source of the
+/// `execute.hot_path_allocs` counter (docs/observability.md). A
+/// workspace prepared once for a plan's Spec reports zero further
+/// events for every later execute of that plan.
+class FusedWorkspace {
+ public:
+  /// Sizing for one shared CSR structure, computable once at plan
+  /// compile time (the plan-compiled workspace spec).
+  struct Spec {
+    size_t rows = 0;
+    size_t cols = 0;
+    size_t max_row_nnz = 0;      ///< widest row of the shared structure
+    size_t max_operands = 0;     ///< reference count upper bound
+  };
+
+  /// Derives the Spec of a shared structure (row/col counts, widest
+  /// row) for `num_operands` aligned matrices.
+  static Spec ComputeSpec(const CsrMatrix& structure, size_t num_operands);
+
+  FusedWorkspace() = default;
+  FusedWorkspace(const FusedWorkspace&) = delete;
+  FusedWorkspace& operator=(const FusedWorkspace&) = delete;
+  FusedWorkspace(FusedWorkspace&&) = default;
+  FusedWorkspace& operator=(FusedWorkspace&&) = default;
+
+  /// Ensures every buffer covers `spec` with `slots` concurrently
+  /// usable row-scratch slots (1 for inline execution, pool size + 1
+  /// when a pool runs the chunks). Monotonic: buffers never shrink.
+  void Prepare(const Spec& spec, size_t slots);
+
+  /// Cumulative count of buffer growth events across every Prepare.
+  uint64_t alloc_events() const { return alloc_events_; }
+
+ private:
+  friend Status FusedAggregatesAligned(
+      const struct FusedAggregatesInputs& in, const Spec& spec,
+      linalg::Vector* target_estimates, std::vector<size_t>* zero_rows,
+      FusedWorkspace* workspace, common::ThreadPool* pool);
+
+  // Chunk boundaries for spec.rows at kColSumGrain — fixed per plan,
+  // so they are computed in Prepare, not per execute.
+  std::vector<common::ChunkRange> chunks_;
+  size_t chunk_rows_ = 0;  ///< rows the chunks_ cover
+
+  // Flat per-chunk partial target arena; slices are padded to a cache
+  // line (8 doubles) so concurrent chunks never false-share.
+  std::vector<double> partials_;
+  size_t partial_stride_ = 0;
+
+  // Flat per-slot row scratch (numerator accumulators), same padding.
+  std::vector<double> row_scratch_;
+  size_t scratch_stride_ = 0;
+  size_t slots_ = 0;
+
+  // Per-chunk zero-row lists, each reserved to its chunk's row count.
+  std::vector<std::vector<size_t>> chunk_zero_;
+
+  // Active-operand staging (value arrays + weights of the operands the
+  // materializing kernel would keep).
+  std::vector<const double*> active_values_;
+  std::vector<double> active_weights_;
+
+  uint64_t alloc_events_ = 0;
+};
+
+/// Inputs of the fused Eq. 14 + Eq. 17 pass. All pointers are borrowed
+/// and must outlive the call; `mats` must be non-empty matrices
+/// sharing one CSR structure (the PreparedReferenceSet "aligned"
+/// case).
+struct FusedAggregatesInputs {
+  /// Aligned operand matrices (the raw reference DMs).
+  const std::vector<const CsrMatrix*>* mats = nullptr;
+  /// Effective per-operand weights β_k / normalizer_k (exact zeros are
+  /// skipped, as in WeightedSumAligned).
+  const linalg::Vector* weights = nullptr;
+  /// Per-row Eq. 14 denominators (DenominatorMode::kFromAggregates);
+  /// null means "row sums of the weighted numerator"
+  /// (DenominatorMode::kFromDmRowSums).
+  const linalg::Vector* denominators = nullptr;
+  /// Rows with |denominator| <= zero_tolerance are zero rows.
+  double zero_tolerance = 0.0;
+  /// Per-row scale a^s_o (the objective column).
+  const linalg::Vector* row_scale = nullptr;
+  /// Optional zero-row fallback DM (same shape as the operands) and
+  /// its precomputed row sums; both set or both null. Zero rows with
+  /// positive fallback support scatter row_scale[r]/fallback_sums[r]
+  /// times the fallback row instead of vanishing.
+  const CsrMatrix* fallback_dm = nullptr;
+  const linalg::Vector* fallback_row_sums = nullptr;
+};
+
+/// One fused pass over the shared structure: accumulates the
+/// β-weighted numerator per entry (Eq. 14 numerator), applies the
+/// per-row denominator and the objective row scale, and scatters
+/// directly into per-chunk partial target vectors that are combined in
+/// chunk-index order (Eq. 17) — without ever materializing the
+/// estimated DM.
+///
+/// Bit-identity contract: `target_estimates` and `zero_rows` carry
+/// exactly the bits of the materializing pipeline
+///   WeightedSumAligned → RowSums/denominators → DivideRowsOrZero →
+///   ScaleRows → [zero-row fallback rebuild] → ColSumsDeterministic
+/// for every pool size, because the scatter reuses the column-sum
+/// chunking (kColSumGrain) and every per-entry/per-row operation
+/// replays the materializing kernels' arithmetic in the same order.
+/// (Entries those kernels prune are exact ±0.0 here; adding them to a
+/// partial that accumulates from +0.0 can never flip a bit, so
+/// skipping the materialization is bit-neutral.)
+///
+/// `spec` is the plan-compiled sizing (FusedWorkspace::ComputeSpec of
+/// the shared structure); `workspace` must be non-null and is prepared
+/// (grown only if needed) internally.
+Status FusedAggregatesAligned(const FusedAggregatesInputs& in,
+                              const FusedWorkspace::Spec& spec,
+                              linalg::Vector* target_estimates,
+                              std::vector<size_t>* zero_rows,
+                              FusedWorkspace* workspace,
+                              common::ThreadPool* pool = nullptr);
+
+}  // namespace geoalign::sparse
+
+#endif  // GEOALIGN_SPARSE_FUSED_EXECUTE_H_

@@ -5,17 +5,15 @@
 
 #include "common/logging.h"
 #include "common/float_eq.h"
+#include "sparse/kernel_grains.h"
 
 namespace geoalign::sparse {
 
 namespace {
 
-// Row-chunk grains for the parallel kernels. Values are part of the
-// deterministic-reduction contract only in that they must not depend
-// on the thread count; they are tuned for rows costing ~1-10 µs.
-constexpr size_t kRowMergeGrain = 128;  // WeightedSum row merge
-constexpr size_t kRowScaleGrain = 512;  // DivideRowsOrZero
-constexpr size_t kColSumGrain = 256;    // ColSumsDeterministic
+// Row-chunk grains live in sparse/kernel_grains.h — kColSumGrain is
+// shared with the fused execute kernel, which must chunk exactly like
+// ColSumsDeterministic to stay bit-identical.
 
 // Private per-chunk output of a row-parallel merge kernel.
 struct ChunkOut {

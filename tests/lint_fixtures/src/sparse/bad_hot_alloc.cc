@@ -1,0 +1,31 @@
+// Fixture for the geoalign-hot-alloc rule: heap allocation inside a
+// GEOALIGN_HOT_LOOP region must be flagged; the same constructs
+// outside the region (or behind NOLINT) must pass.
+#include <cstddef>
+#include <vector>
+
+namespace geoalign::sparse {
+
+double HotLoopFixture(const std::vector<double>& values,
+                      std::vector<double>* out,
+                      std::vector<double>& staged) {
+  // Allocation outside the marked region is fine.
+  std::vector<double> warmup(values.size(), 0.0);
+  warmup.reserve(values.size() + 1);
+
+  double total = 0.0;
+  // GEOALIGN_HOT_LOOP_BEGIN
+  for (size_t i = 0; i < values.size(); ++i) {
+    std::vector<double> tmp(4, values[i]);  // violation: construction
+    out->push_back(tmp[0]);                 // violation: growth call
+    // Reference bindings do not allocate — must stay clean.
+    std::vector<double>& alias = staged;
+    alias[0] = tmp[0];
+    total += tmp[0];
+    staged.push_back(total);  // NOLINT(geoalign-hot-alloc)
+  }
+  // GEOALIGN_HOT_LOOP_END
+  return total;
+}
+
+}  // namespace geoalign::sparse

@@ -2,7 +2,10 @@
 // {ScaleMode, WeightSolver, DenominatorMode, ZeroRowFallback} × threads
 // combination, `CrosswalkPlan::Compile → Execute` and the thin
 // `GeoAlign::Crosswalk` wrapper must produce exactly the bits of the
-// preserved legacy oracle `CrosswalkUncompiled` — no tolerances. Also
+// preserved legacy oracle `CrosswalkUncompiled` — no tolerances. The
+// sweep is a three-way oracle: the fused aggregates-only lane
+// (ExecuteOutput::kAggregatesOnly through a reused ExecuteWorkspace)
+// must carry the same bits while never materializing DM̂_o. Also
 // covers plan reuse/immutability, the PlanCache, the pipeline serving
 // path, and the batch façade.
 
@@ -16,11 +19,14 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/batch.h"
 #include "core/geoalign.h"
 #include "core/pipeline.h"
 #include "core/plan_cache.h"
 #include "eval/cross_validation.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "sparse/coo_builder.h"
 #include "synth/universe.h"
 
@@ -39,6 +45,25 @@ synth::Universe MakeWorldUniverse() {
 core::CrosswalkInput MakeWorldInput() {
   synth::Universe universe = MakeWorldUniverse();
   return std::move(universe.MakeLeaveOneOutInput(0)).ValueOrDie();
+}
+
+// The world input restricted to its dense layers. Poisson layers drop
+// zero cells, so their DMs have private structures; the dense layers
+// cover every overlay cell and therefore share one CSR structure —
+// the aligned regime where the fused execute kernel engages
+// (FusedLaneRunsOnAlignedWorld asserts the plan sees it as aligned).
+core::CrosswalkInput MakeAlignedDenseInput() {
+  core::CrosswalkInput input = MakeWorldInput();
+  std::vector<core::ReferenceAttribute> dense;
+  for (core::ReferenceAttribute& ref : input.references) {
+    if (ref.name == "Area (Sq. Miles)" || ref.name == "Population" ||
+        ref.name == "USPS Business Address" ||
+        ref.name == "USPS Residential Address") {
+      dense.push_back(std::move(ref));
+    }
+  }
+  input.references = std::move(dense);
+  return input;
 }
 
 // A consistent fallback DM for the world input (uniform support on
@@ -62,6 +87,17 @@ void ExpectBitIdentical(const core::CrosswalkResult& got,
   ASSERT_EQ(got.estimated_dm.row_ptr(), want.estimated_dm.row_ptr());
   ASSERT_EQ(got.estimated_dm.col_idx(), want.estimated_dm.col_idx());
   ASSERT_EQ(got.estimated_dm.values(), want.estimated_dm.values());
+}
+
+// Aggregates-only executes must carry exactly the oracle's bits for
+// everything they produce — and no DM̂_o at all.
+void ExpectAggregatesOnly(const core::CrosswalkResult& got,
+                          const core::CrosswalkResult& want) {
+  ASSERT_EQ(got.target_estimates, want.target_estimates);
+  ASSERT_EQ(got.weights, want.weights);
+  ASSERT_EQ(got.zero_rows, want.zero_rows);
+  ASSERT_EQ(got.estimated_dm.rows(), 0u);
+  ASSERT_EQ(got.estimated_dm.values().size(), 0u);
 }
 
 // Runs the full option sweep on `input`, comparing the legacy oracle,
@@ -105,6 +141,25 @@ void SweepAllOptions(const core::CrosswalkInput& input,
             auto executed =
                 std::move(plan.Execute(input.objective_source)).ValueOrDie();
             ExpectBitIdentical(executed, legacy);
+
+            // Third oracle leg: the fused aggregates-only lane, twice
+            // through one reused workspace so the steady-state
+            // (zero-growth) path is on the hook too. On non-aligned
+            // reference sets this exercises the materializing
+            // fallback with the DM dropped — same contract.
+            std::unique_ptr<common::ThreadPool> pool =
+                common::MakePoolOrNull(common::ResolveThreadCount(threads));
+            core::ExecuteWorkspace workspace;
+            workspace.Prepare(plan.workspace_spec(),
+                              pool != nullptr ? pool->size() + 1 : 1);
+            for (int rep = 0; rep < 2; ++rep) {
+              auto fused = std::move(plan.ExecuteWith(
+                               input.objective_source, pool.get(),
+                               core::ExecuteOutput::kAggregatesOnly,
+                               &workspace))
+                               .ValueOrDie();
+              ExpectAggregatesOnly(fused, legacy);
+            }
           }
         }
       }
@@ -197,6 +252,136 @@ TEST(PlanEquivalenceTest, ZeroRowWorldBitIdentical) {
   EXPECT_DOUBLE_EQ(fb.estimated_dm.At(1, 3), 7.0 * 4.0 / 7.0);
 }
 
+// Like MakeZeroRowWorld, but both references share one CSR structure
+// (identical coordinates, different values) so the compiled plan is
+// aligned and kAggregatesOnly goes through the fused kernel — with
+// source row 1 empty in both references (a zero-denominator row under
+// both DenominatorModes: no DM support and zero aggregates).
+ZeroRowWorld MakeAlignedZeroRowWorld() {
+  ZeroRowWorld w;
+  w.input.objective_source = {5.0, 7.0, 9.0};
+
+  core::ReferenceAttribute a;
+  a.name = "A";
+  a.source_aggregates = {2.0, 0.0, 4.0};
+  sparse::CooBuilder ba(3, 4);
+  ba.Add(0, 0, 1.0);
+  ba.Add(0, 1, 1.0);
+  ba.Add(2, 0, 2.0);
+  ba.Add(2, 2, 2.0);
+  a.disaggregation = ba.Build();
+
+  core::ReferenceAttribute b;
+  b.name = "B";
+  b.source_aggregates = {1.0, 0.0, 3.0};
+  sparse::CooBuilder bb(3, 4);
+  bb.Add(0, 0, 0.25);
+  bb.Add(0, 1, 0.75);
+  bb.Add(2, 0, 1.0);
+  bb.Add(2, 2, 2.0);
+  b.disaggregation = bb.Build();
+
+  w.input.references = {std::move(a), std::move(b)};
+
+  sparse::CooBuilder bf(3, 4);
+  bf.Add(0, 0, 5.0);
+  bf.Add(1, 1, 3.0);
+  bf.Add(1, 3, 4.0);
+  bf.Add(2, 2, 9.0);
+  w.fallback = bf.Build();
+  return w;
+}
+
+TEST(PlanEquivalenceTest, FusedLaneRunsOnAlignedWorld) {
+  // Guards the test premises: the dense world and the hand-built
+  // zero-row world must compile as aligned (fused kernel engages), the
+  // full world must not (materializing fallback lane).
+  core::CrosswalkInput dense = MakeAlignedDenseInput();
+  ASSERT_EQ(dense.references.size(), 4u);
+  auto dense_plan =
+      std::move(core::CrosswalkPlan::Compile(dense, core::GeoAlignOptions{}))
+          .ValueOrDie();
+  EXPECT_TRUE(dense_plan.references().aligned());
+
+  ZeroRowWorld w = MakeAlignedZeroRowWorld();
+  auto zero_plan = std::move(core::CrosswalkPlan::Compile(
+                                 w.input, core::GeoAlignOptions{}))
+                       .ValueOrDie();
+  EXPECT_TRUE(zero_plan.references().aligned());
+
+  core::CrosswalkInput world = MakeWorldInput();
+  auto world_plan =
+      std::move(core::CrosswalkPlan::Compile(world, core::GeoAlignOptions{}))
+          .ValueOrDie();
+  EXPECT_FALSE(world_plan.references().aligned())
+      << "the Poisson layers should have private DM structures";
+}
+
+TEST(PlanEquivalenceTest, AlignedDenseWorldBitIdentical) {
+  core::CrosswalkInput input = MakeAlignedDenseInput();
+  sparse::CsrMatrix fallback = MakeDenseFallback(
+      input.NumSourceUnits(), input.NumTargetUnits());
+  SweepAllOptions(input, fallback);
+}
+
+TEST(PlanEquivalenceTest, AlignedZeroRowWorldBitIdentical) {
+  // The fused kernel's zero-row and fallback-scatter paths, against
+  // the same legacy oracle (kFallbackDm iterations of the sweep scatter
+  // fallback rows inside the fused pass).
+  ZeroRowWorld w = MakeAlignedZeroRowWorld();
+  SweepAllOptions(w.input, w.fallback);
+
+  // Semantics spot-check through the fused lane itself.
+  core::GeoAlignOptions opts;
+  opts.zero_row_fallback = core::ZeroRowFallback::kFallbackDm;
+  opts.fallback_dm = &w.fallback;
+  auto plan = std::move(core::CrosswalkPlan::Compile(w.input, opts))
+                  .ValueOrDie();
+  auto fused = std::move(plan.Execute(w.input.objective_source,
+                                      core::ExecuteOutput::kAggregatesOnly))
+                   .ValueOrDie();
+  ASSERT_EQ(fused.zero_rows, (std::vector<size_t>{1}));
+  EXPECT_DOUBLE_EQ(linalg::Sum(fused.target_estimates), 5.0 + 7.0 + 9.0);
+  EXPECT_EQ(fused.estimated_dm.rows(), 0u);
+}
+
+TEST(PlanEquivalenceTest, PreparedWorkspaceServesWithZeroHotPathAllocs) {
+  // The steady-state serving promise: once a workspace is Prepared
+  // from the plan-compiled spec, repeat executes grow nothing
+  // (execute.hot_path_allocs stays flat) and each one counts as a
+  // workspace reuse.
+  bool saved_enabled = obs::Enabled();
+  obs::SetEnabled(true);
+  {
+    core::CrosswalkInput input = MakeAlignedDenseInput();
+    core::GeoAlignOptions opts;
+    opts.threads = 1;
+    auto plan = std::move(core::CrosswalkPlan::Compile(input, opts))
+                    .ValueOrDie();
+    ASSERT_TRUE(plan.references().aligned());
+    core::ExecuteWorkspace workspace;
+    workspace.Prepare(plan.workspace_spec(), /*slots=*/1);
+
+    obs::Counter& allocs = obs::MetricsRegistry::Global().GetCounter(
+        "execute.hot_path_allocs");
+    obs::Counter& reuse = obs::MetricsRegistry::Global().GetCounter(
+        "execute.workspace_reuse");
+    uint64_t allocs_before = allocs.Value();
+    uint64_t reuse_before = reuse.Value();
+    for (int rep = 0; rep < 3; ++rep) {
+      auto result = std::move(plan.ExecuteWith(
+                        input.objective_source, nullptr,
+                        core::ExecuteOutput::kAggregatesOnly, &workspace))
+                        .ValueOrDie();
+      ASSERT_FALSE(result.target_estimates.empty());
+    }
+    EXPECT_EQ(allocs.Value(), allocs_before)
+        << "a Prepared workspace must serve executes without buffer growth";
+    EXPECT_EQ(reuse.Value(), reuse_before + 3);
+  }
+  obs::SetEnabled(saved_enabled);
+}
+
 TEST(PlanEquivalenceTest, FallbackErrorParity) {
   ZeroRowWorld w = MakeZeroRowWorld();
   core::GeoAlignOptions opts;
@@ -227,6 +412,24 @@ TEST(PlanEquivalenceTest, FallbackErrorParity) {
     ASSERT_FALSE(executed.ok());
     EXPECT_EQ(executed.status().message(), legacy.status().message());
     EXPECT_EQ(executed.status().code(), legacy.status().code());
+  }
+
+  // The fused aggregates-only lane surfaces the identical error when a
+  // zero row actually needs the mismatched fallback (aligned world, so
+  // the fused kernel — not the materializing fallback lane — detects
+  // it).
+  {
+    ZeroRowWorld aligned = MakeAlignedZeroRowWorld();
+    auto legacy = core::CrosswalkUncompiled(aligned.input, opts);
+    ASSERT_FALSE(legacy.ok());
+    auto plan = std::move(core::CrosswalkPlan::Compile(aligned.input, opts))
+                    .ValueOrDie();
+    ASSERT_TRUE(plan.references().aligned());
+    auto fused = plan.Execute(aligned.input.objective_source,
+                              core::ExecuteOutput::kAggregatesOnly);
+    ASSERT_FALSE(fused.ok());
+    EXPECT_EQ(fused.status().message(), legacy.status().message());
+    EXPECT_EQ(fused.status().code(), legacy.status().code());
   }
 }
 

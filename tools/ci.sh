@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # CI entry point: the full correctness gate matrix
-# (docs/static_analysis.md). Five gates, each independently skippable:
+# (docs/static_analysis.md). Each gate is independently skippable:
 #
 #   plain   build + full ctest, GEOALIGN_WERROR=ON (default)
 #   bench   realign_throughput smoke at tiny scale — exercises the
 #           compiled serving path against the legacy per-call oracle
 #           and fails on any bit difference
+#   fused   fused_execute smoke at tiny scale — aggregates-only
+#           RealignMany vs the materializing path; fails on any bit
+#           difference, a non-aligned reference set, or a hot-path
+#           workspace allocation after warmup
 #   tsan    rebuild with GEOALIGN_SANITIZE=thread, full ctest
 #   ubsan   rebuild with GEOALIGN_SANITIZE=undefined
 #           (-fno-sanitize-recover=all), full ctest
@@ -28,7 +32,8 @@
 #                 e.g. CTEST_FILTER='ThreadPool|Parallel' for a quick
 #                 concurrency-only smoke.
 #   SKIP_TSAN=1 SKIP_UBSAN=1 SKIP_TIDY=1 SKIP_LINT=1 SKIP_BENCH=1
-#   SKIP_OBS=1    skip the corresponding gate (recorded as "skipped"
+#   SKIP_FUSED=1 SKIP_OBS=1
+#                 skip the corresponding gate (recorded as "skipped"
 #                 in the summary, never as a pass).
 set -uo pipefail
 cd "$(dirname "$0")/.."
@@ -39,7 +44,7 @@ TSAN_DIR="${TSAN_DIR:-build-tsan}"
 UBSAN_DIR="${UBSAN_DIR:-build-ubsan}"
 CTEST_FILTER="${CTEST_FILTER:-}"
 
-GATES=(plain bench tsan ubsan tidy lint obs)
+GATES=(plain bench fused tsan ubsan tidy lint obs)
 declare -A RESULT
 failed=0
 
@@ -117,6 +122,10 @@ run_gate bench "${SKIP_BENCH:-0}" env \
   GEOALIGN_BENCH_SCALE=0.05 GEOALIGN_BENCH_REPS=2 GEOALIGN_BENCH_MAX_COLS=64 \
   "$BUILD_DIR/bench/realign_throughput" \
   "$BUILD_DIR/BENCH_realign_throughput_smoke.json"
+run_gate fused "${SKIP_FUSED:-0}" env \
+  GEOALIGN_BENCH_SCALE=0.05 GEOALIGN_BENCH_REPS=2 GEOALIGN_BENCH_MAX_COLS=64 \
+  "$BUILD_DIR/bench/fused_execute" \
+  "$BUILD_DIR/BENCH_fused_execute_smoke.json"
 run_gate tsan "${SKIP_TSAN:-0}" run_suite "$TSAN_DIR" -DGEOALIGN_SANITIZE=thread
 run_gate ubsan "${SKIP_UBSAN:-0}" run_suite "$UBSAN_DIR" -DGEOALIGN_SANITIZE=undefined
 run_gate tidy "${SKIP_TIDY:-0}" tools/run_clang_tidy.sh "$BUILD_DIR"

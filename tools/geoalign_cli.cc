@@ -4,6 +4,11 @@
 //   geoalign_cli --objective <unit,value csv>
 //                --ref <name>=<crosswalk csv> [--ref ...]
 //                [--method geoalign|dasymetric=<ref>|areal|regression]
+//                [--output aggregates|dm] (geoalign only: `aggregates`
+//                                        serves through the fused
+//                                        zero-materialization execute
+//                                        lane; `dm` (default) runs the
+//                                        materializing path)
 //                [--out <path>]        (default: stdout)
 //                [--weights]           (print learned weights to stderr)
 //                [--metrics-out <path>] (write metrics JSON; see
@@ -32,6 +37,7 @@
 
 #include "common/string_util.h"
 #include "core/areal_weighting.h"
+#include "core/crosswalk_plan.h"
 #include "core/dasymetric.h"
 #include "core/geoalign.h"
 #include "core/regression.h"
@@ -46,6 +52,7 @@ struct CliArgs {
   std::string objective_path;
   std::vector<std::pair<std::string, std::string>> refs;  // name -> path
   std::string method = "geoalign";
+  std::string output = "dm";
   std::string out_path;
   std::string metrics_out;
   std::string trace_out;
@@ -91,6 +98,15 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       }
       continue;
     }
+    if (arg == "--output" || match_valued("--output", &args.output)) {
+      if (arg == "--output") {
+        GEOALIGN_ASSIGN_OR_RETURN(args.output, next());
+      }
+      if (args.output != "aggregates" && args.output != "dm") {
+        return Status::InvalidArgument("--output expects aggregates|dm");
+      }
+      continue;
+    }
     if (arg == "--objective") {
       GEOALIGN_ASSIGN_OR_RETURN(args.objective_path, next());
     } else if (arg == "--ref") {
@@ -130,7 +146,7 @@ void PrintUsage() {
       stderr,
       "usage: geoalign_cli --objective <csv> --ref <name>=<csv> [...]\n"
       "  [--method geoalign|dasymetric=<ref>|areal|regression]\n"
-      "  [--out <path>] [--weights]\n"
+      "  [--output aggregates|dm] [--out <path>] [--weights]\n"
       "  [--metrics-out <path>] [--trace-out <path>] [--telemetry on|off]\n"
       "objective csv columns: unit,value\n"
       "crosswalk csv columns: source,target,value\n");
@@ -198,8 +214,22 @@ Result<int> Run(const CliArgs& args) {
     return Status::InvalidArgument("unknown method: " + args.method);
   }
 
-  GEOALIGN_ASSIGN_OR_RETURN(core::CrosswalkResult result,
-                            method->Crosswalk(input));
+  core::CrosswalkResult result;
+  if (args.output == "aggregates") {
+    // The fused execute lane exists only on the compiled-plan path.
+    if (args.method != "geoalign") {
+      return Status::InvalidArgument(
+          "--output aggregates requires --method geoalign");
+    }
+    GEOALIGN_ASSIGN_OR_RETURN(
+        core::CrosswalkPlan plan,
+        core::CrosswalkPlan::Compile(input, core::GeoAlignOptions{}));
+    GEOALIGN_ASSIGN_OR_RETURN(
+        result, plan.Execute(input.objective_source,
+                             core::ExecuteOutput::kAggregatesOnly));
+  } else {
+    GEOALIGN_ASSIGN_OR_RETURN(result, method->Crosswalk(input));
+  }
 
   if (args.print_weights && !result.weights.empty()) {
     std::fprintf(stderr, "# learned weights (%s):\n",

@@ -48,6 +48,18 @@ documented in docs/static_analysis.md:
       policy and timing shows up in the telemetry exports instead of in
       ad-hoc locals. See docs/observability.md.
 
+  geoalign-hot-alloc
+      No heap allocation inside a marked hot loop in src/sparse/:
+      between `GEOALIGN_HOT_LOOP_BEGIN` and `GEOALIGN_HOT_LOOP_END`
+      comment markers, `std::vector` construction, growth calls
+      (push_back / emplace_back / resize / reserve / insert / assign /
+      clear-and-regrow patterns), and bare `new` are flagged. The fused
+      execute kernel (sparse/fused_execute.cc) promises zero hot-path
+      heap allocations — every buffer comes preallocated from a
+      workspace Prepare — and this rule machine-checks that promise.
+      A growth call whose capacity is provably reserved carries a
+      NOLINT with the rationale.
+
 Suppression: append `// NOLINT(geoalign-<rule>)` (or bare `NOLINT`) to
 the offending line, or put `// NOLINTNEXTLINE(geoalign-<rule>)` on the
 line above. Suppressions should carry a rationale.
@@ -70,6 +82,7 @@ RULES = (
     "geoalign-discarded-status",
     "geoalign-plan-bypass",
     "geoalign-raw-clock",
+    "geoalign-hot-alloc",
 )
 
 # Subsystems whose kernels feed the deterministic reductions.
@@ -96,6 +109,15 @@ PLAN_BYPASS_RE = re.compile(
 RAW_CLOCK_RE = re.compile(
     r"(?:std\s*::\s*)?(?:chrono\s*::\s*)?"
     r"(?:steady|system|high_resolution)_clock\s*::\s*now\s*\(")
+# Heap activity inside a GEOALIGN_HOT_LOOP region: a std::vector
+# construction (reference/pointer bindings to an existing vector are
+# fine — no [&*] after the template args), a growth/realloc member
+# call, or a bare `new`.
+HOT_ALLOC_RE = re.compile(
+    r"\bstd\s*::\s*vector\s*<[^;{}]*?>\s*(?!\s*[&*])[A-Za-z_(]"
+    r"|(?:\.|->)\s*(?:push_back|emplace_back|resize|reserve|insert|assign)"
+    r"\s*\("
+    r"|\bnew\b")
 UNORDERED_DECL_RE = re.compile(
     r"unordered_(?:map|set)\s*<[^;{}]*?>\s*(?:const\s*)?[&*]?\s*([A-Za-z_]\w*)"
 )
@@ -242,6 +264,8 @@ class Linter:
             self.check_plan_bypass(path, stripped, raw_lines)
         if rel.startswith("src/") and not rel.startswith("src/obs/"):
             self.check_raw_clock(path, stripped, raw_lines)
+        if rel.startswith("src/sparse/"):
+            self.check_hot_alloc(path, stripped, raw_lines)
 
     def check_float_eq(self, path, stripped, raw_lines):
         for m in FLOAT_EQ_RE.finditer(stripped):
@@ -276,6 +300,30 @@ class Linter:
                 "obs timing primitives (obs::Stopwatch, obs::NowTicks, "
                 "GEOALIGN_TRACE_SPAN) so one steady_clock policy holds "
                 "tree-wide", raw_lines)
+
+    def check_hot_alloc(self, path, stripped, raw_lines):
+        # The region markers live in comments, so they are found in the
+        # RAW lines (strip_comments_and_strings blanks them); the
+        # violations are matched in the stripped text.
+        stripped_lines = strip_comments_and_strings(
+            "\n".join(raw_lines)).split("\n")
+        in_hot = False
+        for idx, raw in enumerate(raw_lines, start=1):
+            if "GEOALIGN_HOT_LOOP_BEGIN" in raw:
+                in_hot = True
+                continue
+            if "GEOALIGN_HOT_LOOP_END" in raw:
+                in_hot = False
+                continue
+            if not in_hot or idx > len(stripped_lines):
+                continue
+            for m in HOT_ALLOC_RE.finditer(stripped_lines[idx - 1]):
+                self.report(
+                    path, idx, "geoalign-hot-alloc",
+                    "heap allocation ('%s') inside a GEOALIGN_HOT_LOOP "
+                    "region; preallocate in the workspace Prepare, or "
+                    "NOLINT with a rationale that capacity is reserved"
+                    % m.group(0).strip(), raw_lines)
 
     def check_unordered_iteration(self, path, stripped, raw_lines):
         names = set(UNORDERED_DECL_RE.findall(stripped))
