@@ -1,5 +1,7 @@
 #include "core/batch.h"
 
+#include <algorithm>
+#include <array>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -8,6 +10,7 @@
 #include "obs/metrics.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
+#include "sparse/simd/panel_kernels.h"
 
 namespace geoalign::core {
 
@@ -29,6 +32,79 @@ obs::Counter& ColumnsTotal() {
   static obs::Counter& c =
       obs::MetricsRegistry::Global().GetCounter("realign.columns_total");
   return c;
+}
+
+// Aligned serving path: objectives grouped into consecutive panels of
+// plan.panel_width() — the width comes from the plan at execute time
+// (active ISA, GEOALIGN_PANEL_WIDTH), never from the caller, so
+// nothing ISA-dependent leaks into cached plan state. Each panel is
+// one shared-structure traversal (CrosswalkPlan::ExecutePanelWith);
+// outer parallelism moves from columns to panels. Bit-identity: every
+// column carries exactly its per-column ExecuteWith bits, so grouping
+// and thread count never change a result.
+Result<std::vector<BatchCrosswalk::BatchResult>> RunPanels(
+    const CrosswalkPlan& plan,
+    const std::vector<BatchCrosswalk::Objective>& objectives,
+    common::ThreadPool* pool) {
+  const size_t n = objectives.size();
+  std::vector<std::optional<Result<CrosswalkResult>>> results(n);
+  std::vector<size_t> valid;
+  valid.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (objectives[i].source.size() != plan.num_source_units()) {
+      results[i].emplace(Status::InvalidArgument(
+          "BatchCrosswalk: objective '" + objectives[i].name +
+          "' wrong length"));
+    } else {
+      valid.push_back(i);
+    }
+  }
+  const size_t width = plan.panel_width();
+  const size_t num_panels = (valid.size() + width - 1) / width;
+  const bool outer_inline =
+      pool == nullptr || pool->size() <= 1 || num_panels <= 1;
+  std::vector<ExecuteWorkspace> bank(outer_inline ? 1 : pool->size() + 1);
+  for (ExecuteWorkspace& ws : bank) {
+    ws.Prepare(plan.workspace_spec(), /*slots=*/1);
+    ws.PreparePanel(plan.workspace_spec(),
+                    std::min(width, std::max<size_t>(valid.size(), 1)));
+  }
+  common::ParallelForChunks(pool, num_panels, [&](size_t p) {
+    obs::Stopwatch panel_watch;
+    const size_t begin = p * width;
+    const size_t count = std::min(width, valid.size() - begin);
+    std::array<const linalg::Vector*, sparse::simd::kMaxPanelWidth> objs;
+    std::array<std::optional<Result<CrosswalkResult>>*,
+               sparse::simd::kMaxPanelWidth>
+        slots;
+    for (size_t k = 0; k < count; ++k) {
+      objs[k] = &objectives[valid[begin + k]].source;
+      slots[k] = &results[valid[begin + k]];
+    }
+    size_t wi = common::ThreadPool::CurrentWorkerIndex();
+    ExecuteWorkspace& ws =
+        bank[outer_inline || wi == common::ThreadPool::kNoWorkerIndex
+                 ? 0
+                 : wi + 1];
+    plan.ExecutePanelWith(objs.data(), slots.data(), count, &ws);
+    ColumnsTotal().Add(count);
+    // The panel lane serves `count` columns in one traversal; the
+    // latency histogram records per-panel time (docs/observability.md).
+    RealignLatencyUs().Record(panel_watch.ElapsedMicros());
+  });
+  std::vector<BatchCrosswalk::BatchResult> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!results[i]->ok()) return results[i]->status();
+    CrosswalkResult full = std::move(*results[i]).value();
+    BatchCrosswalk::BatchResult result;
+    result.name = objectives[i].name;
+    result.target_estimates = std::move(full.target_estimates);
+    result.weights = std::move(full.weights);
+    result.zero_rows = std::move(full.zero_rows);
+    out.push_back(std::move(result));
+  }
+  return out;
 }
 
 }  // namespace
@@ -88,6 +164,9 @@ Result<std::vector<BatchCrosswalk::BatchResult>> BatchCrosswalk::Run(
   ColumnsPerBatch().Record(static_cast<double>(objectives.size()));
   std::unique_ptr<common::ThreadPool> pool = common::MakePoolOrNull(
       common::ResolveThreadCount(plan_.options().threads));
+  if (plan_.references().aligned()) {
+    return RunPanels(plan_, objectives, pool.get());
+  }
   std::vector<BatchResult> out;
   out.reserve(objectives.size());
   if (pool == nullptr || objectives.size() <= 1) {

@@ -1,8 +1,11 @@
 #include "core/crosswalk_plan.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <utility>
 
 #include "common/float_eq.h"
+#include "sparse/simd/panel_kernels.h"
 #include "linalg/nnls.h"
 #include "linalg/qr.h"
 #include "obs/metrics.h"
@@ -60,6 +63,25 @@ obs::Counter& WorkspaceReuse() {
   static obs::Counter& c =
       obs::MetricsRegistry::Global().GetCounter("execute.workspace_reuse");
   return c;
+}
+
+// Panel-lane telemetry: panels served, their width distribution, and
+// the ISA executes dispatch to (numeric Isa value; 0 = scalar,
+// 1 = avx2, 2 = neon — docs/observability.md).
+obs::Counter& PanelCount() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("execute.panel.count");
+  return c;
+}
+obs::Histogram& PanelWidthHist() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "execute.panel_width", {1, 2, 4, 8, 16, 32, 64});
+  return h;
+}
+obs::Gauge& ExecuteIsaGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().GetGauge("execute.isa");
+  return g;
 }
 
 // One per-solver counter so the weight-solve mix is visible per
@@ -476,6 +498,177 @@ Status CrosswalkPlan::ExecuteFusedAggregates(
   result->timing.Add("disaggregation", watch.ElapsedSeconds());
   result->timing.Add("reaggregation", 0.0);
   return Status::OK();
+}
+
+size_t CrosswalkPlan::panel_width() const {
+  // GEOALIGN_PANEL_WIDTH (bench sweeps, CI experiments) wins; read
+  // once per process, like GEOALIGN_FORCE_ISA. Unparsable values mean
+  // "unset".
+  static const size_t env_width = [] {
+    const char* env = std::getenv("GEOALIGN_PANEL_WIDTH");
+    if (env == nullptr || *env == '\0') return size_t{0};
+    long parsed = std::strtol(env, nullptr, 10);
+    if (parsed < 1) return size_t{0};
+    return std::min(static_cast<size_t>(parsed),
+                    sparse::simd::kMaxPanelWidth);
+  }();
+  if (env_width != 0) return env_width;
+  // One shared-structure traversal serves the whole panel either way;
+  // vector ISAs take wider panels to fill their lanes, the scalar
+  // reference keeps the per-row working set smaller.
+  return sparse::simd::ActiveIsa() == sparse::simd::Isa::kScalar ? 8 : 16;
+}
+
+void CrosswalkPlan::ExecutePanelWith(
+    const linalg::Vector* const* objectives,
+    std::optional<Result<CrosswalkResult>>* const* results, size_t count,
+    ExecuteWorkspace* workspace) const {
+  if (count == 0) return;
+  if (!prepared_.aligned()) {
+    // Serving loops only route aligned plans here; keep the entry
+    // total by degrading to the per-column lane.
+    for (size_t i = 0; i < count; ++i) {
+      results[i]->emplace(ExecuteWith(*objectives[i], nullptr,
+                                      ExecuteOutput::kAggregatesOnly,
+                                      workspace));
+    }
+    return;
+  }
+  ExecuteWorkspace local_workspace;
+  ExecuteWorkspace* ws = workspace != nullptr ? workspace : &local_workspace;
+  for (size_t base = 0; base < count; base += sparse::simd::kMaxPanelWidth) {
+    ExecuteOnePanel(objectives + base, results + base,
+                    std::min(sparse::simd::kMaxPanelWidth, count - base), ws);
+  }
+}
+
+void CrosswalkPlan::ExecuteOnePanel(
+    const linalg::Vector* const* objectives,
+    std::optional<Result<CrosswalkResult>>* const* results, size_t count,
+    ExecuteWorkspace* ws) const {
+  GEOALIGN_TRACE_SPAN("execute.panel");
+  obs::Stopwatch execute_watch;
+  const uint64_t allocs_before = ws->alloc_events();
+  // The ISA (and with it the preferred panel width) is an execute-time
+  // property — nothing about it is baked into the plan or its
+  // fingerprint, so a plan cached under one ISA serves them all.
+  const sparse::simd::Isa isa = sparse::simd::ActiveIsa();
+  ws->PreparePanel(workspace_spec_, count);
+
+  // Step 1 per column: weight learning (Eq. 15) stays scalar — lanes
+  // are only ganged for the sparse traversal. A column whose solve
+  // fails gets its error; the surviving lanes still share one panel.
+  ExecuteWorkspace::PanelScratch& ps = ws->panel();
+  ps.lanes.clear();
+  for (size_t i = 0; i < count; ++i) {
+    if (objectives[i]->size() != prepared_.num_source()) {
+      results[i]->emplace(Status::InvalidArgument(
+          "CrosswalkPlan: objective length does not match source units"));
+      continue;
+    }
+    Stopwatch watch;
+    Result<linalg::Vector> b = linalg::NormalizeByMax(*objectives[i]);
+    if (!b.ok()) {
+      results[i]->emplace(b.status());
+      continue;
+    }
+    Result<linalg::Vector> beta = SolveWeightsNormalized(b.value());
+    if (!beta.ok()) {
+      results[i]->emplace(beta.status());
+      continue;
+    }
+    results[i]->emplace(CrosswalkResult{});
+    CrosswalkResult& res = (*results[i])->value();
+    res.weights = std::move(beta).value();
+    res.timing.Add("weight_learning", watch.ElapsedSeconds());
+    ps.lanes.push_back(i);
+  }
+  const size_t width = ps.lanes.size();
+  if (width == 0) return;
+
+  // Steps 2+3: one fused panel pass. Lane-major effective weights are
+  // the per-column β_k / normalizer_k divisions, verbatim.
+  const size_t num_refs = prepared_.size();
+  for (size_t mi = 0; mi < num_refs; ++mi) {
+    double norm = options_.scale_mode == ScaleMode::kNormalized
+                      ? prepared_.reference(mi).normalizer
+                      : 1.0;
+    for (size_t li = 0; li < width; ++li) {
+      const CrosswalkResult& res = (*results[ps.lanes[li]])->value();
+      ps.lane_weights[mi * width + li] = res.weights[mi] / norm;
+    }
+  }
+  ps.row_scales.clear();
+  ps.targets.clear();
+  ps.zero_lists.clear();
+  for (size_t li = 0; li < width; ++li) {
+    CrosswalkResult& res = (*results[ps.lanes[li]])->value();
+    ps.row_scales.push_back(objectives[ps.lanes[li]]);
+    ps.targets.push_back(&res.target_estimates);
+    ps.zero_lists.push_back(&res.zero_rows);
+  }
+  ps.operand_aggregates.clear();
+  sparse::FusedPanelInputs in;
+  in.mats = &prepared_.dms();
+  in.lane_weights = ps.lane_weights.data();
+  in.width = width;
+  in.row_scales = ps.row_scales.data();
+  if (options_.denominator == DenominatorMode::kFromAggregates) {
+    // The kernel re-derives each lane's denominators per row with the
+    // same operand-ascending accumulation as the hoisted linalg::Axpy
+    // loop of the single-column lane — bit-identical per element.
+    for (size_t mi = 0; mi < num_refs; ++mi) {
+      ps.operand_aggregates.push_back(
+          &prepared_.reference(mi).source_aggregates);
+    }
+    in.operand_aggregates = ps.operand_aggregates.data();
+  }
+  in.zero_tolerance = options_.zero_tolerance;
+  const bool use_fallback =
+      options_.zero_row_fallback == ZeroRowFallback::kFallbackDm &&
+      fallback_shape_ok_;
+  in.fallback_dm = use_fallback ? fallback_dm_.get() : nullptr;
+  in.fallback_row_sums = use_fallback ? &fallback_row_sums_ : nullptr;
+
+  Stopwatch kernel_watch;
+  Status st = sparse::FusedAggregatesPanel(in, workspace_spec_.fused, isa,
+                                           ps.targets.data(),
+                                           ps.zero_lists.data(), &ws->fused());
+  const double kernel_seconds = kernel_watch.ElapsedSeconds();
+  if (!st.ok()) {
+    for (size_t li = 0; li < width; ++li) results[ps.lanes[li]]->emplace(st);
+    return;
+  }
+  for (size_t li = 0; li < width; ++li) {
+    CrosswalkResult& res = (*results[ps.lanes[li]])->value();
+    if (options_.zero_row_fallback == ZeroRowFallback::kFallbackDm &&
+        !res.zero_rows.empty()) {
+      if (!fallback_shape_ok_) {
+        // Error parity with the materializing rebuild: exactly the
+        // columns whose zero rows would have needed the bad-shape
+        // fallback fail.
+        results[ps.lanes[li]]->emplace(Status::InvalidArgument(
+            "GeoAlign: fallback DM shape mismatch"));
+        continue;
+      }
+      FallbackRebuilds().Add(1);
+    }
+    ZeroRowsTotal().Add(res.zero_rows.size());
+    res.timing.Add("disaggregation", kernel_seconds);
+    res.timing.Add("reaggregation", 0.0);
+    ExecuteCount().Add(1);
+  }
+
+  // Panel-lane telemetry (observe-only): the dispatched ISA, the
+  // served width, and the usual workspace health counters — one
+  // execute latency per panel, not per column.
+  ExecuteIsaGauge().Set(static_cast<int64_t>(isa));
+  PanelWidthHist().Record(static_cast<double>(width));
+  PanelCount().Add(1);
+  const uint64_t grown = ws->alloc_events() - allocs_before;
+  HotPathAllocs().Add(grown);
+  if (grown == 0) WorkspaceReuse().Add(1);
+  ExecuteLatencyUs().Record(execute_watch.ElapsedMicros());
 }
 
 }  // namespace geoalign::core

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -111,6 +112,36 @@ class CrosswalkPlan {
                                       ExecuteOutput output,
                                       ExecuteWorkspace* workspace) const;
 
+  /// Executes `count` objective columns as fused column panels
+  /// (aggregates-only): weight learning stays scalar per column, then
+  /// one shared-structure traversal per panel serves every lane
+  /// through the vectorized sparse::FusedAggregatesPanel kernel,
+  /// dispatched on the active ISA (sparse/simd/). `results[i]`
+  /// receives column i's result or error — the same per-column
+  /// statuses and exactly the same bits as per-column
+  /// ExecuteWith(kAggregatesOnly) calls, at every panel width, ISA,
+  /// and thread count.
+  ///
+  /// `objectives` and `results` are arrays of `count` non-null
+  /// pointers; `workspace` is the reusable per-slot arena (nullptr
+  /// uses a per-call local one). Serving loops slice their columns
+  /// into panels of panel_width() and run one call per panel; counts
+  /// above simd::kMaxPanelWidth are split internally. Non-aligned
+  /// prepared sets fall back to per-column ExecuteWith.
+  void ExecutePanelWith(const linalg::Vector* const* objectives,
+                        std::optional<Result<CrosswalkResult>>* const* results,
+                        size_t count, ExecuteWorkspace* workspace) const;
+
+  /// The serving panel width (columns per ExecutePanelWith call) —
+  /// derived at execute time from the active SIMD ISA, overridable
+  /// with GEOALIGN_PANEL_WIDTH (clamped to [1, simd::kMaxPanelWidth]).
+  /// Deliberately NOT part of the plan or its fingerprint: a PlanCache
+  /// entry compiled under one ISA must execute identically under any
+  /// other, so serving layers ask the plan at execute time instead of
+  /// baking a width into cached state (BatchCrosswalk::Run and
+  /// CrosswalkPipeline::RealignMany never take a caller width).
+  size_t panel_width() const;
+
   /// Weight learning only (Eq. 15) — β for one objective column.
   Result<linalg::Vector> LearnWeights(
       const linalg::Vector& objective_source) const;
@@ -159,6 +190,13 @@ class CrosswalkPlan {
                                 common::ThreadPool* pool,
                                 ExecuteWorkspace* ws,
                                 CrosswalkResult* result) const;
+
+  /// One panel (count <= simd::kMaxPanelWidth) of the panel lane:
+  /// per-column weight solves, lane-major weight staging, one
+  /// FusedAggregatesPanel call, per-column result fill.
+  void ExecuteOnePanel(const linalg::Vector* const* objectives,
+                       std::optional<Result<CrosswalkResult>>* const* results,
+                       size_t count, ExecuteWorkspace* ws) const;
 
   sparse::PreparedReferenceSet prepared_;
   GeoAlignOptions options_;

@@ -2,6 +2,7 @@
 #define GEOALIGN_CORE_EXECUTE_WORKSPACE_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "linalg/matrix.h"
 #include "sparse/fused_execute.h"
@@ -45,11 +46,34 @@ class ExecuteWorkspace {
   ExecuteWorkspace(ExecuteWorkspace&&) = default;
   ExecuteWorkspace& operator=(ExecuteWorkspace&&) = default;
 
+  /// Per-panel serving scratch for CrosswalkPlan::ExecutePanelWith:
+  /// the lane-major effective-weight staging plus the per-lane pointer
+  /// arrays handed to sparse::FusedAggregatesPanel. Sized by
+  /// PreparePanel; reused across panels so the steady-state panel lane
+  /// grows nothing.
+  struct PanelScratch {
+    std::vector<double> lane_weights;  ///< references × width, lane-major
+    std::vector<const linalg::Vector*> row_scales;
+    std::vector<const linalg::Vector*> operand_aggregates;
+    std::vector<linalg::Vector*> targets;
+    std::vector<std::vector<size_t>*> zero_lists;
+    std::vector<size_t> lanes;  ///< panel-local → caller column index
+  };
+
   /// Eagerly grows every buffer to cover `spec` with `slots`
   /// concurrently usable fused row-scratch slots (1 when executes run
   /// inline, pool size + 1 when a pool runs the chunks). Monotonic;
   /// call once per (plan, pool) to make later executes growth-free.
   void Prepare(const ExecuteWorkspaceSpec& spec, size_t slots);
+
+  /// Eagerly grows the panel-lane buffers (this scratch plus the fused
+  /// arena's panel arenas) for panels of up to `width` columns.
+  /// Monotonic like Prepare; serving loops call it once at the plan's
+  /// panel width so later panel executes are growth-free.
+  void PreparePanel(const ExecuteWorkspaceSpec& spec, size_t width);
+
+  /// The panel serving scratch (sized by PreparePanel).
+  PanelScratch& panel() { return panel_; }
 
   /// The effective-weight buffer, reset to `n` zeros (grows only if
   /// capacity is short).
@@ -72,6 +96,7 @@ class ExecuteWorkspace {
   linalg::Vector effective_weights_;
   linalg::Vector denominators_;
   sparse::FusedWorkspace fused_;
+  PanelScratch panel_;
   uint64_t alloc_events_ = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
+#include <array>
 #include <memory>
 #include <optional>
 
@@ -7,6 +9,7 @@
 #include "obs/metrics.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
+#include "sparse/simd/panel_kernels.h"
 
 namespace geoalign::core {
 
@@ -160,6 +163,72 @@ Result<std::vector<CrosswalkResult>> CrosswalkPipeline::RealignMany(
   ColumnsTotal().Add(objectives.size());
   std::unique_ptr<common::ThreadPool> pool =
       common::MakePoolOrNull(common::ResolveThreadCount(threads));
+
+  if (plan_ != nullptr && output == ExecuteOutput::kAggregatesOnly &&
+      plan_->references().aligned()) {
+    // Aligned aggregates-only serving path: resolve every column
+    // first, then group the resolved columns into consecutive panels
+    // of plan_->panel_width() — the width is the plan's execute-time
+    // answer (active ISA, GEOALIGN_PANEL_WIDTH), never caller state,
+    // so the PlanCache fingerprint stays ISA-independent. One panel =
+    // one shared-structure traversal serving every lane; outer
+    // parallelism runs across panels and the bits match the
+    // per-column path exactly at every width and thread count.
+    const size_t n = objectives.size();
+    std::vector<std::optional<Result<CrosswalkResult>>> results(n);
+    std::vector<linalg::Vector> resolved(n);
+    std::vector<size_t> valid;
+    valid.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      Result<linalg::Vector> column =
+          ResolveColumn(objectives[i], source_index_);
+      if (!column.ok()) {
+        results[i].emplace(column.status());
+      } else {
+        resolved[i] = std::move(column).value();
+        valid.push_back(i);
+      }
+    }
+    const size_t width = plan_->panel_width();
+    const size_t num_panels = (valid.size() + width - 1) / width;
+    const bool outer_inline =
+        pool == nullptr || pool->size() <= 1 || num_panels <= 1;
+    std::vector<ExecuteWorkspace> bank(outer_inline ? 1 : pool->size() + 1);
+    for (ExecuteWorkspace& ws : bank) {
+      ws.Prepare(plan_->workspace_spec(), /*slots=*/1);
+      ws.PreparePanel(plan_->workspace_spec(),
+                      std::min(width, std::max<size_t>(valid.size(), 1)));
+    }
+    common::ParallelForChunks(pool.get(), num_panels, [&](size_t p) {
+      obs::Stopwatch panel_watch;
+      const size_t begin = p * width;
+      const size_t count = std::min(width, valid.size() - begin);
+      std::array<const linalg::Vector*, sparse::simd::kMaxPanelWidth> objs;
+      std::array<std::optional<Result<CrosswalkResult>>*,
+                 sparse::simd::kMaxPanelWidth>
+          slots;
+      for (size_t k = 0; k < count; ++k) {
+        objs[k] = &resolved[valid[begin + k]];
+        slots[k] = &results[valid[begin + k]];
+      }
+      size_t wi = common::ThreadPool::CurrentWorkerIndex();
+      ExecuteWorkspace& ws =
+          bank[outer_inline || wi == common::ThreadPool::kNoWorkerIndex
+                   ? 0
+                   : wi + 1];
+      plan_->ExecutePanelWith(objs.data(), slots.data(), count, &ws);
+      // One traversal served `count` columns; the latency histogram
+      // records per-panel time here (docs/observability.md).
+      RealignLatencyUs().Record(panel_watch.ElapsedMicros());
+    });
+    std::vector<CrosswalkResult> out;
+    out.reserve(n);
+    for (std::optional<Result<CrosswalkResult>>& r : results) {
+      if (!r->ok()) return r->status();
+      out.push_back(std::move(*r).value());
+    }
+    return out;
+  }
 
   if (plan_ != nullptr) {
     // Serving path: every column executes the one shared plan. With an

@@ -6,6 +6,7 @@
 
 #include "common/thread_pool.h"
 #include "sparse/csr_matrix.h"
+#include "sparse/simd/isa.h"
 
 namespace geoalign::sparse {
 
@@ -47,6 +48,13 @@ class FusedWorkspace {
   /// when a pool runs the chunks). Monotonic: buffers never shrink.
   void Prepare(const Spec& spec, size_t slots);
 
+  /// Ensures the column-panel buffers cover `spec` at panel width
+  /// `width` (clamped to [1, simd::kMaxPanelWidth]). Monotonic like
+  /// Prepare; the panel arenas are sized cols × width and
+  /// max_row_nnz × width doubles, so serving loops prepare once at the
+  /// plan's panel width and every later panel execute is growth-free.
+  void PreparePanel(const Spec& spec, size_t width);
+
   /// Cumulative count of buffer growth events across every Prepare.
   uint64_t alloc_events() const { return alloc_events_; }
 
@@ -55,6 +63,18 @@ class FusedWorkspace {
       const struct FusedAggregatesInputs& in, const Spec& spec,
       linalg::Vector* target_estimates, std::vector<size_t>* zero_rows,
       FusedWorkspace* workspace, common::ThreadPool* pool);
+  friend Status FusedAggregatesPanel(const struct FusedPanelInputs& in,
+                                     const Spec& spec, simd::Isa isa,
+                                     linalg::Vector* const* target_estimates,
+                                     std::vector<size_t>* const* zero_rows,
+                                     FusedWorkspace* workspace);
+
+  /// One row whose denominator fell below tolerance in at least one
+  /// panel lane; bit p of `lanes` marks the affected lanes.
+  struct PanelZeroRow {
+    size_t row = 0;
+    uint64_t lanes = 0;
+  };
 
   // Chunk boundaries for spec.rows at kColSumGrain — fixed per plan,
   // so they are computed in Prepare, not per execute.
@@ -78,6 +98,19 @@ class FusedWorkspace {
   // materializing kernel would keep).
   std::vector<const double*> active_values_;
   std::vector<double> active_weights_;
+
+  // --- Column-panel arenas (PreparePanel; lane-major layout: the
+  // doubles of one logical cell's `width` lanes are contiguous). The
+  // panel kernel walks its chunks sequentially on one thread, so one
+  // partial + one accumulator per workspace suffice.
+  size_t panel_width_ = 0;                 ///< prepared lane capacity
+  std::vector<double> panel_scratch_;      ///< max_row_nnz × width
+  std::vector<double> panel_partial_;      ///< cols × width (per chunk)
+  std::vector<double> panel_accum_;        ///< cols × width (combined)
+  std::vector<double> panel_weights_;      ///< active ops × width
+  std::vector<double> panel_row_;          ///< denom/inv/rscale, 3 × width
+  std::vector<PanelZeroRow> panel_zero_;   ///< reserved to spec.rows
+  std::vector<const double*> active_aggs_; ///< kFromAggregates operands
 
   uint64_t alloc_events_ = 0;
 };
@@ -135,6 +168,63 @@ Status FusedAggregatesAligned(const FusedAggregatesInputs& in,
                               std::vector<size_t>* zero_rows,
                               FusedWorkspace* workspace,
                               common::ThreadPool* pool = nullptr);
+
+/// Inputs of the column-panel fused pass: `width` objective columns
+/// (1..simd::kMaxPanelWidth) executed against one shared CSR traversal.
+/// All pointers are borrowed and must outlive the call.
+struct FusedPanelInputs {
+  /// Aligned operand matrices (the raw reference DMs).
+  const std::vector<const CsrMatrix*>* mats = nullptr;
+  /// Lane-major effective weights: lane_weights[mi * width + p] is
+  /// operand mi's β_p / normalizer for panel lane p. Operands whose
+  /// weight is exactly zero in EVERY lane are skipped (the
+  /// WeightedSumAligned filter); a lane-local exact zero contributes
+  /// ±0.0 to that lane's +0.0-seeded accumulator, which is bit-neutral.
+  const double* lane_weights = nullptr;
+  /// Panel width (lane count), 1..simd::kMaxPanelWidth.
+  size_t width = 0;
+  /// Per-lane objective columns a^s_o (each length rows).
+  const linalg::Vector* const* row_scales = nullptr;
+  /// DenominatorMode::kFromAggregates: per-operand source-aggregate
+  /// vectors (each length rows, indexed like *mats); the kernel then
+  /// derives each lane's denominator per row by the same
+  /// operand-ascending accumulation from 0.0 as the hoisted
+  /// linalg::Axpy loop. Null selects kFromDmRowSums (denominators from
+  /// the weighted numerator's row sums, in-pass).
+  const linalg::Vector* const* operand_aggregates = nullptr;
+  /// Rows with |denominator| <= zero_tolerance are zero rows (per lane).
+  double zero_tolerance = 0.0;
+  /// Optional zero-row fallback DM + row sums, as in
+  /// FusedAggregatesInputs; applied per lane.
+  const CsrMatrix* fallback_dm = nullptr;
+  const linalg::Vector* fallback_row_sums = nullptr;
+};
+
+/// The cache-blocked multi-column form of FusedAggregatesAligned: one
+/// traversal of the shared structure serves `in.width` objective
+/// columns, with the per-entry accumulate/scatter vectorized across
+/// panel lanes by the `isa` kernel table (sparse/simd/). Runs inline
+/// on the calling thread — serving loops parallelize across panels,
+/// not within one.
+///
+/// Bit-identity contract: lane p's `target_estimates[p]` /
+/// `zero_rows[p]` carry exactly the bits of a single-column
+/// FusedAggregatesAligned call (and therefore of the materializing
+/// pipeline) for column p, at every panel width, ISA, and thread
+/// count. Structurally guaranteed: each lane performs the scalar
+/// sequence of its own column (lane-wise kernels, fixed in-lane
+/// order, no FMA), the chunk grid is the same kColSumGrain
+/// DeterministicChunks, and the per-chunk partials are combined in
+/// ascending chunk index by a single thread. Verified differentially
+/// by tests/simd_kernel_test.cc.
+///
+/// `target_estimates` and `zero_rows` are arrays of `in.width`
+/// non-null pointers.
+Status FusedAggregatesPanel(const FusedPanelInputs& in,
+                            const FusedWorkspace::Spec& spec, simd::Isa isa,
+                            linalg::Vector* const* target_estimates,
+                            std::vector<size_t>* const* zero_rows,
+                            FusedWorkspace* workspace);
 
 }  // namespace geoalign::sparse
 

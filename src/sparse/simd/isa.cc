@@ -1,0 +1,111 @@
+#include "sparse/simd/isa.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace geoalign::sparse::simd {
+
+namespace {
+
+// Programmatic override slot: -1 = none, else the forced Isa value.
+std::atomic<int> g_forced{-1};
+
+Isa ParseIsaOrScalar(const char* name) {
+  if (std::strcmp(name, "native") == 0) return BestSupportedIsa();
+  if (std::strcmp(name, "avx2") == 0) return Isa::kAvx2;
+  if (std::strcmp(name, "neon") == 0) return Isa::kNeon;
+  // "scalar" and anything unrecognized both run the reference
+  // implementation — a typo must degrade to correct-but-slow.
+  return Isa::kScalar;
+}
+
+// GEOALIGN_FORCE_ISA, resolved against the running CPU once per
+// process (-1 = unset). CI's simd gate sets it per test process.
+int EnvForcedIsa() {
+  static const int parsed = [] {
+    const char* env = std::getenv("GEOALIGN_FORCE_ISA");
+    if (env == nullptr || *env == '\0') return -1;
+    Isa isa = ParseIsaOrScalar(env);
+    if (!IsaSupported(isa)) isa = Isa::kScalar;
+    return static_cast<int>(isa);
+  }();
+  return parsed;
+}
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "scalar";
+}
+
+bool IsaSupported(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+#if GEOALIGN_SIMD_X86
+      // Runtime check: the AVX2 unit is compiled with -mavx2 but its
+      // kernels are only reachable through this predicate.
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Isa::kNeon:
+      // Advanced SIMD is baseline on aarch64: compiled in = supported.
+      return GEOALIGN_SIMD_NEON != 0;
+  }
+  return false;
+}
+
+std::vector<Isa> SupportedIsas() {
+  // Reserve up front: push_back must never reallocate here — GCC 12's
+  // array-bounds analysis misreads the grow-from-capacity-1 path as an
+  // out-of-bounds placement new under the sanitizer flag sets.
+  std::vector<Isa> isas;
+  isas.reserve(3);
+  isas.push_back(Isa::kScalar);
+  if (IsaSupported(Isa::kAvx2)) isas.push_back(Isa::kAvx2);
+  if (IsaSupported(Isa::kNeon)) isas.push_back(Isa::kNeon);
+  return isas;
+}
+
+Isa BestSupportedIsa() {
+  if (IsaSupported(Isa::kAvx2)) return Isa::kAvx2;
+  if (IsaSupported(Isa::kNeon)) return Isa::kNeon;
+  return Isa::kScalar;
+}
+
+Isa ActiveIsa() {
+  int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Isa>(forced);
+  int env = EnvForcedIsa();
+  if (env >= 0) return static_cast<Isa>(env);
+  return BestSupportedIsa();
+}
+
+void ForceIsa(Isa isa) {
+  if (!IsaSupported(isa)) isa = Isa::kScalar;
+  g_forced.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+void ClearForcedIsa() { g_forced.store(-1, std::memory_order_relaxed); }
+
+ScopedForceIsa::ScopedForceIsa(Isa isa)
+    : prev_(g_forced.load(std::memory_order_relaxed)) {
+  ForceIsa(isa);
+}
+
+ScopedForceIsa::~ScopedForceIsa() {
+  g_forced.store(prev_, std::memory_order_relaxed);
+}
+
+}  // namespace geoalign::sparse::simd

@@ -1,0 +1,82 @@
+#ifndef GEOALIGN_SPARSE_SIMD_ISA_H_
+#define GEOALIGN_SPARSE_SIMD_ISA_H_
+
+#include <cstdint>
+#include <vector>
+
+// Compile-time ISA availability of this build. The AVX2 translation
+// unit is compiled with -mavx2 on x86 only and is invoked strictly
+// after a runtime cpuid check; NEON is baseline on aarch64 so its unit
+// needs no extra flags.
+#if defined(__x86_64__) || defined(__i386__)
+#define GEOALIGN_SIMD_X86 1
+#else
+#define GEOALIGN_SIMD_X86 0
+#endif
+#if defined(__aarch64__)
+#define GEOALIGN_SIMD_NEON 1
+#else
+#define GEOALIGN_SIMD_NEON 0
+#endif
+
+namespace geoalign::sparse::simd {
+
+/// Instruction sets the panel kernels dispatch over. Every variant is
+/// bit-identical to kScalar by construction (lane-wise IEEE mul/add/
+/// div only, no FMA, fixed in-lane reduction order); the dispatch
+/// picks throughput, never results. tests/simd_kernel_test.cc holds
+/// each variant to that contract differentially.
+enum class Isa : uint8_t {
+  kScalar = 0,  ///< portable reference implementation (always present)
+  kAvx2 = 1,    ///< x86-64 AVX2, 4 double lanes per vector
+  kNeon = 2,    ///< aarch64 NEON, 2 double lanes per vector
+};
+
+/// Stable lowercase name ("scalar", "avx2", "neon") — the spelling
+/// GEOALIGN_FORCE_ISA accepts and `execute.isa` telemetry reports.
+const char* IsaName(Isa isa);
+
+/// True when this build contains `isa` AND the running CPU supports
+/// it. kScalar is always supported.
+bool IsaSupported(Isa isa);
+
+/// Every supported ISA, kScalar first — the differential harness
+/// iterates this so each dispatched variant is proven against the
+/// scalar reference on the machine actually running the tests.
+std::vector<Isa> SupportedIsas();
+
+/// The widest supported ISA (what dispatch picks by default).
+Isa BestSupportedIsa();
+
+/// The ISA executes dispatch to right now, in precedence order:
+///  1. a ForceIsa/ScopedForceIsa programmatic override (tests),
+///  2. the GEOALIGN_FORCE_ISA environment variable
+///     ("scalar" | "avx2" | "neon" | "native"; read once per process),
+///  3. BestSupportedIsa().
+/// Unsupported requests degrade to kScalar, never to a crash: forcing
+/// "avx2" on a CPU without it runs the reference implementation.
+Isa ActiveIsa();
+
+/// Programmatic ActiveIsa override (precedence over the environment).
+/// Pass kScalar..kNeon to force, or call ClearForcedIsa to restore.
+/// Unsupported ISAs clamp to kScalar. Not thread-safe against
+/// concurrent executes — a test-only knob, like the env variable.
+void ForceIsa(Isa isa);
+void ClearForcedIsa();
+
+/// RAII ForceIsa for tests: forces in the constructor, restores the
+/// previous override (or none) in the destructor.
+class ScopedForceIsa {
+ public:
+  explicit ScopedForceIsa(Isa isa);
+  ~ScopedForceIsa();
+  ScopedForceIsa(const ScopedForceIsa&) = delete;
+  ScopedForceIsa& operator=(const ScopedForceIsa&) = delete;
+
+ private:
+  int prev_;  ///< previous override slot (-1 = none)
+};
+
+}  // namespace geoalign::sparse::simd
+
+#endif  // GEOALIGN_SPARSE_SIMD_ISA_H_

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/float_eq.h"
 #include "sparse/kernel_grains.h"
+#include "sparse/simd/panel_kernels.h"
 
 namespace geoalign::sparse {
 
@@ -151,23 +152,31 @@ Result<CsrMatrix> WeightedSumAligned(const std::vector<const CsrMatrix*>& mats,
   std::vector<common::ChunkRange> chunks =
       common::DeterministicChunks(rows, kRowMergeGrain);
   std::vector<ChunkOut> parts(chunks.size());
+  // The value lane is elementwise over the shared entry span, so it
+  // dispatches to the vectorized simd kernels: per entry the operands
+  // still accumulate in ascending order from 0.0 (the operand loop is
+  // outer, the entry loop inner — a pure loop interchange), which
+  // keeps every entry bit-identical to the scatter-gather kernel at
+  // every ISA (tests/simd_kernel_test.cc).
+  const simd::PanelKernels& kern = simd::KernelsFor(simd::ActiveIsa());
   common::ParallelForChunks(pool, chunks.size(), [&](size_t ci) {
     const common::ChunkRange& range = chunks[ci];
     ChunkOut& part = parts[ci];
     part.row_nnz.reserve(range.end - range.begin);
+    const size_t span_begin = row_ptr[range.begin];
+    const size_t span = row_ptr[range.end] - span_begin;
+    std::vector<double> acc(span, 0.0);
+    for (size_t mi = 0; mi < active_mats.size(); ++mi) {
+      kern.axpy_scalar(acc.data(), active_weights[mi],
+                       active_mats[mi]->values().data() + span_begin, span);
+    }
     for (size_t r = range.begin; r < range.end; ++r) {
       size_t before = part.cols.size();
       for (size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
-        // Accumulate in operand order from 0.0 — the same addition
-        // sequence per column as WeightedSum's dense accumulator, so
-        // the result is bit-identical to the general kernel.
-        double acc = 0.0;
-        for (size_t mi = 0; mi < active_mats.size(); ++mi) {
-          acc += active_weights[mi] * active_mats[mi]->values()[k];
-        }
-        if (!ExactlyZero(acc)) {
+        double v = acc[k - span_begin];
+        if (!ExactlyZero(v)) {
           part.cols.push_back(col_idx[k]);
-          part.vals.push_back(acc);
+          part.vals.push_back(v);
         }
       }
       part.row_nnz.push_back(part.cols.size() - before);

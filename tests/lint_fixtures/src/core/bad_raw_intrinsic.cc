@@ -1,0 +1,33 @@
+// Fixture for tools/geoalign_lint.py: raw SIMD intrinsics in library
+// code outside src/sparse/simd/ must be flagged — vectorized
+// instruction sequences live in the audited kernel directory, paired
+// with a scalar reference and covered by the differential harness
+// (tests/simd_kernel_test.cc). Vector work elsewhere goes through the
+// PanelKernels table.
+#include <immintrin.h>  // violation: vendor SIMD header outside simd/
+
+#include <cstddef>
+
+namespace geoalign::core {
+
+void HandRolledAxpy(double* dst, const double* src, double w, size_t n) {
+  // violation ×3: __m256d type and _mm256_* intrinsic calls
+  const __m256d wv = _mm256_set1_pd(w);
+  for (size_t i = 0; i + 4 <= n; i += 4) {
+    __m256d prod = _mm256_mul_pd(wv, _mm256_loadu_pd(src + i));
+    _mm256_storeu_pd(dst + i, _mm256_add_pd(_mm256_loadu_pd(dst + i), prod));
+  }
+}
+
+// The lint is spelling-level, not target-gated: NEON q-form f64
+// spellings are flagged even inside an inactive preprocessor branch,
+// so a portability #ifdef cannot smuggle vector code past the audit.
+#if defined(__aarch64__)
+void HandRolledAddNeonSpelling(double* dst, const double* src) {
+  // violation ×2: float64x2_t type and v*q_f64 intrinsic spellings
+  float64x2_t sum = vaddq_f64(vld1q_f64(dst), vld1q_f64(src));
+  vst1q_f64(dst, sum);
+}
+#endif
+
+}  // namespace geoalign::core

@@ -3,11 +3,13 @@
 // combination, `CrosswalkPlan::Compile → Execute` and the thin
 // `GeoAlign::Crosswalk` wrapper must produce exactly the bits of the
 // preserved legacy oracle `CrosswalkUncompiled` — no tolerances. The
-// sweep is a three-way oracle: the fused aggregates-only lane
+// sweep is a four-way oracle: the fused aggregates-only lane
 // (ExecuteOutput::kAggregatesOnly through a reused ExecuteWorkspace)
-// must carry the same bits while never materializing DM̂_o. Also
-// covers plan reuse/immutability, the PlanCache, the pipeline serving
-// path, and the batch façade.
+// and the SIMD column-panel lane (ExecutePanelWith, every lane of a
+// replicated panel) must carry the same bits while never materializing
+// DM̂_o. Also covers plan reuse/immutability, the PlanCache (including
+// forced-ISA independence of cached plans), the pipeline serving path,
+// and the batch façade.
 
 #include <gtest/gtest.h>
 
@@ -28,6 +30,7 @@
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "sparse/coo_builder.h"
+#include "sparse/simd/panel_kernels.h"
 #include "synth/universe.h"
 
 namespace geoalign {
@@ -159,6 +162,27 @@ void SweepAllOptions(const core::CrosswalkInput& input,
                                &workspace))
                                .ValueOrDie();
               ExpectAggregatesOnly(fused, legacy);
+            }
+
+            // Fourth oracle leg: the SIMD column-panel lane. The
+            // objective replicated across 3 lanes must hand every lane
+            // exactly the single-column bits — panel blocking and lane
+            // ganging are throughput choices, never numeric ones. (On
+            // non-aligned reference sets ExecutePanelWith degrades to
+            // the per-column lane; the contract is the same.)
+            {
+              const linalg::Vector* objs[3] = {&input.objective_source,
+                                               &input.objective_source,
+                                               &input.objective_source};
+              std::optional<Result<core::CrosswalkResult>> slots[3];
+              std::optional<Result<core::CrosswalkResult>>* slot_ptrs[3] = {
+                  &slots[0], &slots[1], &slots[2]};
+              plan.ExecutePanelWith(objs, slot_ptrs, 3, &workspace);
+              for (auto& slot : slots) {
+                ASSERT_TRUE(slot.has_value());
+                auto paneled = std::move(*slot).ValueOrDie();
+                ExpectAggregatesOnly(paneled, legacy);
+              }
             }
           }
         }
@@ -643,6 +667,220 @@ TEST(PlanEquivalenceTest, PipelineServesSharedPlanBitIdentically) {
   ASSERT_FALSE(unknown.ok());
   EXPECT_NE(unknown.status().message().find("unknown unit 'nope'"),
             std::string::npos);
+}
+
+TEST(PlanEquivalenceTest, PanelLaneServesWithZeroHotPathAllocs) {
+  // The panel-lane steady-state promise: a workspace taken through
+  // Prepare + PreparePanel serves whole panels without a single buffer
+  // growth (execute.hot_path_allocs stays flat from panel 0).
+  bool saved_enabled = obs::Enabled();
+  obs::SetEnabled(true);
+  {
+    core::CrosswalkInput input = MakeAlignedDenseInput();
+    core::GeoAlignOptions opts;
+    opts.threads = 1;
+    auto plan = std::move(core::CrosswalkPlan::Compile(input, opts))
+                    .ValueOrDie();
+    ASSERT_TRUE(plan.references().aligned());
+    constexpr size_t kWidth = 8;
+    core::ExecuteWorkspace workspace;
+    workspace.Prepare(plan.workspace_spec(), /*slots=*/1);
+    workspace.PreparePanel(plan.workspace_spec(), kWidth);
+
+    obs::Counter& allocs = obs::MetricsRegistry::Global().GetCounter(
+        "execute.hot_path_allocs");
+    uint64_t allocs_before = allocs.Value();
+    const linalg::Vector* objs[kWidth];
+    std::optional<Result<core::CrosswalkResult>> slots[kWidth];
+    std::optional<Result<core::CrosswalkResult>>* slot_ptrs[kWidth];
+    for (int rep = 0; rep < 3; ++rep) {
+      for (size_t p = 0; p < kWidth; ++p) {
+        objs[p] = &input.objective_source;
+        slots[p].reset();
+        slot_ptrs[p] = &slots[p];
+      }
+      plan.ExecutePanelWith(objs, slot_ptrs, kWidth, &workspace);
+      for (auto& slot : slots) {
+        ASSERT_TRUE(slot.has_value());
+        ASSERT_TRUE(slot->ok());
+      }
+    }
+    EXPECT_EQ(allocs.Value(), allocs_before)
+        << "a PreparePanel'd workspace must serve panels without growth";
+  }
+  obs::SetEnabled(saved_enabled);
+}
+
+TEST(PlanEquivalenceTest, CachedPlanExecutesIdenticallyAcrossForcedIsas) {
+  // Satellite of the SIMD dispatch: the panel width is an execute-time
+  // property derived from the active ISA, NEVER part of the plan or
+  // its fingerprint — so one PlanCache entry must serve every ISA with
+  // identical bits. ScopedForceIsa is the in-process form of
+  // GEOALIGN_FORCE_ISA (tools/ci.sh runs the whole suite under the env
+  // form too).
+  core::CrosswalkInput input = MakeAlignedDenseInput();
+  core::GeoAlignOptions opts;
+  opts.threads = 1;
+  core::PlanCache cache(4);
+  auto plan = std::move(cache.GetOrCompile(input.references, opts))
+                  .ValueOrDie();
+  ASSERT_TRUE(plan->references().aligned());
+  const uint64_t fingerprint = plan->fingerprint();
+
+  // Three distinct objectives so the panel has real lane diversity.
+  std::vector<linalg::Vector> objectives;
+  objectives.push_back(input.objective_source);
+  linalg::Vector scaled = input.objective_source;
+  linalg::Scale(scaled, 2.5);
+  objectives.push_back(std::move(scaled));
+  linalg::Vector shifted = input.objective_source;
+  for (size_t i = 0; i < shifted.size(); ++i) {
+    shifted[i] += static_cast<double>(i % 7);
+  }
+  objectives.push_back(std::move(shifted));
+
+  auto run_panel = [&](sparse::simd::Isa isa) {
+    sparse::simd::ScopedForceIsa force(isa);
+    // The cache key must not see the ISA: a lookup under any forced
+    // ISA hits the same entry.
+    auto again = std::move(cache.GetOrCompile(input.references, opts))
+                     .ValueOrDie();
+    EXPECT_EQ(again.get(), plan.get())
+        << "forcing an ISA must not change the PlanCache key";
+    EXPECT_EQ(plan->fingerprint(), fingerprint);
+    EXPECT_GE(plan->panel_width(), 1u);
+    EXPECT_LE(plan->panel_width(), sparse::simd::kMaxPanelWidth);
+
+    const linalg::Vector* objs[3];
+    std::optional<Result<core::CrosswalkResult>> slots[3];
+    std::optional<Result<core::CrosswalkResult>>* slot_ptrs[3];
+    for (size_t p = 0; p < 3; ++p) {
+      objs[p] = &objectives[p];
+      slot_ptrs[p] = &slots[p];
+    }
+    plan->ExecutePanelWith(objs, slot_ptrs, 3, nullptr);
+    std::vector<core::CrosswalkResult> out;
+    for (auto& slot : slots) {
+      out.push_back(std::move(*slot).ValueOrDie());
+    }
+    return out;
+  };
+
+  auto scalar_results = run_panel(sparse::simd::Isa::kScalar);
+  auto native_results = run_panel(sparse::simd::BestSupportedIsa());
+  ASSERT_EQ(scalar_results.size(), native_results.size());
+  for (size_t p = 0; p < scalar_results.size(); ++p) {
+    SCOPED_TRACE(StrFormat("objective %zu", p));
+    ExpectAggregatesOnly(native_results[p], scalar_results[p]);
+    // And both match the legacy oracle for that objective.
+    core::CrosswalkInput per_call = input;
+    per_call.objective_source = objectives[p];
+    auto legacy = std::move(core::CrosswalkUncompiled(per_call, opts))
+                      .ValueOrDie();
+    ExpectAggregatesOnly(scalar_results[p], legacy);
+  }
+}
+
+TEST(PlanEquivalenceTest, AlignedBatchRunServesPanelsBitIdentically) {
+  // BatchCrosswalk::Run on an aligned plan takes the panel serving
+  // path (RunPanels); every result must still carry exactly the
+  // per-call Crosswalk bits, for serial and pooled runs alike — and a
+  // wrong-length objective must keep its Batch-specific error.
+  core::CrosswalkInput input = MakeAlignedDenseInput();
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    SCOPED_TRACE(StrFormat("threads=%zu", threads));
+    core::GeoAlignOptions opts;
+    opts.threads = threads;
+    auto batch =
+        std::move(core::BatchCrosswalk::Create(input.references, opts))
+            .ValueOrDie();
+
+    // More objectives than one panel width so the panel loop runs
+    // several panels (including a ragged final one).
+    std::vector<core::BatchCrosswalk::Objective> objectives;
+    for (size_t i = 0; i < 19; ++i) {
+      linalg::Vector col = input.objective_source;
+      linalg::Scale(col, 1.0 + 0.25 * static_cast<double>(i));
+      objectives.push_back({StrFormat("col%zu", i), std::move(col)});
+    }
+    auto results = std::move(batch.Run(objectives)).ValueOrDie();
+    ASSERT_EQ(results.size(), objectives.size());
+    core::GeoAlign geoalign(opts);
+    for (size_t i = 0; i < objectives.size(); ++i) {
+      SCOPED_TRACE(objectives[i].name);
+      core::CrosswalkInput per_call = input;
+      per_call.objective_source = objectives[i].source;
+      auto want = std::move(geoalign.Crosswalk(per_call)).ValueOrDie();
+      EXPECT_EQ(results[i].name, objectives[i].name);
+      ASSERT_EQ(results[i].target_estimates, want.target_estimates);
+      ASSERT_EQ(results[i].weights, want.weights);
+      ASSERT_EQ(results[i].zero_rows, want.zero_rows);
+    }
+
+    // Error parity through the panel path: the lowest-index failing
+    // objective's Batch-specific message is returned.
+    std::vector<core::BatchCrosswalk::Objective> bad = objectives;
+    bad[3].source = linalg::Vector{1.0, 2.0};
+    auto failed = batch.Run(bad);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_NE(failed.status().message().find("objective 'col3' wrong length"),
+              std::string::npos)
+        << failed.status().message();
+  }
+}
+
+TEST(PlanEquivalenceTest, AlignedPipelineRealignManyServesPanelsBitIdentically) {
+  // CrosswalkPipeline::RealignMany(kAggregatesOnly) on an aligned plan
+  // takes the panel serving path; results must match the per-column
+  // Realign bits at every thread count, with unknown-unit errors still
+  // reported per failing column.
+  core::CrosswalkInput input = MakeAlignedDenseInput();
+  std::vector<std::string> sources =
+      MakeUnitNames("s", input.NumSourceUnits());
+  std::vector<std::string> targets =
+      MakeUnitNames("t", input.NumTargetUnits());
+  auto pipeline = std::move(core::CrosswalkPipeline::Create(
+                                sources, targets, input.references))
+                      .ValueOrDie();
+  ASSERT_NE(pipeline.plan(), nullptr);
+  ASSERT_TRUE(pipeline.plan()->references().aligned());
+
+  std::vector<core::CrosswalkPipeline::Column> columns;
+  for (size_t i = 0; i < 21; ++i) {
+    core::CrosswalkPipeline::Column col;
+    for (size_t s = 0; s < sources.size(); ++s) {
+      col.emplace_back(sources[s], input.objective_source[s] *
+                                       (1.0 + 0.125 * static_cast<double>(i)));
+    }
+    columns.push_back(std::move(col));
+  }
+  auto many1 =
+      std::move(pipeline.RealignMany(columns, 1,
+                                     core::ExecuteOutput::kAggregatesOnly))
+          .ValueOrDie();
+  auto many4 =
+      std::move(pipeline.RealignMany(columns, 4,
+                                     core::ExecuteOutput::kAggregatesOnly))
+          .ValueOrDie();
+  ASSERT_EQ(many1.size(), columns.size());
+  ASSERT_EQ(many4.size(), columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    SCOPED_TRACE(StrFormat("column %zu", i));
+    auto single = std::move(pipeline.Realign(columns[i])).ValueOrDie();
+    ExpectAggregatesOnly(many1[i], single);
+    ExpectAggregatesOnly(many4[i], single);
+  }
+
+  // A column naming an unknown unit fails with its own status while
+  // the panel still serves the valid columns around it.
+  std::vector<core::CrosswalkPipeline::Column> with_bad = columns;
+  with_bad[2] = {{"nope", 1.0}};
+  auto failed = pipeline.RealignMany(with_bad, 1,
+                                     core::ExecuteOutput::kAggregatesOnly);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.status().message().find("unknown unit 'nope'"),
+            std::string::npos)
+      << failed.status().message();
 }
 
 TEST(PlanEquivalenceTest, BatchMatchesCrosswalkBitIdentically) {

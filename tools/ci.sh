@@ -10,6 +10,11 @@
 #           RealignMany vs the materializing path; fails on any bit
 #           difference, a non-aligned reference set, or a hot-path
 #           workspace allocation after warmup
+#   simd    the SIMD bit-identity suite (differential kernel harness +
+#           panel/plan equivalence oracles) out of the plain build,
+#           run twice: once with GEOALIGN_FORCE_ISA=scalar and once on
+#           the native dispatch, so a vector kernel can never pass by
+#           only ever being compared against itself
 #   tsan    rebuild with GEOALIGN_SANITIZE=thread, full ctest
 #   ubsan   rebuild with GEOALIGN_SANITIZE=undefined
 #           (-fno-sanitize-recover=all), full ctest
@@ -32,7 +37,7 @@
 #                 e.g. CTEST_FILTER='ThreadPool|Parallel' for a quick
 #                 concurrency-only smoke.
 #   SKIP_TSAN=1 SKIP_UBSAN=1 SKIP_TIDY=1 SKIP_LINT=1 SKIP_BENCH=1
-#   SKIP_FUSED=1 SKIP_OBS=1
+#   SKIP_FUSED=1 SKIP_OBS=1 SKIP_SIMD=1
 #                 skip the corresponding gate (recorded as "skipped"
 #                 in the summary, never as a pass).
 set -uo pipefail
@@ -44,7 +49,7 @@ TSAN_DIR="${TSAN_DIR:-build-tsan}"
 UBSAN_DIR="${UBSAN_DIR:-build-ubsan}"
 CTEST_FILTER="${CTEST_FILTER:-}"
 
-GATES=(plain bench fused tsan ubsan tidy lint obs)
+GATES=(plain bench fused simd tsan ubsan tidy lint obs)
 declare -A RESULT
 failed=0
 
@@ -89,6 +94,24 @@ EOF
   return "$rc"
 }
 
+# SIMD bit-identity: the differential kernel harness plus the panel /
+# plan equivalence oracles, once with dispatch forced to the scalar
+# reference and once on the native ISA. Uses the plain build's test
+# binary, so order it after the plain gate. GEOALIGN_FORCE_ISA is read
+# once per process, hence two separate runs rather than one.
+simd_gate() {
+  # Leading * keeps the INSTANTIATE_TEST_SUITE_P prefix of the
+  # per-ISA kernel suite (<Instantiation>/SimdKernelTest.*) in scope.
+  local filter='*SimdKernelTest*:SimdDispatchTest*'
+  filter+=':FusedPanelDifferentialTest*:PlanEquivalenceTest*'
+  echo "--- forced scalar dispatch ---" &&
+    env GEOALIGN_FORCE_ISA=scalar "$BUILD_DIR/tests/geoalign_tests" \
+      --gtest_brief=1 --gtest_filter="$filter" &&
+    echo "--- native dispatch ---" &&
+    "$BUILD_DIR/tests/geoalign_tests" \
+      --gtest_brief=1 --gtest_filter="$filter"
+}
+
 run_suite() {
   local dir="$1"
   shift
@@ -126,6 +149,7 @@ run_gate fused "${SKIP_FUSED:-0}" env \
   GEOALIGN_BENCH_SCALE=0.05 GEOALIGN_BENCH_REPS=2 GEOALIGN_BENCH_MAX_COLS=64 \
   "$BUILD_DIR/bench/fused_execute" \
   "$BUILD_DIR/BENCH_fused_execute_smoke.json"
+run_gate simd "${SKIP_SIMD:-0}" simd_gate
 run_gate tsan "${SKIP_TSAN:-0}" run_suite "$TSAN_DIR" -DGEOALIGN_SANITIZE=thread
 run_gate ubsan "${SKIP_UBSAN:-0}" run_suite "$UBSAN_DIR" -DGEOALIGN_SANITIZE=undefined
 run_gate tidy "${SKIP_TIDY:-0}" tools/run_clang_tidy.sh "$BUILD_DIR"

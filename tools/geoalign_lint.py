@@ -60,6 +60,19 @@ documented in docs/static_analysis.md:
       A growth call whose capacity is provably reserved carries a
       NOLINT with the rationale.
 
+  geoalign-raw-intrinsic
+      No raw SIMD intrinsics in library code (src/) outside
+      src/sparse/simd/: `#include <immintrin.h>` / `<arm_neon.h>` /
+      `<x86intrin.h>`, `_mm`-prefixed x86 intrinsics, `__m128/256/512`
+      vector types, and NEON `v*q_f64` / `float64x2_t` spellings are
+      flagged. The bit-identity contract (docs/parallelism.md) is
+      audited kernel-by-kernel inside src/sparse/simd/ — every
+      vectorized instruction sequence there is paired with a scalar
+      reference and covered by tests/simd_kernel_test.cc. An intrinsic
+      anywhere else would dodge that audit and the differential
+      harness; route vector work through the PanelKernels table
+      (sparse/simd/panel_kernels.h) instead.
+
 Suppression: append `// NOLINT(geoalign-<rule>)` (or bare `NOLINT`) to
 the offending line, or put `// NOLINTNEXTLINE(geoalign-<rule>)` on the
 line above. Suppressions should carry a rationale.
@@ -83,6 +96,7 @@ RULES = (
     "geoalign-plan-bypass",
     "geoalign-raw-clock",
     "geoalign-hot-alloc",
+    "geoalign-raw-intrinsic",
 )
 
 # Subsystems whose kernels feed the deterministic reductions.
@@ -118,6 +132,17 @@ HOT_ALLOC_RE = re.compile(
     r"|(?:\.|->)\s*(?:push_back|emplace_back|resize|reserve|insert|assign)"
     r"\s*\("
     r"|\bnew\b")
+# Raw SIMD spellings outside src/sparse/simd/: the vendor headers, any
+# `_mm`/`_mm256`/`_mm512`-prefixed x86 intrinsic call, the x86 vector
+# types, and the NEON q-form f64 intrinsics / vector type. Matching is
+# by spelling, not semantics — the goal is to keep every vector
+# instruction sequence inside the audited kernel directory.
+RAW_INTRINSIC_RE = re.compile(
+    r"#\s*include\s*<(?:immintrin|x86intrin|arm_neon)\.h>"
+    r"|\b_mm(?:256|512)?_[a-z0-9_]+\s*\("
+    r"|\b__m(?:128|256|512)[di]?\b"
+    r"|\bfloat64x2_t\b"
+    r"|\bv[a-z][a-z0-9_]*q_(?:f64|u64)\b")
 UNORDERED_DECL_RE = re.compile(
     r"unordered_(?:map|set)\s*<[^;{}]*?>\s*(?:const\s*)?[&*]?\s*([A-Za-z_]\w*)"
 )
@@ -266,6 +291,8 @@ class Linter:
             self.check_raw_clock(path, stripped, raw_lines)
         if rel.startswith("src/sparse/"):
             self.check_hot_alloc(path, stripped, raw_lines)
+        if rel.startswith("src/") and not rel.startswith("src/sparse/simd/"):
+            self.check_raw_intrinsic(path, stripped, raw_lines)
 
     def check_float_eq(self, path, stripped, raw_lines):
         for m in FLOAT_EQ_RE.finditer(stripped):
@@ -324,6 +351,17 @@ class Linter:
                     "region; preallocate in the workspace Prepare, or "
                     "NOLINT with a rationale that capacity is reserved"
                     % m.group(0).strip(), raw_lines)
+
+    def check_raw_intrinsic(self, path, stripped, raw_lines):
+        for m in RAW_INTRINSIC_RE.finditer(stripped):
+            self.report(
+                path, line_of(m.start(), stripped),
+                "geoalign-raw-intrinsic",
+                "raw SIMD intrinsic ('%s') outside src/sparse/simd/; "
+                "vector code lives in the audited kernel directory — "
+                "use the PanelKernels table "
+                "(sparse/simd/panel_kernels.h) so the differential "
+                "harness covers it" % m.group(0).strip(), raw_lines)
 
     def check_unordered_iteration(self, path, stripped, raw_lines):
         names = set(UNORDERED_DECL_RE.findall(stripped))
