@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace geoalign {
 
@@ -13,9 +14,11 @@ std::atomic<LogSink> g_sink{nullptr};
 
 /// Serializes emission: without it two threads' fprintf calls may
 /// interleave within one line on some libc buffering modes, and a
-/// custom sink would race outright.
-std::mutex& EmitMutex() {
-  static std::mutex* mu = new std::mutex();
+/// custom sink would race outright. The mutex guards the emission
+/// *side effect* (the stream / sink call), not any data member, so
+/// there is no GUARDED_BY site — just the critical section below.
+common::Mutex& EmitMutex() {
+  static common::Mutex* mu = new common::Mutex();
   return *mu;
 }
 
@@ -57,7 +60,7 @@ LogMessage::~LogMessage() {
   if (level_ >= GetLogThreshold() || level_ == LogLevel::kFatal) {
     std::string line = stream_.str();
     LogSink sink = g_sink.load();
-    std::lock_guard<std::mutex> lock(EmitMutex());
+    common::MutexLock lock(EmitMutex());
     if (sink != nullptr) {
       sink(level_, line);
     } else {

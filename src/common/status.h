@@ -101,10 +101,10 @@ class [[nodiscard]] Result {
  public:
   /// Implicit from a value: `return some_t;` inside a Result-returning
   /// function reads naturally, matching absl::StatusOr.
-  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(T value) : value_(std::move(value)) {}
 
   /// Implicit from a non-OK status: `return Status::InvalidArgument(...)`.
-  Result(Status status) : status_(std::move(status)) {  // NOLINT
+  Result(Status status) : status_(std::move(status)) {
     if (status_.ok()) {
       status_ = Status::Internal("Result constructed from OK status");
     }

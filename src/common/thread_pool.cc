@@ -60,10 +60,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -71,7 +71,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Submitting to a pool whose destructor has begun is a programming
     // error, and the Status contract forbids throwing from library
     // code; fail fast instead of racing the worker shutdown.
@@ -79,7 +79,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back(std::move(packaged));
   }
   QueueDepth().Add(1);
-  cv_.notify_one();
+  cv_.NotifyOne();
   return future;
 }
 
@@ -90,8 +90,10 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Predicate loop at the call site (not a wait-with-lambda) so
+      // the thread-safety analysis sees the guarded reads.
+      while (!stopping_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -1,16 +1,16 @@
 #ifndef GEOALIGN_COMMON_THREAD_POOL_H_
 #define GEOALIGN_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace geoalign::common {
 
@@ -57,10 +57,15 @@ class ThreadPool {
  private:
   void WorkerLoop(size_t worker_index);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::packaged_task<void()>> queue_;
-  bool stopping_ = false;
+  /// Guards the submission queue and the shutdown flag; cv_ signals
+  /// queue-not-empty / stopping. Leaf lock: nothing is called with
+  /// mu_ held except queue operations, so no ordering edges exist.
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::packaged_task<void()>> queue_ GEOALIGN_GUARDED_BY(mu_);
+  bool stopping_ GEOALIGN_GUARDED_BY(mu_) = false;
+  /// Written only by the constructor, joined only by the destructor;
+  /// size() reads the never-resized vector — no guard needed.
   std::vector<std::thread> workers_;
 };
 

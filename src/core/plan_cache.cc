@@ -87,23 +87,55 @@ PlanCache::Key PlanCache::MakeKey(
   return key;
 }
 
+std::shared_ptr<const CrosswalkPlan> PlanCache::LookupLocked(
+    const Key& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  ++stats_.hits;
+  CacheHits().Add(1);
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->plan;
+}
+
+std::shared_ptr<const CrosswalkPlan> PlanCache::InsertOrAdoptLocked(
+    const Key& key, std::shared_ptr<const CrosswalkPlan> plan) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Another thread compiled the same key while we were unlocked;
+    // keep the incumbent so all callers share one plan. The dropped
+    // compile is recorded as an insert race (see PlanCacheStats).
+    ++stats_.insert_races;
+    CacheInsertRaces().Add(1);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->plan;
+  }
+  lru_.push_front(Entry{key, std::move(plan)});
+  index_.emplace(key, lru_.begin());
+  EvictLocked();
+  return lru_.front().plan;
+}
+
+void PlanCache::EvictLocked() {
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+    CacheEvictions().Add(1);
+  }
+}
+
 Result<std::shared_ptr<const CrosswalkPlan>> PlanCache::GetOrCompile(
     const std::vector<ReferenceAttribute>& references,
     const GeoAlignOptions& options) {
   Key key = MakeKey(references, options);
 
-  if (capacity_ > 0) {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = index_.find(key);
-    if (it != index_.end()) {
-      ++stats_.hits;
-      CacheHits().Add(1);
-      lru_.splice(lru_.begin(), lru_, it->second);
-      return it->second->plan;
+  {
+    common::MutexLock lock(mu_);
+    if (capacity_ > 0) {
+      if (std::shared_ptr<const CrosswalkPlan> hit = LookupLocked(key)) {
+        return hit;
+      }
     }
-    ++stats_.misses;
-  } else {
-    std::lock_guard<std::mutex> lock(mu_);
     ++stats_.misses;
   }
   CacheMisses().Add(1);
@@ -118,40 +150,22 @@ Result<std::shared_ptr<const CrosswalkPlan>> PlanCache::GetOrCompile(
       std::make_shared<const CrosswalkPlan>(std::move(compiled));
   if (capacity_ == 0) return plan;
 
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    // Another thread compiled the same key while we were unlocked;
-    // keep the incumbent so all callers share one plan. The dropped
-    // compile is recorded as an insert race (see PlanCacheStats).
-    ++stats_.insert_races;
-    CacheInsertRaces().Add(1);
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->plan;
-  }
-  lru_.push_front(Entry{key, plan});
-  index_.emplace(key, lru_.begin());
-  while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++stats_.evictions;
-    CacheEvictions().Add(1);
-  }
-  return plan;
+  common::MutexLock lock(mu_);
+  return InsertOrAdoptLocked(key, std::move(plan));
 }
 
 size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return lru_.size();
 }
 
 PlanCacheStats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return stats_;
 }
 
 void PlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   index_.clear();
   lru_.clear();
 }

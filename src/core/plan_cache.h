@@ -4,10 +4,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/crosswalk_plan.h"
 
 namespace geoalign::core {
@@ -91,14 +91,35 @@ class PlanCache {
   static Key MakeKey(const std::vector<ReferenceAttribute>& references,
                      const GeoAlignOptions& options);
 
-  mutable std::mutex mu_;
-  size_t capacity_;
+  /// Returns the cached plan for `key` (touched to MRU, hit counted),
+  /// or null on a miss.
+  std::shared_ptr<const CrosswalkPlan> LookupLocked(const Key& key)
+      GEOALIGN_REQUIRES(mu_);
+
+  /// Inserts `plan` under `key`, evicting down to capacity — unless a
+  /// racing caller inserted the key while this one compiled unlocked,
+  /// in which case the incumbent is returned (and `plan` dropped) so
+  /// all callers share one plan per key.
+  std::shared_ptr<const CrosswalkPlan> InsertOrAdoptLocked(
+      const Key& key, std::shared_ptr<const CrosswalkPlan> plan)
+      GEOALIGN_REQUIRES(mu_);
+
+  /// Pops LRU entries until size() <= capacity_, counting evictions.
+  void EvictLocked() GEOALIGN_REQUIRES(mu_);
+
+  /// Guards every mutable member below. Leaf lock: never held across
+  /// plan compilation (GetOrCompile compiles unlocked and re-locks to
+  /// insert) nor across any call out of this class, so no ordering
+  /// edges exist.
+  mutable common::Mutex mu_;
+  const size_t capacity_;  ///< immutable after construction
   /// Recency list, front = most recently used. The eviction scan walks
   /// this ordered list; the unordered map below is only ever probed
   /// point-wise (find/emplace/erase), never iterated.
-  std::list<Entry> lru_;
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
-  PlanCacheStats stats_;
+  std::list<Entry> lru_ GEOALIGN_GUARDED_BY(mu_);
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_
+      GEOALIGN_GUARDED_BY(mu_);
+  PlanCacheStats stats_ GEOALIGN_GUARDED_BY(mu_);
 };
 
 }  // namespace geoalign::core

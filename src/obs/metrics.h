@@ -5,10 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+// Header-only, standard-library-only shim: using it keeps obs link-
+// free of geoalign_common, preserving the obs-below-common layering.
+#include "common/thread_annotations.h"
 #include "obs/telemetry.h"
 
 namespace geoalign::obs {
@@ -187,10 +189,18 @@ class MetricsRegistry {
   void ResetAll();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  /// Guards the three registration maps. Leaf lock: held only for the
+  /// map probe/emplace and for snapshotting; increments on returned
+  /// metrics are lock-free and never touch mu_. The unique_ptr
+  /// indirection is what makes handing out unguarded references
+  /// sound: a metric's address never moves after registration.
+  mutable common::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      GEOALIGN_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      GEOALIGN_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GEOALIGN_GUARDED_BY(mu_);
 };
 
 }  // namespace geoalign::obs

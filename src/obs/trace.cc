@@ -6,7 +6,7 @@
 namespace geoalign::obs {
 
 void TraceBuffer::Record(const SpanEvent& event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   if (ring_.size() < kCapacity) {
     ring_.push_back(event);
     return;
@@ -18,19 +18,19 @@ void TraceBuffer::Record(const SpanEvent& event) {
 }
 
 void TraceBuffer::CollectInto(std::vector<SpanEvent>& out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   // Oldest-first: [next_, end) wrapped before [0, next_) once full.
   for (size_t i = next_; i < ring_.size(); ++i) out.push_back(ring_[i]);
   for (size_t i = 0; i < next_; ++i) out.push_back(ring_[i]);
 }
 
 uint64_t TraceBuffer::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return dropped_;
 }
 
 void TraceBuffer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   ring_.clear();
   next_ = 0;
   dropped_ = 0;
@@ -44,7 +44,7 @@ TraceRecorder& TraceRecorder::Global() {
 TraceBuffer& TraceRecorder::LocalBuffer() {
   thread_local std::shared_ptr<TraceBuffer> local;
   if (local == nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     local = std::make_shared<TraceBuffer>(
         static_cast<uint32_t>(buffers_.size()));
     buffers_.push_back(local);
@@ -62,7 +62,7 @@ void TraceRecorder::Record(const SpanEvent& event) {
 std::vector<SpanEvent> TraceRecorder::Collect() const {
   std::vector<std::shared_ptr<TraceBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     buffers = buffers_;
   }
   std::vector<SpanEvent> events;
@@ -79,7 +79,7 @@ std::vector<SpanEvent> TraceRecorder::Collect() const {
 uint64_t TraceRecorder::TotalDropped() const {
   std::vector<std::shared_ptr<TraceBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     buffers = buffers_;
   }
   uint64_t total = 0;
@@ -90,7 +90,7 @@ uint64_t TraceRecorder::TotalDropped() const {
 void TraceRecorder::Clear() {
   std::vector<std::shared_ptr<TraceBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     buffers = buffers_;
   }
   for (const std::shared_ptr<TraceBuffer>& b : buffers) b->Clear();

@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+// Header-only, standard-library-only shim: using it keeps obs link-
+// free of geoalign_common, preserving the obs-below-common layering.
+#include "common/thread_annotations.h"
 #include "obs/telemetry.h"
 #include "obs/timer.h"
 
@@ -43,11 +45,16 @@ class TraceBuffer {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
-  uint32_t thread_index_;
-  std::vector<SpanEvent> ring_;  ///< grows to kCapacity, then wraps
-  size_t next_ = 0;              ///< write cursor once full
-  uint64_t dropped_ = 0;         ///< events overwritten after wrap
+  /// Guards the ring state. Leaf lock, per-buffer: recording on the
+  /// owning thread only ever contends with an in-flight export, never
+  /// with another thread's recording.
+  mutable common::Mutex mu_;
+  uint32_t thread_index_;  ///< immutable after construction
+  std::vector<SpanEvent> ring_
+      GEOALIGN_GUARDED_BY(mu_);  ///< grows to kCapacity, then wraps
+  size_t next_ GEOALIGN_GUARDED_BY(mu_) = 0;  ///< write cursor once full
+  uint64_t dropped_
+      GEOALIGN_GUARDED_BY(mu_) = 0;  ///< events overwritten after wrap
 };
 
 /// Process-wide trace sink: owns one TraceBuffer per thread that ever
@@ -81,8 +88,13 @@ class TraceRecorder {
  private:
   TraceBuffer& LocalBuffer();
 
-  mutable std::mutex mu_;
-  std::vector<std::shared_ptr<TraceBuffer>> buffers_;
+  /// Guards buffer registration only. Acquired before any per-buffer
+  /// TraceBuffer::mu_ (Collect/Clear copy the registry under this
+  /// lock, release it, then take each buffer's lock) — never the
+  /// reverse, so the two levels cannot deadlock.
+  mutable common::Mutex mu_;
+  std::vector<std::shared_ptr<TraceBuffer>> buffers_
+      GEOALIGN_GUARDED_BY(mu_);
 };
 
 namespace internal {

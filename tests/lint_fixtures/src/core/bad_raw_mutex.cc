@@ -1,0 +1,17 @@
+// Seeded violation for the geoalign-raw-mutex rule: raw std locking
+// primitives in library code outside common/thread_annotations.h.
+// Every spelling here must be flagged — the annotated common::Mutex /
+// common::MutexLock / common::CondVar wrappers are the only blessed
+// locking layer (docs/static_analysis.md).
+#include <mutex>
+
+namespace geoalign::core {
+
+int CountUnderRawLock() {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  static int count = 0;
+  return ++count;
+}
+
+}  // namespace geoalign::core

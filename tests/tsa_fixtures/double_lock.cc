@@ -1,0 +1,22 @@
+// TSA negative fixture: acquiring a mutex that is already held MUST
+// fail to compile under -Wthread-safety -Werror ("acquiring mutex
+// 'mu_' that is already held"). Checked by tests/tsa_test.sh.
+#include "common/thread_annotations.h"
+
+namespace geoalign::tsa_fixture {
+
+class Widget {
+ public:
+  void Touch() {
+    common::MutexLock lock(mu_);
+    mu_.Lock();  // BUG: second acquisition of a held, non-recursive mutex
+    ++gen_;
+    mu_.Unlock();
+  }
+
+ private:
+  common::Mutex mu_;
+  int gen_ GEOALIGN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace geoalign::tsa_fixture

@@ -1,0 +1,27 @@
+// TSA negative fixture: calling a GEOALIGN_EXCLUDES(mu_) function
+// while holding mu_ MUST fail to compile under -Wthread-safety
+// -Werror ("cannot call function ... while mutex 'mu_' is held") —
+// the self-deadlock a non-recursive mutex turns into a hang at
+// runtime. Checked by tests/tsa_test.sh.
+#include "common/thread_annotations.h"
+
+namespace geoalign::tsa_fixture {
+
+class Registry {
+ public:
+  void Reload() GEOALIGN_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    ++version_;
+  }
+
+  void ReloadTwice() {
+    common::MutexLock lock(mu_);
+    Reload();  // BUG: re-entering a self-locking entry point
+  }
+
+ private:
+  common::Mutex mu_;
+  int version_ GEOALIGN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace geoalign::tsa_fixture

@@ -1,0 +1,24 @@
+// TSA negative fixture: calling a GEOALIGN_REQUIRES(mu_) helper
+// without holding mu_ MUST fail to compile under -Wthread-safety
+// -Werror ("calling function ... requires holding mutex 'mu_'").
+// Checked by tests/tsa_test.sh.
+#include <cstddef>
+
+#include "common/thread_annotations.h"
+
+namespace geoalign::tsa_fixture {
+
+class Cache {
+ public:
+  // BUG: EvictLocked's contract says the caller holds mu_; this entry
+  // point never acquires it.
+  void Shrink() { EvictLocked(); }
+
+ private:
+  void EvictLocked() GEOALIGN_REQUIRES(mu_) { --size_; }
+
+  common::Mutex mu_;
+  size_t size_ GEOALIGN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace geoalign::tsa_fixture

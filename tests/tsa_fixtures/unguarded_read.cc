@@ -1,0 +1,24 @@
+// TSA negative fixture: reading a GEOALIGN_GUARDED_BY member without
+// holding its mutex MUST fail to compile under -Wthread-safety
+// -Werror ("requires holding mutex 'mu_'"). Checked by
+// tests/tsa_test.sh; if this fixture ever compiles, the annotation
+// layer has silently lost the guarded-read check.
+#include <cstddef>
+
+#include "common/thread_annotations.h"
+
+namespace geoalign::tsa_fixture {
+
+class Queue {
+ public:
+  // BUG: unguarded read of depth_ — no MutexLock, no REQUIRES.
+  size_t depth() const { return depth_; }
+
+ private:
+  mutable common::Mutex mu_;
+  size_t depth_ GEOALIGN_GUARDED_BY(mu_) = 0;
+};
+
+size_t Probe(const Queue& q) { return q.depth(); }
+
+}  // namespace geoalign::tsa_fixture

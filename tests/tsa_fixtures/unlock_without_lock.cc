@@ -1,0 +1,18 @@
+// TSA negative fixture: releasing a mutex that is not held MUST fail
+// to compile under -Wthread-safety -Werror ("releasing mutex 'mu_'
+// that was not held"). Checked by tests/tsa_test.sh.
+#include "common/thread_annotations.h"
+
+namespace geoalign::tsa_fixture {
+
+class Widget {
+ public:
+  void Broken() {
+    mu_.Unlock();  // BUG: nothing ever locked mu_ on this path
+  }
+
+ private:
+  common::Mutex mu_;
+};
+
+}  // namespace geoalign::tsa_fixture

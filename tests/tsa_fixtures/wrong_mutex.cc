@@ -1,0 +1,25 @@
+// TSA negative fixture: holding mutex A while writing state guarded
+// by mutex B MUST fail to compile under -Wthread-safety -Werror
+// ("writing variable 'b_state_' requires holding mutex 'mu_b_'").
+// Guards against the classic refactor bug where a member migrates to
+// a new lock but one call site keeps the old one. Checked by
+// tests/tsa_test.sh.
+#include "common/thread_annotations.h"
+
+namespace geoalign::tsa_fixture {
+
+class Sharded {
+ public:
+  void Bump() {
+    common::MutexLock lock(mu_a_);  // BUG: wrong shard's lock
+    ++b_state_;
+  }
+
+ private:
+  common::Mutex mu_a_;
+  common::Mutex mu_b_;
+  int a_state_ GEOALIGN_GUARDED_BY(mu_a_) = 0;
+  int b_state_ GEOALIGN_GUARDED_BY(mu_b_) = 0;
+};
+
+}  // namespace geoalign::tsa_fixture

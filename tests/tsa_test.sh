@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Negative-compile harness for the Clang Thread Safety Analysis layer
+# (src/common/thread_annotations.h; docs/static_analysis.md).
+#
+# Every bad fixture under tests/tsa_fixtures/ seeds exactly one
+# locking bug (unguarded read, missing REQUIRES, double lock, unlock
+# without lock, wrong mutex, EXCLUDES violation) and MUST fail to
+# compile under -Wthread-safety -Wthread-safety-beta -Werror, with the
+# diagnostic attributable to the analysis (not some unrelated error).
+# clean.cc exercises the whole wrapper API correctly and MUST compile
+# warning-free. Together they regression-test the annotations
+# themselves: weakening a wrapper attribute flips a bad fixture to
+# compiling; a false positive breaks the clean one.
+#
+# Requires clang++ (the capability system is clang-only) and FAILS
+# LOUDLY when it is absent — a silently skipped gate reads as a
+# passing one; skip explicitly with SKIP_TSA=1 in tools/ci.sh.
+#
+# Usage: tsa_test.sh [repo_root]   (default: the script's parent dir)
+# Environment knobs:
+#   CLANGXX  clang++ binary to use (default: clang++)
+set -u
+ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+CLANGXX="${CLANGXX:-clang++}"
+FIXTURES="$ROOT/tests/tsa_fixtures"
+
+if ! command -v "$CLANGXX" >/dev/null 2>&1; then
+  echo "tsa_test: '$CLANGXX' not found." >&2
+  echo "The thread-safety fixtures need clang (install clang or point" >&2
+  echo "CLANGXX at a binary). Refusing to pass silently; set SKIP_TSA=1" >&2
+  echo "to skip this gate in tools/ci.sh explicitly." >&2
+  exit 3
+fi
+
+FLAGS=(-std=c++20 -fsyntax-only "-I$ROOT/src"
+       -Wthread-safety -Wthread-safety-beta -Werror)
+failures=0
+
+# The fixture must fail to compile AND the diagnostics must come from
+# the thread-safety analysis (clang names the flag in brackets, e.g.
+# [-Werror,-Wthread-safety-analysis]); any other error means the
+# fixture rotted rather than the annotation firing.
+expect_no_compile() {
+  local file="$1" out rc
+  out=$("$CLANGXX" "${FLAGS[@]}" "$FIXTURES/$file" 2>&1)
+  rc=$?
+  if [[ $rc -eq 0 ]]; then
+    echo "FAIL: $file compiled; its seeded locking bug went undetected"
+    failures=$((failures + 1))
+  elif ! grep -q -- "-Wthread-safety" <<<"$out"; then
+    echo "FAIL: $file failed for a reason other than thread safety:"
+    echo "$out"
+    failures=$((failures + 1))
+  else
+    echo "ok: $file rejected by -Wthread-safety"
+  fi
+}
+
+expect_compiles() {
+  local file="$1" out rc
+  out=$("$CLANGXX" "${FLAGS[@]}" "$FIXTURES/$file" 2>&1)
+  rc=$?
+  if [[ $rc -ne 0 ]]; then
+    echo "FAIL: $file must compile warning-free, got:"
+    echo "$out"
+    failures=$((failures + 1))
+  else
+    echo "ok: $file compiles clean"
+  fi
+}
+
+expect_no_compile unguarded_read.cc
+expect_no_compile missing_requires.cc
+expect_no_compile double_lock.cc
+expect_no_compile unlock_without_lock.cc
+expect_no_compile wrong_mutex.cc
+expect_no_compile excludes_violation.cc
+expect_compiles clean.cc
+
+if [[ $failures -ne 0 ]]; then
+  echo "$failures thread-safety fixture check(s) failed"
+  exit 1
+fi
+echo "tsa fixtures: all checks passed"

@@ -16,28 +16,46 @@
 #           the native dispatch, so a vector kernel can never pass by
 #           only ever being compared against itself
 #   tsan    rebuild with GEOALIGN_SANITIZE=thread, full ctest
+#   asan    rebuild with GEOALIGN_SANITIZE=address (ASan+UBSan) and
+#           run the full ctest with ASAN_OPTIONS=detect_leaks=1, so
+#           the leak checker covers every test — the address/leak leg
+#           of the sanitizer matrix
 #   ubsan   rebuild with GEOALIGN_SANITIZE=undefined
 #           (-fno-sanitize-recover=all), full ctest
 #   tidy    tools/run_clang_tidy.sh over the compile database; FAILS
 #           LOUDLY when clang-tidy is not installed — a silently
 #           skipped gate reads as a passing one. Skip explicitly with
 #           SKIP_TIDY=1 on machines without clang-tidy.
+#   tsa     clang rebuild with GEOALIGN_THREAD_SAFETY=ON — every
+#           Thread Safety Analysis diagnostic (-Wthread-safety
+#           -Wthread-safety-beta) is an error tree-wide — followed by
+#           the tests/tsa_test.sh negative-compile fixtures. FAILS
+#           LOUDLY when clang++ is absent (the capability system is
+#           clang-only); skip explicitly with SKIP_TSA=1.
 #   lint    tools/geoalign_lint.py project-specific correctness lints
 #   obs     run geoalign_cli on a generated example with --metrics-out
 #           and --trace-out, then validate both outputs parse as JSON
 #           (the trace must be Chrome trace-event shaped, i.e. carry a
 #           traceEvents array — docs/observability.md)
 #
+# The summary prints a gate × toolchain matrix: each gate names the
+# toolchain it ran on, and a toolchain-availability header makes a
+# skipped clang-only gate (tidy, tsa) visible in every run instead of
+# blending into the passes.
+#
 # Environment knobs:
 #   JOBS          parallel build/test jobs (default: nproc)
 #   BUILD_DIR     plain build tree          (default: build)
 #   TSAN_DIR      ThreadSanitizer tree      (default: build-tsan)
+#   ASAN_DIR      ASan+LSan tree            (default: build-asan)
 #   UBSAN_DIR     UBSan tree                (default: build-ubsan)
+#   TSA_DIR       clang thread-safety tree  (default: build-tsa)
+#   CLANGXX       clang++ binary for the tsa gate (default: clang++)
 #   CTEST_FILTER  optional ctest -R regex applied to every test run;
 #                 e.g. CTEST_FILTER='ThreadPool|Parallel' for a quick
 #                 concurrency-only smoke.
-#   SKIP_TSAN=1 SKIP_UBSAN=1 SKIP_TIDY=1 SKIP_LINT=1 SKIP_BENCH=1
-#   SKIP_FUSED=1 SKIP_OBS=1 SKIP_SIMD=1
+#   SKIP_TSAN=1 SKIP_ASAN=1 SKIP_UBSAN=1 SKIP_TIDY=1 SKIP_TSA=1
+#   SKIP_LINT=1 SKIP_BENCH=1 SKIP_FUSED=1 SKIP_OBS=1 SKIP_SIMD=1
 #                 skip the corresponding gate (recorded as "skipped"
 #                 in the summary, never as a pass).
 set -uo pipefail
@@ -46,10 +64,19 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 BUILD_DIR="${BUILD_DIR:-build}"
 TSAN_DIR="${TSAN_DIR:-build-tsan}"
+ASAN_DIR="${ASAN_DIR:-build-asan}"
 UBSAN_DIR="${UBSAN_DIR:-build-ubsan}"
+TSA_DIR="${TSA_DIR:-build-tsa}"
+CLANGXX="${CLANGXX:-clang++}"
 CTEST_FILTER="${CTEST_FILTER:-}"
 
-GATES=(plain bench fused simd tsan ubsan tidy lint obs)
+GATES=(plain bench fused simd tsan asan ubsan tidy tsa lint obs)
+# Which toolchain each gate runs on, for the summary matrix. "cxx" is
+# the default compiler CMake resolves (gcc or clang alike).
+declare -A TOOL=(
+  [plain]=cxx [bench]=cxx [fused]=cxx [simd]=cxx [tsan]=cxx [asan]=cxx
+  [ubsan]=cxx [tidy]=clang-tidy [tsa]=clang++ [lint]=python3 [obs]=python3
+)
 declare -A RESULT
 failed=0
 
@@ -121,6 +148,36 @@ run_suite() {
       -j "$JOBS" ${CTEST_FILTER:+-R "$CTEST_FILTER"}
 }
 
+# ASan + LSan leg: GEOALIGN_SANITIZE=address compiles with
+# -fsanitize=address,undefined; detect_leaks=1 arms LeakSanitizer for
+# every test in the run (a leaked plan/workspace in a steady-state
+# serving path is a production outage, not a nit).
+asan_gate() {
+  ASAN_OPTIONS="detect_leaks=1" \
+    run_suite "$ASAN_DIR" -DGEOALIGN_SANITIZE=address
+}
+
+# Compile-time concurrency contracts (docs/static_analysis.md): a
+# clang build with GEOALIGN_THREAD_SAFETY=ON promotes every
+# -Wthread-safety[-beta] diagnostic to an error tree-wide (WERROR
+# default ON), then the negative fixtures prove the annotations still
+# reject seeded locking bugs. Fails loudly without clang++, matching
+# the tidy gate: a silently skipped gate reads as a passing one.
+tsa_gate() {
+  if ! command -v "$CLANGXX" >/dev/null 2>&1; then
+    echo "tsa gate: '$CLANGXX' not found." >&2
+    echo "Thread Safety Analysis is clang-only. Install clang (e.g." >&2
+    echo "apt install clang) or point CLANGXX at a binary. Refusing" >&2
+    echo "to pass silently; set SKIP_TSA=1 to skip this gate" >&2
+    echo "explicitly." >&2
+    return 3
+  fi
+  cmake -B "$TSA_DIR" -S . -DCMAKE_CXX_COMPILER="$CLANGXX" \
+    -DGEOALIGN_THREAD_SAFETY=ON &&
+    cmake --build "$TSA_DIR" -j "$JOBS" &&
+    CLANGXX="$CLANGXX" tests/tsa_test.sh
+}
+
 # run_gate <name> <skip-flag-value> <command...>
 run_gate() {
   local name="$1" skip="$2"
@@ -140,6 +197,20 @@ run_gate() {
   fi
 }
 
+# Toolchain availability up front, so a machine that cannot run the
+# clang-only gates learns it before an hour of sanitizer rebuilds.
+tool_status() {
+  if command -v "$1" >/dev/null 2>&1; then echo "found"; else echo "MISSING"; fi
+}
+CXX_BIN="${CXX:-c++}"
+echo "=== toolchain availability ==="
+printf '%-12s %-8s gates: %s\n' "$CXX_BIN" "$(tool_status "$CXX_BIN")" \
+  "plain bench fused simd tsan asan ubsan"
+printf '%-12s %-8s gates: %s\n' "$CLANGXX" "$(tool_status "$CLANGXX")" "tsa"
+printf '%-12s %-8s gates: %s\n' "${CLANG_TIDY:-clang-tidy}" \
+  "$(tool_status "${CLANG_TIDY:-clang-tidy}")" "tidy"
+printf '%-12s %-8s gates: %s\n' "python3" "$(tool_status python3)" "lint obs"
+
 run_gate plain 0 run_suite "$BUILD_DIR"
 run_gate bench "${SKIP_BENCH:-0}" env \
   GEOALIGN_BENCH_SCALE=0.05 GEOALIGN_BENCH_REPS=2 GEOALIGN_BENCH_MAX_COLS=64 \
@@ -151,16 +222,29 @@ run_gate fused "${SKIP_FUSED:-0}" env \
   "$BUILD_DIR/BENCH_fused_execute_smoke.json"
 run_gate simd "${SKIP_SIMD:-0}" simd_gate
 run_gate tsan "${SKIP_TSAN:-0}" run_suite "$TSAN_DIR" -DGEOALIGN_SANITIZE=thread
+run_gate asan "${SKIP_ASAN:-0}" asan_gate
 run_gate ubsan "${SKIP_UBSAN:-0}" run_suite "$UBSAN_DIR" -DGEOALIGN_SANITIZE=undefined
 run_gate tidy "${SKIP_TIDY:-0}" tools/run_clang_tidy.sh "$BUILD_DIR"
+run_gate tsa "${SKIP_TSA:-0}" tsa_gate
 run_gate lint "${SKIP_LINT:-0}" python3 tools/geoalign_lint.py --root .
 run_gate obs "${SKIP_OBS:-0}" obs_gate
 
 echo
-echo "=== gate summary ==="
-printf '%-8s %s\n' "gate" "result"
-printf '%-8s %s\n' "----" "------"
+echo "=== gate summary (gate × toolchain) ==="
+printf '%-8s %-11s %s\n' "gate" "toolchain" "result"
+printf '%-8s %-11s %s\n' "----" "---------" "------"
 for g in "${GATES[@]}"; do
-  printf '%-8s %s\n' "$g" "${RESULT[$g]}"
+  tool="${TOOL[$g]}"
+  [[ "$tool" == "cxx" ]] && tool="$CXX_BIN"
+  note=""
+  if [[ "${RESULT[$g]}" == "FAIL" ]]; then
+    case "$g" in
+      tidy) command -v "${CLANG_TIDY:-clang-tidy}" >/dev/null 2>&1 ||
+              note="  (clang-tidy missing — SKIP_TIDY=1 to skip)" ;;
+      tsa)  command -v "$CLANGXX" >/dev/null 2>&1 ||
+              note="  (clang++ missing — SKIP_TSA=1 to skip)" ;;
+    esac
+  fi
+  printf '%-8s %-11s %s%s\n' "$g" "$tool" "${RESULT[$g]}" "$note"
 done
 exit "$failed"

@@ -73,6 +73,19 @@ documented in docs/static_analysis.md:
       harness; route vector work through the PanelKernels table
       (sparse/simd/panel_kernels.h) instead.
 
+  geoalign-raw-mutex
+      No raw std locking primitives in library code (src/) outside
+      src/common/thread_annotations.h: `std::mutex` (and the timed/
+      recursive/shared variants), `std::lock_guard` / `unique_lock` /
+      `scoped_lock` / `shared_lock`, `std::condition_variable[_any]`,
+      and the `<mutex>` / `<condition_variable>` / `<shared_mutex>`
+      includes are flagged. Locked state must use the annotated
+      common::Mutex / common::MutexLock / common::CondVar wrappers so
+      every guarded-by relationship is visible to Clang Thread Safety
+      Analysis (-Wthread-safety, the `tsa` gate); a raw std::mutex is
+      invisible to the analysis and silently exempts its critical
+      sections from the compile-time locking contracts.
+
 Suppression: append `// NOLINT(geoalign-<rule>)` (or bare `NOLINT`) to
 the offending line, or put `// NOLINTNEXTLINE(geoalign-<rule>)` on the
 line above. Suppressions should carry a rationale.
@@ -97,7 +110,12 @@ RULES = (
     "geoalign-raw-clock",
     "geoalign-hot-alloc",
     "geoalign-raw-intrinsic",
+    "geoalign-raw-mutex",
 )
+
+# The one file allowed to spell the raw std locking primitives: the
+# annotated wrapper layer itself (docs/static_analysis.md).
+RAW_MUTEX_EXEMPT = "src/common/thread_annotations.h"
 
 # Subsystems whose kernels feed the deterministic reductions.
 KERNEL_DIRS = ("src/sparse", "src/core", "src/linalg")
@@ -137,6 +155,16 @@ HOT_ALLOC_RE = re.compile(
 # types, and the NEON q-form f64 intrinsics / vector type. Matching is
 # by spelling, not semantics — the goal is to keep every vector
 # instruction sequence inside the audited kernel directory.
+# Raw std locking primitives outside the annotated wrapper header:
+# the lockable types, the RAII lock adapters, the condition variables,
+# and the headers that provide them. Spelling-level on purpose — any
+# mention in code is a bypass of the annotated layer.
+RAW_MUTEX_RE = re.compile(
+    r"#\s*include\s*<(?:mutex|condition_variable|shared_mutex)>"
+    r"|\bstd\s*::\s*(?:mutex|timed_mutex|recursive_mutex"
+    r"|recursive_timed_mutex|shared_mutex|shared_timed_mutex"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock"
+    r"|condition_variable(?:_any)?)\b")
 RAW_INTRINSIC_RE = re.compile(
     r"#\s*include\s*<(?:immintrin|x86intrin|arm_neon)\.h>"
     r"|\b_mm(?:256|512)?_[a-z0-9_]+\s*\("
@@ -293,6 +321,8 @@ class Linter:
             self.check_hot_alloc(path, stripped, raw_lines)
         if rel.startswith("src/") and not rel.startswith("src/sparse/simd/"):
             self.check_raw_intrinsic(path, stripped, raw_lines)
+        if rel.startswith("src/") and rel != RAW_MUTEX_EXEMPT:
+            self.check_raw_mutex(path, stripped, raw_lines)
 
     def check_float_eq(self, path, stripped, raw_lines):
         for m in FLOAT_EQ_RE.finditer(stripped):
@@ -362,6 +392,16 @@ class Linter:
                 "use the PanelKernels table "
                 "(sparse/simd/panel_kernels.h) so the differential "
                 "harness covers it" % m.group(0).strip(), raw_lines)
+
+    def check_raw_mutex(self, path, stripped, raw_lines):
+        for m in RAW_MUTEX_RE.finditer(stripped):
+            self.report(
+                path, line_of(m.start(), stripped), "geoalign-raw-mutex",
+                "raw std locking primitive ('%s') outside "
+                "common/thread_annotations.h; use the annotated "
+                "common::Mutex / common::MutexLock / common::CondVar "
+                "wrappers so -Wthread-safety sees the lock"
+                % m.group(0).strip(), raw_lines)
 
     def check_unordered_iteration(self, path, stripped, raw_lines):
         names = set(UNORDERED_DECL_RE.findall(stripped))

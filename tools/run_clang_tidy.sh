@@ -41,7 +41,11 @@ if [[ ! -f "$DB" ]]; then
 fi
 
 # First-party TUs only: gtest/benchmark sources pulled in by the build
-# are not ours to lint.
+# are not ours to lint. Before emitting the list, cross-check it
+# against the actual src/ tree and FAIL LOUDLY if any .cc there is
+# absent from the compile database — a subdirectory added without
+# build wiring (the way src/sparse/simd/ postdated the last audit of
+# this list) would otherwise silently escape the gate forever.
 mapfile -t files < <(python3 - "$DB" <<'EOF'
 import json, os, sys
 root = os.getcwd()
@@ -50,9 +54,28 @@ for entry in json.load(open(sys.argv[1])):
     f = os.path.normpath(os.path.join(entry["directory"], entry["file"]))
     if f.startswith(root + os.sep) and "/build" not in f[len(root):]:
         seen.add(f)
+missing = []
+for dirpath, _, filenames in os.walk(os.path.join(root, "src")):
+    for fn in sorted(filenames):
+        if fn.endswith(".cc") and os.path.join(dirpath, fn) not in seen:
+            missing.append(os.path.relpath(os.path.join(dirpath, fn), root))
+if missing:
+    print("run_clang_tidy: %d src/ translation unit(s) missing from the"
+          " compile database (not built => not tidied):" % len(missing),
+          file=sys.stderr)
+    for f in missing:
+        print("  " + f, file=sys.stderr)
+    print("Add them to src/CMakeLists.txt (or delete dead files), then"
+          " re-run cmake.", file=sys.stderr)
+    sys.exit(4)
 print("\n".join(sorted(seen)))
 EOF
-)
+) || exit 4
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "run_clang_tidy: compile-database file list is empty; refusing" >&2
+  echo "to report a vacuous pass. Reconfigure: cmake -B $BUILD_DIR -S ." >&2
+  exit 4
+fi
 
 echo "run_clang_tidy: ${#files[@]} translation units, $JOBS workers"
 printf '%s\n' "${files[@]}" |
