@@ -287,14 +287,14 @@ std::vector<core::CrosswalkResult> RunPanels(
     core::ExecuteWorkspace* ws) {
   const size_t n = objectives.size();
   std::vector<std::optional<Result<core::CrosswalkResult>>> slots(n);
-  std::array<const linalg::Vector*, sparse::simd::kMaxPanelWidth> objs;
+  std::array<common::ColumnView, sparse::simd::kMaxPanelWidth> objs;
   std::array<std::optional<Result<core::CrosswalkResult>>*,
              sparse::simd::kMaxPanelWidth>
       outs;
   for (size_t base = 0; base < n; base += width) {
     const size_t count = std::min(width, n - base);
     for (size_t k = 0; k < count; ++k) {
-      objs[k] = &objectives[base + k];
+      objs[k] = objectives[base + k];
       outs[k] = &slots[base + k];
     }
     plan.ExecutePanelWith(objs.data(), outs.data(), count, ws);

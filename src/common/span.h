@@ -1,0 +1,116 @@
+#ifndef GEOALIGN_COMMON_SPAN_H_
+#define GEOALIGN_COMMON_SPAN_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace geoalign::common {
+
+/// Non-owning, immutable view over a contiguous run of `T` — the unit
+/// of the zero-copy ingest path. A `ConstSpan` is two words (pointer +
+/// length), trivially copyable, and carries **no lifetime**: the caller
+/// guarantees the viewed memory outlives every read through the span
+/// (pair it with a keepalive — see `Buffer` below — when the producer
+/// wants to hand off ownership instead).
+///
+/// Converts implicitly from `const std::vector<T>&` so every existing
+/// owning call site keeps compiling unchanged when a parameter is
+/// retyped from `const std::vector<T>&` to `ConstSpan<T>`.
+template <typename T>
+class ConstSpan {
+ public:
+  constexpr ConstSpan() = default;
+  constexpr ConstSpan(const T* data, size_t size)
+      : data_(data), size_(size) {}
+  // Implicit on purpose: vector arguments flow into span parameters.
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  ConstSpan(const std::vector<T>& v) : data_(v.data()), size_(v.size()) {}
+  // Brace-list arguments ({1.0, 2.0}) bind to span parameters; the
+  // backing array lives to the end of the full expression, so this is
+  // only for arguments, never for storing a span. GCC's lifetime
+  // warning flags exactly that storage hazard, which the contract
+  // above already forbids.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winit-list-lifetime"
+#endif
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  constexpr ConstSpan(std::initializer_list<T> il)
+      : data_(il.begin()), size_(il.size()) {}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+  constexpr const T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  constexpr const T* begin() const { return data_; }
+  constexpr const T* end() const { return data_ + size_; }
+
+  constexpr const T& operator[](size_t i) const { return data_[i]; }
+  constexpr const T& front() const { return data_[0]; }
+  constexpr const T& back() const { return data_[size_ - 1]; }
+
+  constexpr ConstSpan subspan(size_t offset, size_t count) const {
+    return ConstSpan(data_ + offset, count);
+  }
+
+  /// Elementwise equality (bit-level for floating T via ==). Hidden
+  /// friends so mixed span/vector comparisons resolve through the
+  /// implicit vector→span conversion.
+  friend bool operator==(ConstSpan a, ConstSpan b) {
+    if (a.size_ != b.size_) return false;
+    if (a.data_ == b.data_) return true;
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (!(a.data_[i] == b.data_[i])) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(ConstSpan a, ConstSpan b) { return !(a == b); }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// One borrowed aggregate column: the view type every compile/execute
+/// entry point accepts. Values, not identity — two ColumnViews over
+/// the same bytes are interchangeable.
+using ColumnView = ConstSpan<double>;
+
+/// Optional ownership transfer for callers that *do* want the library
+/// to keep their column alive: a ref-counted double buffer plus the
+/// view over it. `keepalive()` is a type-erased handle suitable for
+/// storing next to any view whose memory it guards; the view stays
+/// valid as long as at least one copy of the keepalive lives.
+class Buffer {
+ public:
+  Buffer() = default;
+
+  /// Takes ownership of `v` (one move, no copy).
+  static Buffer FromVector(std::vector<double> v) {
+    Buffer b;
+    b.storage_ =
+        std::make_shared<const std::vector<double>>(std::move(v));
+    return b;
+  }
+
+  ColumnView view() const {
+    return storage_ == nullptr ? ColumnView()
+                               : ColumnView(storage_->data(), storage_->size());
+  }
+
+  /// Type-erased lifetime handle (empty when the buffer is empty).
+  std::shared_ptr<const void> keepalive() const { return storage_; }
+
+ private:
+  std::shared_ptr<const std::vector<double>> storage_;
+};
+
+}  // namespace geoalign::common
+
+#endif  // GEOALIGN_COMMON_SPAN_H_

@@ -73,12 +73,12 @@ Result<std::vector<BatchCrosswalk::BatchResult>> RunPanels(
     obs::Stopwatch panel_watch;
     const size_t begin = p * width;
     const size_t count = std::min(width, valid.size() - begin);
-    std::array<const linalg::Vector*, sparse::simd::kMaxPanelWidth> objs;
+    std::array<common::ColumnView, sparse::simd::kMaxPanelWidth> objs;
     std::array<std::optional<Result<CrosswalkResult>>*,
                sparse::simd::kMaxPanelWidth>
         slots;
     for (size_t k = 0; k < count; ++k) {
-      objs[k] = &objectives[valid[begin + k]].source;
+      objs[k] = common::ColumnView(objectives[valid[begin + k]].source);
       slots[k] = &results[valid[begin + k]];
     }
     size_t wi = common::ThreadPool::CurrentWorkerIndex();
@@ -130,6 +130,27 @@ Result<BatchCrosswalk> BatchCrosswalk::Create(
   GEOALIGN_ASSIGN_OR_RETURN(
       CrosswalkPlan plan,
       CrosswalkPlan::Compile(references, options));
+  return BatchCrosswalk(std::move(plan));
+}
+
+Result<BatchCrosswalk> BatchCrosswalk::Create(
+    std::vector<ReferenceAttributeView> references, GeoAlignOptions options) {
+  if (references.empty()) {
+    return Status::InvalidArgument("BatchCrosswalk: no references");
+  }
+  size_t num_source = references[0].source_aggregates.size();
+  size_t num_target = references[0].disaggregation.cols();
+  for (const ReferenceAttributeView& ref : references) {
+    if (ref.source_aggregates.size() != num_source ||
+        ref.disaggregation.rows() != num_source ||
+        ref.disaggregation.cols() != num_target) {
+      return Status::InvalidArgument("BatchCrosswalk: reference '" +
+                                     ref.name + "' shape mismatch");
+    }
+  }
+  GEOALIGN_ASSIGN_OR_RETURN(
+      CrosswalkPlan plan,
+      CrosswalkPlan::Compile(std::move(references), options));
   return BatchCrosswalk(std::move(plan));
 }
 

@@ -34,6 +34,14 @@ class BatchCrosswalk {
       std::vector<ReferenceAttribute> references,
       GeoAlignOptions options = {});
 
+  /// Zero-copy Create: the reference views flow into the compiled plan
+  /// without duplicating an aggregate column or CSR array. The viewed
+  /// memory must outlive the batch (attach keepalives to the views to
+  /// make that automatic).
+  static Result<BatchCrosswalk> Create(
+      std::vector<ReferenceAttributeView> references,
+      GeoAlignOptions options = {});
+
   /// One objective column to realign.
   struct Objective {
     std::string name;

@@ -4,9 +4,11 @@
 #include <string>
 #include <vector>
 
+#include "common/span.h"
 #include "common/status.h"
 #include "linalg/vector_ops.h"
 #include "sparse/csr_matrix.h"
+#include "sparse/prepared_reference.h"
 
 namespace geoalign::core {
 
@@ -51,6 +53,33 @@ struct CrosswalkInput {
   /// (order preserved as listed). Used by leave-n-out experiments.
   Result<CrosswalkInput> WithReferenceSubset(
       const std::vector<size_t>& keep) const;
+};
+
+/// Zero-copy flavor of ReferenceAttribute: the aggregate column is a
+/// borrowed view (optionally guarded by a keepalive) and the DM is
+/// typically a borrowed-mode CsrMatrix. Identical to — and directly
+/// consumed as — the sparse layer's Prepare input.
+using ReferenceAttributeView = sparse::ReferenceDataView;
+
+/// Zero-copy flavor of CrosswalkInput for embedding hosts that already
+/// hold the aggregate columns in columnar memory (Arrow buffers, the C
+/// ABI): compile paths consume the views without duplicating a single
+/// aggregate column. The viewed memory must outlive the compile call;
+/// whatever the compile produces retains only what it needs (the plan
+/// keeps reading the reference views, so those must outlive the plan —
+/// pass keepalives to make that automatic).
+struct CrosswalkInputView {
+  common::ColumnView objective_source;  ///< a^s_o
+  std::vector<ReferenceAttributeView> references;
+
+  size_t NumSourceUnits() const { return objective_source.size(); }
+  size_t NumTargetUnits() const {
+    return references.empty() ? 0 : references[0].disaggregation.cols();
+  }
+
+  /// Same checks — and byte-identical messages — as
+  /// CrosswalkInput::Validate.
+  Status Validate(double consistency_tol = 1e-6) const;
 };
 
 }  // namespace geoalign::core

@@ -64,6 +64,15 @@ obs::Counter& WorkspaceReuse() {
       obs::MetricsRegistry::Global().GetCounter("execute.workspace_reuse");
   return c;
 }
+// Bytes the ingest path duplicated to get reference data into a plan
+// (aggregate columns + CSR arrays). The owning Compile overloads pay
+// this once per reference; the view overloads keep it at zero — the
+// zero-copy contract tests and bench/ingest_path assert on the delta.
+obs::Counter& IngestBytesCopied() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("ingest.bytes_copied");
+  return c;
+}
 
 // Panel-lane telemetry: panels served, their width distribution, and
 // the ISA executes dispatch to (numeric Isa value; 0 = scalar,
@@ -186,16 +195,63 @@ Result<CrosswalkPlan> CrosswalkPlan::Compile(
         "GeoAlign: kFallbackDm requires options.fallback_dm");
   }
 
+  // The owning ingest path duplicates every reference (aggregate
+  // column + CSR arrays) into plan-owned storage; the view overload
+  // below is the copy-free path.
   std::vector<sparse::ReferenceData> data;
   data.reserve(references.size());
+  uint64_t bytes_copied = 0;
   for (const ReferenceAttribute& ref : references) {
+    bytes_copied +=
+        ref.source_aggregates.size() * sizeof(double) +
+        ref.disaggregation.row_ptr().size() * sizeof(size_t) +
+        ref.disaggregation.nnz() * (sizeof(size_t) + sizeof(double));
     data.push_back(sparse::ReferenceData{ref.name, ref.source_aggregates,
                                          ref.disaggregation});
   }
+  IngestBytesCopied().Add(bytes_copied);
   GEOALIGN_ASSIGN_OR_RETURN(
       sparse::PreparedReferenceSet prepared,
       sparse::PreparedReferenceSet::Prepare(std::move(data)));
+  GEOALIGN_ASSIGN_OR_RETURN(CrosswalkPlan plan,
+                            FinishCompile(std::move(prepared), options));
+  CompileCount().Add(1);
+  CompileLatencyUs().Record(compile_watch.ElapsedMicros());
+  return plan;
+}
 
+Result<CrosswalkPlan> CrosswalkPlan::Compile(CrosswalkInputView input,
+                                             const GeoAlignOptions& options) {
+  return Compile(std::move(input.references), options);
+}
+
+Result<CrosswalkPlan> CrosswalkPlan::Compile(
+    std::vector<ReferenceAttributeView> references,
+    const GeoAlignOptions& options) {
+  GEOALIGN_TRACE_SPAN("compile");
+  obs::Stopwatch compile_watch;
+  if (references.empty()) {
+    return Status::InvalidArgument("GeoAlign: no reference attributes");
+  }
+  if (options.zero_row_fallback == ZeroRowFallback::kFallbackDm &&
+      options.fallback_dm == nullptr) {
+    return Status::InvalidArgument(
+        "GeoAlign: kFallbackDm requires options.fallback_dm");
+  }
+  // Views flow straight into Prepare — no aggregate column or CSR
+  // array is duplicated, so IngestBytesCopied stays untouched.
+  GEOALIGN_ASSIGN_OR_RETURN(
+      sparse::PreparedReferenceSet prepared,
+      sparse::PreparedReferenceSet::Prepare(std::move(references)));
+  GEOALIGN_ASSIGN_OR_RETURN(CrosswalkPlan plan,
+                            FinishCompile(std::move(prepared), options));
+  CompileCount().Add(1);
+  CompileLatencyUs().Record(compile_watch.ElapsedMicros());
+  return plan;
+}
+
+Result<CrosswalkPlan> CrosswalkPlan::FinishCompile(
+    sparse::PreparedReferenceSet prepared, const GeoAlignOptions& options) {
   CrosswalkPlan plan(std::move(prepared), options);
 
   {
@@ -240,8 +296,6 @@ Result<CrosswalkPlan> CrosswalkPlan::Compile(
       plan.fallback_row_sums_ = plan.fallback_dm_->RowSums();
     }
   }
-  CompileCount().Add(1);
-  CompileLatencyUs().Record(compile_watch.ElapsedMicros());
   return plan;
 }
 
@@ -264,7 +318,7 @@ Result<linalg::Vector> CrosswalkPlan::SolveWeightsNormalized(
 }
 
 Result<linalg::Vector> CrosswalkPlan::LearnWeights(
-    const linalg::Vector& objective_source) const {
+    common::ColumnView objective_source) const {
   if (objective_source.size() != prepared_.num_source()) {
     return Status::InvalidArgument(
         "CrosswalkPlan: objective length does not match source units");
@@ -275,31 +329,31 @@ Result<linalg::Vector> CrosswalkPlan::LearnWeights(
 }
 
 Result<CrosswalkResult> CrosswalkPlan::Execute(
-    const linalg::Vector& objective_source) const {
+    common::ColumnView objective_source) const {
   return Execute(objective_source, options_.threads);
 }
 
 Result<CrosswalkResult> CrosswalkPlan::Execute(
-    const linalg::Vector& objective_source, size_t threads) const {
+    common::ColumnView objective_source, size_t threads) const {
   std::unique_ptr<common::ThreadPool> pool =
       common::MakePoolOrNull(common::ResolveThreadCount(threads));
   return ExecuteWith(objective_source, pool.get());
 }
 
 Result<CrosswalkResult> CrosswalkPlan::Execute(
-    const linalg::Vector& objective_source, ExecuteOutput output) const {
+    common::ColumnView objective_source, ExecuteOutput output) const {
   std::unique_ptr<common::ThreadPool> pool =
       common::MakePoolOrNull(common::ResolveThreadCount(options_.threads));
   return ExecuteWith(objective_source, pool.get(), output, nullptr);
 }
 
 Result<CrosswalkResult> CrosswalkPlan::ExecuteWith(
-    const linalg::Vector& objective_source, common::ThreadPool* pool) const {
+    common::ColumnView objective_source, common::ThreadPool* pool) const {
   return ExecuteWith(objective_source, pool, ExecuteOutput::kFullDm, nullptr);
 }
 
 Result<CrosswalkResult> CrosswalkPlan::ExecuteWith(
-    const linalg::Vector& objective_source, common::ThreadPool* pool,
+    common::ColumnView objective_source, common::ThreadPool* pool,
     ExecuteOutput output, ExecuteWorkspace* workspace) const {
   if (objective_source.size() != prepared_.num_source()) {
     return Status::InvalidArgument(
@@ -368,7 +422,7 @@ const linalg::Vector& CrosswalkPlan::EffectiveWeights(
 }
 
 Status CrosswalkPlan::ExecuteMaterializing(
-    const linalg::Vector& objective_source, const linalg::Vector& beta,
+    common::ColumnView objective_source, const linalg::Vector& beta,
     common::ThreadPool* pool, ExecuteWorkspace* ws,
     CrosswalkResult* result) const {
   Stopwatch watch;
@@ -451,7 +505,7 @@ Status CrosswalkPlan::ExecuteMaterializing(
 }
 
 Status CrosswalkPlan::ExecuteFusedAggregates(
-    const linalg::Vector& objective_source, const linalg::Vector& beta,
+    common::ColumnView objective_source, const linalg::Vector& beta,
     common::ThreadPool* pool, ExecuteWorkspace* ws,
     CrosswalkResult* result) const {
   GEOALIGN_TRACE_SPAN("execute.fused");
@@ -471,7 +525,7 @@ Status CrosswalkPlan::ExecuteFusedAggregates(
     in.denominators = &denom;
   }  // kFromDmRowSums: the kernel derives the denominators in-pass.
   in.zero_tolerance = options_.zero_tolerance;
-  in.row_scale = &objective_source;
+  in.row_scale = objective_source;
   // A fallback DM whose shape never validated is withheld from the
   // kernel; the error below fires on exactly the executes where the
   // materializing lane's rebuild would have failed (zero rows hit).
@@ -520,7 +574,7 @@ size_t CrosswalkPlan::panel_width() const {
 }
 
 void CrosswalkPlan::ExecutePanelWith(
-    const linalg::Vector* const* objectives,
+    const common::ColumnView* objectives,
     std::optional<Result<CrosswalkResult>>* const* results, size_t count,
     ExecuteWorkspace* workspace) const {
   if (count == 0) return;
@@ -528,7 +582,7 @@ void CrosswalkPlan::ExecutePanelWith(
     // Serving loops only route aligned plans here; keep the entry
     // total by degrading to the per-column lane.
     for (size_t i = 0; i < count; ++i) {
-      results[i]->emplace(ExecuteWith(*objectives[i], nullptr,
+      results[i]->emplace(ExecuteWith(objectives[i], nullptr,
                                       ExecuteOutput::kAggregatesOnly,
                                       workspace));
     }
@@ -543,7 +597,7 @@ void CrosswalkPlan::ExecutePanelWith(
 }
 
 void CrosswalkPlan::ExecuteOnePanel(
-    const linalg::Vector* const* objectives,
+    const common::ColumnView* objectives,
     std::optional<Result<CrosswalkResult>>* const* results, size_t count,
     ExecuteWorkspace* ws) const {
   GEOALIGN_TRACE_SPAN("execute.panel");
@@ -561,13 +615,13 @@ void CrosswalkPlan::ExecuteOnePanel(
   ExecuteWorkspace::PanelScratch& ps = ws->panel();
   ps.lanes.clear();
   for (size_t i = 0; i < count; ++i) {
-    if (objectives[i]->size() != prepared_.num_source()) {
+    if (objectives[i].size() != prepared_.num_source()) {
       results[i]->emplace(Status::InvalidArgument(
           "CrosswalkPlan: objective length does not match source units"));
       continue;
     }
     Stopwatch watch;
-    Result<linalg::Vector> b = linalg::NormalizeByMax(*objectives[i]);
+    Result<linalg::Vector> b = linalg::NormalizeByMax(objectives[i]);
     if (!b.ok()) {
       results[i]->emplace(b.status());
       continue;
@@ -619,7 +673,7 @@ void CrosswalkPlan::ExecuteOnePanel(
     // loop of the single-column lane — bit-identical per element.
     for (size_t mi = 0; mi < num_refs; ++mi) {
       ps.operand_aggregates.push_back(
-          &prepared_.reference(mi).source_aggregates);
+          prepared_.reference(mi).source_aggregates);
     }
     in.operand_aggregates = ps.operand_aggregates.data();
   }

@@ -69,6 +69,21 @@ class CrosswalkPlan {
       const std::vector<ReferenceAttribute>& references,
       const GeoAlignOptions& options);
 
+  /// Zero-copy compile: the reference aggregate columns stay borrowed
+  /// caller memory all the way into the prepared set — no aggregate
+  /// column is duplicated (the `ingest.bytes_copied` counter stays
+  /// flat). The viewed memory must outlive the plan; attach keepalives
+  /// to the views to make that automatic. Surfaces the same errors —
+  /// and produces the same fingerprint for the same bytes — as the
+  /// owning overloads, so PlanCache keys are ingest-path independent.
+  static Result<CrosswalkPlan> Compile(CrosswalkInputView input,
+                                       const GeoAlignOptions& options);
+
+  /// Same, from a bare reference-view list.
+  static Result<CrosswalkPlan> Compile(
+      std::vector<ReferenceAttributeView> references,
+      const GeoAlignOptions& options);
+
   CrosswalkPlan(CrosswalkPlan&&) = default;
   CrosswalkPlan& operator=(CrosswalkPlan&&) = default;
   CrosswalkPlan(const CrosswalkPlan&) = delete;
@@ -77,25 +92,26 @@ class CrosswalkPlan {
   /// Runs weight learning (Eq. 15) + disaggregation (Eq. 14) +
   /// re-aggregation (Eq. 17) for one objective column, spinning up a
   /// pool per `options().threads` (the legacy Crosswalk behaviour).
-  Result<CrosswalkResult> Execute(
-      const linalg::Vector& objective_source) const;
+  /// Objective columns are borrowed views (a `linalg::Vector` converts
+  /// implicitly) valid for the duration of the call only.
+  Result<CrosswalkResult> Execute(common::ColumnView objective_source) const;
 
   /// Same, overriding the thread count for this execution only
   /// (0 = hardware concurrency, 1 = inline).
-  Result<CrosswalkResult> Execute(const linalg::Vector& objective_source,
+  Result<CrosswalkResult> Execute(common::ColumnView objective_source,
                                   size_t threads) const;
 
   /// Same as Execute(objective_source), selecting the output shape:
   /// ExecuteOutput::kAggregatesOnly takes the fused Eq. 14+17 lane
   /// (aligned reference structures) and never materializes DM̂_o.
-  Result<CrosswalkResult> Execute(const linalg::Vector& objective_source,
+  Result<CrosswalkResult> Execute(common::ColumnView objective_source,
                                   ExecuteOutput output) const;
 
   /// Same, running the parallel kernels on a caller-owned pool
   /// (nullptr = inline). This is the serving-path entry: RealignMany
   /// and BatchCrosswalk execute one shared plan across their outer
   /// pool.
-  Result<CrosswalkResult> ExecuteWith(const linalg::Vector& objective_source,
+  Result<CrosswalkResult> ExecuteWith(common::ColumnView objective_source,
                                       common::ThreadPool* pool) const;
 
   /// Full serving-path entry: output shape plus an optional reusable
@@ -107,7 +123,7 @@ class CrosswalkPlan {
   /// Bit-identity: output shape and workspace reuse never change any
   /// produced value — `target_estimates`, `weights`, and `zero_rows`
   /// carry exactly the kFullDm/no-workspace bits.
-  Result<CrosswalkResult> ExecuteWith(const linalg::Vector& objective_source,
+  Result<CrosswalkResult> ExecuteWith(common::ColumnView objective_source,
                                       common::ThreadPool* pool,
                                       ExecuteOutput output,
                                       ExecuteWorkspace* workspace) const;
@@ -122,13 +138,14 @@ class CrosswalkPlan {
   /// ExecuteWith(kAggregatesOnly) calls, at every panel width, ISA,
   /// and thread count.
   ///
-  /// `objectives` and `results` are arrays of `count` non-null
-  /// pointers; `workspace` is the reusable per-slot arena (nullptr
-  /// uses a per-call local one). Serving loops slice their columns
-  /// into panels of panel_width() and run one call per panel; counts
-  /// above simd::kMaxPanelWidth are split internally. Non-aligned
-  /// prepared sets fall back to per-column ExecuteWith.
-  void ExecutePanelWith(const linalg::Vector* const* objectives,
+  /// `objectives` is an array of `count` borrowed column views and
+  /// `results` an array of `count` non-null pointers; `workspace` is
+  /// the reusable per-slot arena (nullptr uses a per-call local one).
+  /// Serving loops slice their columns into panels of panel_width()
+  /// and run one call per panel; counts above simd::kMaxPanelWidth are
+  /// split internally. Non-aligned prepared sets fall back to
+  /// per-column ExecuteWith.
+  void ExecutePanelWith(const common::ColumnView* objectives,
                         std::optional<Result<CrosswalkResult>>* const* results,
                         size_t count, ExecuteWorkspace* workspace) const;
 
@@ -144,7 +161,7 @@ class CrosswalkPlan {
 
   /// Weight learning only (Eq. 15) — β for one objective column.
   Result<linalg::Vector> LearnWeights(
-      const linalg::Vector& objective_source) const;
+      common::ColumnView objective_source) const;
 
   size_t num_source_units() const { return prepared_.num_source(); }
   size_t num_target_units() const { return prepared_.num_target(); }
@@ -166,6 +183,12 @@ class CrosswalkPlan {
   CrosswalkPlan(sparse::PreparedReferenceSet prepared,
                 GeoAlignOptions options);
 
+  /// The shared Compile tail: design matrix, Gram, workspace spec,
+  /// fallback snapshot — everything after the prepared set exists.
+  /// Telemetry stays in the public Compile entries.
+  static Result<CrosswalkPlan> FinishCompile(
+      sparse::PreparedReferenceSet prepared, const GeoAlignOptions& options);
+
   /// β for an already max-normalized objective vector.
   Result<linalg::Vector> SolveWeightsNormalized(
       const linalg::Vector& b_normalized) const;
@@ -178,14 +201,14 @@ class CrosswalkPlan {
   /// The materializing lane: WeightedSum → DivideRowsOrZero →
   /// ScaleRows → [fallback rebuild] → ColSumsDeterministic; fills
   /// result's estimated_dm / target_estimates / zero_rows / timing.
-  Status ExecuteMaterializing(const linalg::Vector& objective_source,
+  Status ExecuteMaterializing(common::ColumnView objective_source,
                               const linalg::Vector& beta,
                               common::ThreadPool* pool, ExecuteWorkspace* ws,
                               CrosswalkResult* result) const;
 
   /// The fused aggregates-only lane (aligned structures only):
   /// sparse::FusedAggregatesAligned straight into target_estimates.
-  Status ExecuteFusedAggregates(const linalg::Vector& objective_source,
+  Status ExecuteFusedAggregates(common::ColumnView objective_source,
                                 const linalg::Vector& beta,
                                 common::ThreadPool* pool,
                                 ExecuteWorkspace* ws,
@@ -194,7 +217,7 @@ class CrosswalkPlan {
   /// One panel (count <= simd::kMaxPanelWidth) of the panel lane:
   /// per-column weight solves, lane-major weight staging, one
   /// FusedAggregatesPanel call, per-column result fill.
-  void ExecuteOnePanel(const linalg::Vector* const* objectives,
+  void ExecuteOnePanel(const common::ColumnView* objectives,
                        std::optional<Result<CrosswalkResult>>* const* results,
                        size_t count, ExecuteWorkspace* ws) const;
 

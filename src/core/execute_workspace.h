@@ -53,8 +53,8 @@ class ExecuteWorkspace {
   /// grows nothing.
   struct PanelScratch {
     std::vector<double> lane_weights;  ///< references × width, lane-major
-    std::vector<const linalg::Vector*> row_scales;
-    std::vector<const linalg::Vector*> operand_aggregates;
+    std::vector<common::ColumnView> row_scales;
+    std::vector<common::ColumnView> operand_aggregates;
     std::vector<linalg::Vector*> targets;
     std::vector<std::vector<size_t>*> zero_lists;
     std::vector<size_t> lanes;  ///< panel-local → caller column index

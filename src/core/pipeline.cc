@@ -117,6 +117,53 @@ Result<CrosswalkPipeline> CrosswalkPipeline::Create(
   return pipeline;
 }
 
+Result<CrosswalkPipeline> CrosswalkPipeline::Create(
+    std::vector<std::string> source_units,
+    std::vector<std::string> target_units,
+    std::vector<ReferenceAttributeView> references,
+    std::shared_ptr<const Interpolator> method) {
+  if (source_units.empty() || target_units.empty()) {
+    return Status::InvalidArgument("CrosswalkPipeline: empty unit lists");
+  }
+  if (references.empty()) {
+    return Status::InvalidArgument("CrosswalkPipeline: no references");
+  }
+  for (const ReferenceAttributeView& ref : references) {
+    if (ref.source_aggregates.size() != source_units.size() ||
+        ref.disaggregation.rows() != source_units.size() ||
+        ref.disaggregation.cols() != target_units.size()) {
+      return Status::InvalidArgument(
+          "CrosswalkPipeline: reference '" + ref.name +
+          "' does not match the unit lists");
+    }
+  }
+  if (method == nullptr) {
+    method = std::make_shared<GeoAlign>();
+  }
+  const auto* ga = dynamic_cast<const GeoAlign*>(method.get());
+  if (ga == nullptr) {
+    return Status::InvalidArgument(
+        "CrosswalkPipeline: view-based Create requires a GeoAlign method");
+  }
+  const GeoAlignOptions options = ga->options();
+  CrosswalkPipeline pipeline(std::move(source_units), std::move(target_units),
+                             {}, std::move(method));
+  GEOALIGN_ASSIGN_OR_RETURN(
+      pipeline.source_index_,
+      BuildUnitIndex(pipeline.source_units_, "source"));
+  GEOALIGN_ASSIGN_OR_RETURN(
+      pipeline.target_index_,
+      BuildUnitIndex(pipeline.target_units_, "target"));
+  // Unlike the owning Create there is nothing to fall back to per call
+  // (the pipeline holds no owning reference copies), so a compile
+  // error fails Create instead of resurfacing at Realign time.
+  GEOALIGN_ASSIGN_OR_RETURN(
+      CrosswalkPlan plan,
+      CrosswalkPlan::Compile(std::move(references), options));
+  pipeline.plan_ = std::make_shared<const CrosswalkPlan>(std::move(plan));
+  return pipeline;
+}
+
 Result<linalg::Vector> CrosswalkPipeline::ResolveColumn(
     const std::vector<std::pair<std::string, double>>& column,
     const std::unordered_map<std::string, size_t>& index) const {
@@ -203,12 +250,12 @@ Result<std::vector<CrosswalkResult>> CrosswalkPipeline::RealignMany(
       obs::Stopwatch panel_watch;
       const size_t begin = p * width;
       const size_t count = std::min(width, valid.size() - begin);
-      std::array<const linalg::Vector*, sparse::simd::kMaxPanelWidth> objs;
+      std::array<common::ColumnView, sparse::simd::kMaxPanelWidth> objs;
       std::array<std::optional<Result<CrosswalkResult>>*,
                  sparse::simd::kMaxPanelWidth>
           slots;
       for (size_t k = 0; k < count; ++k) {
-        objs[k] = &resolved[valid[begin + k]];
+        objs[k] = common::ColumnView(resolved[valid[begin + k]]);
         slots[k] = &results[valid[begin + k]];
       }
       size_t wi = common::ThreadPool::CurrentWorkerIndex();

@@ -39,6 +39,17 @@ class CrosswalkPipeline {
       std::vector<ReferenceAttribute> references,
       std::shared_ptr<const Interpolator> method = nullptr);
 
+  /// Zero-copy Create: reference aggregate columns and CSR arrays stay
+  /// borrowed caller memory through plan compilation (attach keepalives
+  /// to the views to tie lifetime to the pipeline). Requires a GeoAlign
+  /// method (default when null) — there is no per-call fallback for
+  /// views, so compile errors surface here rather than at Realign time.
+  static Result<CrosswalkPipeline> Create(
+      std::vector<std::string> source_units,
+      std::vector<std::string> target_units,
+      std::vector<ReferenceAttributeView> references,
+      std::shared_ptr<const Interpolator> method = nullptr);
+
   /// Realigns a (unit name, value) column from source to target units.
   /// Unknown unit names error; source units absent from the column get
   /// value 0. Returns estimates in target-unit index order.

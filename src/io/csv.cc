@@ -83,7 +83,7 @@ Result<Table> ParseCsv(const std::string& text) {
   if (text.empty()) return Status::InvalidArgument("CSV: empty input");
   GEOALIGN_ASSIGN_OR_RETURN(std::vector<std::string> header,
                             ParseRecord(text, &pos));
-  Table table(std::move(header));
+  GEOALIGN_ASSIGN_OR_RETURN(Table table, Table::Create(std::move(header)));
   while (pos < text.size()) {
     // Skip blank trailing lines.
     if (text[pos] == '\n' || text[pos] == '\r') {
@@ -113,10 +113,10 @@ std::string ToCsv(const Table& table) {
     AppendField(&out, cols[c]);
   }
   out += '\n';
-  for (const auto& row : table.rows()) {
-    for (size_t c = 0; c < row.size(); ++c) {
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    for (size_t c = 0; c < cols.size(); ++c) {
       if (c > 0) out += ',';
-      AppendField(&out, row[c]);
+      AppendField(&out, table.Cell(r, c));
     }
     out += '\n';
   }

@@ -6,60 +6,90 @@
 namespace geoalign::io {
 
 Table::Table(std::vector<std::string> column_names)
-    : columns_(std::move(column_names)) {}
+    : names_(std::move(column_names)), cols_(names_.size()) {}
+
+Result<Table> Table::Create(std::vector<std::string> column_names) {
+  for (size_t c = 0; c < column_names.size(); ++c) {
+    for (size_t prev = 0; prev < c; ++prev) {
+      if (column_names[prev] == column_names[c]) {
+        return Status::InvalidArgument("Table: duplicate column name '" +
+                                       column_names[c] + "'");
+      }
+    }
+  }
+  return Table(std::move(column_names));
+}
 
 Result<size_t> Table::ColumnIndex(const std::string& name) const {
-  for (size_t c = 0; c < columns_.size(); ++c) {
-    if (columns_[c] == name) return c;
+  for (size_t c = 0; c < names_.size(); ++c) {
+    if (names_[c] == name) return c;
   }
   return Status::NotFound("Table: no column named '" + name + "'");
 }
 
 Status Table::AppendRow(std::vector<std::string> cells) {
-  if (cells.size() != columns_.size()) {
+  if (cells.size() != names_.size()) {
     return Status::InvalidArgument(
         StrFormat("Table: row has %zu cells, table has %zu columns",
-                  cells.size(), columns_.size()));
+                  cells.size(), names_.size()));
   }
-  rows_.push_back(std::move(cells));
+  for (size_t c = 0; c < cells.size(); ++c) {
+    Column& col = cols_[c];
+    if (col.numeric_ok) {
+      Result<double> v = ParseDouble(cells[c]);
+      if (v.ok()) {
+        col.numeric.push_back(v.value());
+      } else {
+        // First unparsable cell: remember where, drop the cache.
+        col.numeric_ok = false;
+        col.first_bad_row = num_rows_;
+        col.numeric.clear();
+        col.numeric.shrink_to_fit();
+      }
+    }
+    col.cells.push_back(std::move(cells[c]));
+  }
+  ++num_rows_;
   return Status::OK();
 }
 
 const std::string& Table::Cell(size_t row, size_t col) const {
-  GEOALIGN_CHECK(row < rows_.size() && col < columns_.size());
-  return rows_[row][col];
+  GEOALIGN_CHECK(row < num_rows_ && col < names_.size());
+  return cols_[col].cells[row];
 }
 
 Result<std::vector<std::string>> Table::StringColumn(
     const std::string& name) const {
   GEOALIGN_ASSIGN_OR_RETURN(size_t c, ColumnIndex(name));
-  std::vector<std::string> out;
-  out.reserve(rows_.size());
-  for (const auto& row : rows_) out.push_back(row[c]);
-  return out;
+  return cols_[c].cells;
+}
+
+Status Table::NumericError(const std::string& name, const Column& col) const {
+  return Status::InvalidArgument(
+      StrFormat("Table: column '%s' row %zu: cannot parse double: '%s'",
+                name.c_str(), col.first_bad_row,
+                col.cells[col.first_bad_row].c_str()));
 }
 
 Result<std::vector<double>> Table::NumericColumn(
     const std::string& name) const {
   GEOALIGN_ASSIGN_OR_RETURN(size_t c, ColumnIndex(name));
-  std::vector<double> out;
-  out.reserve(rows_.size());
-  for (const auto& row : rows_) {
-    GEOALIGN_ASSIGN_OR_RETURN(double v, ParseDouble(row[c]));
-    out.push_back(v);
-  }
-  return out;
+  const Column& col = cols_[c];
+  if (!col.numeric_ok) return NumericError(name, col);
+  return col.numeric;
 }
 
 Result<std::vector<std::pair<std::string, double>>> Table::KeyValueColumn(
     const std::string& key_column, const std::string& value_column) const {
   GEOALIGN_ASSIGN_OR_RETURN(size_t kc, ColumnIndex(key_column));
   GEOALIGN_ASSIGN_OR_RETURN(size_t vc, ColumnIndex(value_column));
+  const Column& keys = cols_[kc];
+  const Column& values = cols_[vc];
+  if (!values.numeric_ok) return NumericError(value_column, values);
   std::vector<std::pair<std::string, double>> out;
-  out.reserve(rows_.size());
-  for (const auto& row : rows_) {
-    GEOALIGN_ASSIGN_OR_RETURN(double v, ParseDouble(row[vc]));
-    out.emplace_back(row[kc], v);
+  out.reserve(num_rows_);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    out.emplace_back(keys.cells[r], values.numeric[r]);
   }
   return out;
 }

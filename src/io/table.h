@@ -9,22 +9,36 @@
 
 namespace geoalign::io {
 
-/// A small in-memory column table (string cells with typed accessors)
-/// — the shape of the aggregate tables the paper's pipeline consumes
-/// (unit id column + value columns, as in Fig. 1).
+/// A small in-memory column table — the shape of the aggregate tables
+/// the paper's pipeline consumes (unit id column + value columns, as
+/// in Fig. 1).
+///
+/// Storage is columnar: each column keeps its cells contiguously plus
+/// a numeric cache parsed once on ingest, so NumericColumn and
+/// KeyValueColumn never re-parse a cell. The row-oriented API
+/// (AppendRow, Cell) is unchanged; a row is distributed across its
+/// columns on append.
 class Table {
  public:
   Table() = default;
+  /// Unchecked construction (trusted literal headers). Use Create for
+  /// untrusted headers — a duplicate name would make ColumnIndex
+  /// silently resolve to the first occurrence.
   explicit Table(std::vector<std::string> column_names);
 
-  size_t NumRows() const { return rows_.size(); }
-  size_t NumColumns() const { return columns_.size(); }
-  const std::vector<std::string>& column_names() const { return columns_; }
+  /// Duplicate-rejecting construction; the CSV reader ingests headers
+  /// through this.
+  static Result<Table> Create(std::vector<std::string> column_names);
+
+  size_t NumRows() const { return num_rows_; }
+  size_t NumColumns() const { return names_.size(); }
+  const std::vector<std::string>& column_names() const { return names_; }
 
   /// Index of the named column.
   Result<size_t> ColumnIndex(const std::string& name) const;
 
-  /// Appends a row; must match the column count.
+  /// Appends a row; must match the column count. Each cell is parsed
+  /// into its column's numeric cache here (parse-once ingest).
   Status AppendRow(std::vector<std::string> cells);
 
   const std::string& Cell(size_t row, size_t col) const;
@@ -32,19 +46,36 @@ class Table {
   /// Column of raw strings.
   Result<std::vector<std::string>> StringColumn(const std::string& name) const;
 
-  /// Column parsed as doubles.
+  /// Column as doubles, from the ingest-time cache. A column with any
+  /// unparsable cell (including trailing garbage like "12x") errors
+  /// with the offending row index and cell text.
   Result<std::vector<double>> NumericColumn(const std::string& name) const;
 
   /// (key, value) pairs from two columns — the shape
-  /// `CrosswalkPipeline` takes.
+  /// `CrosswalkPipeline` takes. Value parse failures report like
+  /// NumericColumn.
   Result<std::vector<std::pair<std::string, double>>> KeyValueColumn(
       const std::string& key_column, const std::string& value_column) const;
 
-  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
-
  private:
-  std::vector<std::string> columns_;
-  std::vector<std::vector<std::string>> rows_;
+  /// One typed column: the string cells plus the parse-once numeric
+  /// cache. `numeric` tracks the cells only while every cell so far
+  /// parsed; the first failure records its position and drops the
+  /// cache (most string columns fail on row 0, so the cache costs one
+  /// parse attempt).
+  struct Column {
+    std::vector<std::string> cells;
+    std::vector<double> numeric;
+    bool numeric_ok = true;
+    size_t first_bad_row = 0;  ///< valid when !numeric_ok
+  };
+
+  /// The hardened parse error for NumericColumn/KeyValueColumn.
+  Status NumericError(const std::string& name, const Column& col) const;
+
+  std::vector<std::string> names_;
+  std::vector<Column> cols_;
+  size_t num_rows_ = 0;
 };
 
 }  // namespace geoalign::io

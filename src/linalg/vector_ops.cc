@@ -8,43 +8,43 @@
 
 namespace geoalign::linalg {
 
-double Dot(const Vector& a, const Vector& b) {
+double Dot(VectorView a, VectorView b) {
   GEOALIGN_CHECK(a.size() == b.size()) << "Dot: size mismatch";
   double acc = 0.0;
   for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
   return acc;
 }
 
-double Norm2(const Vector& a) { return std::sqrt(Dot(a, a)); }
+double Norm2(VectorView a) { return std::sqrt(Dot(a, a)); }
 
-double NormInf(const Vector& a) {
+double NormInf(VectorView a) {
   double m = 0.0;
   for (double v : a) m = std::max(m, std::fabs(v));
   return m;
 }
 
-double Sum(const Vector& a) {
+double Sum(VectorView a) {
   double acc = 0.0;
   for (double v : a) acc += v;
   return acc;
 }
 
-double Mean(const Vector& a) {
+double Mean(VectorView a) {
   if (a.empty()) return 0.0;
   return Sum(a) / static_cast<double>(a.size());
 }
 
-double Max(const Vector& a) {
+double Max(VectorView a) {
   GEOALIGN_CHECK(!a.empty());
   return *std::max_element(a.begin(), a.end());
 }
 
-double Min(const Vector& a) {
+double Min(VectorView a) {
   GEOALIGN_CHECK(!a.empty());
   return *std::min_element(a.begin(), a.end());
 }
 
-void Axpy(double alpha, const Vector& x, Vector& y) {
+void Axpy(double alpha, VectorView x, Vector& y) {
   GEOALIGN_CHECK(x.size() == y.size()) << "Axpy: size mismatch";
   for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
 }
@@ -53,21 +53,21 @@ void Scale(Vector& a, double s) {
   for (double& v : a) v *= s;
 }
 
-Vector Sub(const Vector& a, const Vector& b) {
+Vector Sub(VectorView a, VectorView b) {
   GEOALIGN_CHECK(a.size() == b.size()) << "Sub: size mismatch";
   Vector out(a.size());
   for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
   return out;
 }
 
-Vector Add(const Vector& a, const Vector& b) {
+Vector Add(VectorView a, VectorView b) {
   GEOALIGN_CHECK(a.size() == b.size()) << "Add: size mismatch";
   Vector out(a.size());
   for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
   return out;
 }
 
-Result<Vector> NormalizeByMax(const Vector& a) {
+Result<Vector> NormalizeByMax(VectorView a) {
   if (a.empty()) return Status::InvalidArgument("NormalizeByMax: empty");
   double mx = 0.0;
   for (double v : a) {
@@ -80,12 +80,12 @@ Result<Vector> NormalizeByMax(const Vector& a) {
   if (ExactlyZero(mx)) {
     return Status::InvalidArgument("NormalizeByMax: all-zero vector");
   }
-  Vector out(a);
+  Vector out(a.begin(), a.end());
   Scale(out, 1.0 / mx);
   return out;
 }
 
-bool AllClose(const Vector& a, const Vector& b, double tol) {
+bool AllClose(VectorView a, VectorView b, double tol) {
   if (a.size() != b.size()) return false;
   for (size_t i = 0; i < a.size(); ++i) {
     if (std::fabs(a[i] - b[i]) > tol) return false;

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/span.h"
 #include "common/status.h"
 
 namespace geoalign::linalg {
@@ -12,46 +13,51 @@ namespace geoalign::linalg {
 /// trivial.
 using Vector = std::vector<double>;
 
+/// Read-only vector argument: a borrowed view. `Vector` converts
+/// implicitly, so owning call sites are unchanged; zero-copy callers
+/// (the C ABI, Arrow buffers) pass raw pointer + length directly.
+using VectorView = common::ConstSpan<double>;
+
 /// Dot product; requires equal sizes.
-double Dot(const Vector& a, const Vector& b);
+double Dot(VectorView a, VectorView b);
 
 /// Euclidean norm.
-double Norm2(const Vector& a);
+double Norm2(VectorView a);
 
 /// Max-norm (largest absolute entry; 0 for empty).
-double NormInf(const Vector& a);
+double NormInf(VectorView a);
 
 /// Sum of entries.
-double Sum(const Vector& a);
+double Sum(VectorView a);
 
 /// Arithmetic mean (0 for empty).
-double Mean(const Vector& a);
+double Mean(VectorView a);
 
 /// Largest entry; requires non-empty.
-double Max(const Vector& a);
+double Max(VectorView a);
 
 /// Smallest entry; requires non-empty.
-double Min(const Vector& a);
+double Min(VectorView a);
 
 /// y += alpha * x (sizes must match).
-void Axpy(double alpha, const Vector& x, Vector& y);
+void Axpy(double alpha, VectorView x, Vector& y);
 
 /// Multiplies every entry by s.
 void Scale(Vector& a, double s);
 
 /// a - b elementwise.
-Vector Sub(const Vector& a, const Vector& b);
+Vector Sub(VectorView a, VectorView b);
 
 /// a + b elementwise.
-Vector Add(const Vector& a, const Vector& b);
+Vector Add(VectorView a, VectorView b);
 
 /// Divides by the maximum entry, the normalization GeoAlign applies to
 /// reference/objective aggregate vectors (paper §3.4). Returns an error
 /// if any entry is negative or all entries are zero.
-Result<Vector> NormalizeByMax(const Vector& a);
+Result<Vector> NormalizeByMax(VectorView a);
 
 /// True when every |a[i]-b[i]| <= tol.
-bool AllClose(const Vector& a, const Vector& b, double tol);
+bool AllClose(VectorView a, VectorView b, double tol);
 
 }  // namespace geoalign::linalg
 

@@ -8,13 +8,13 @@
 
 namespace geoalign::sparse {
 
-CsrMatrix::CsrMatrix(size_t rows, size_t cols)
-    : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
+namespace {
 
-Result<CsrMatrix> CsrMatrix::FromCsrArrays(size_t rows, size_t cols,
-                                           std::vector<size_t> row_ptr,
-                                           std::vector<size_t> col_idx,
-                                           std::vector<double> values) {
+/// Shared structural validation for both construction paths.
+Status ValidateCsr(size_t rows, size_t cols,
+                   common::ConstSpan<size_t> row_ptr,
+                   common::ConstSpan<size_t> col_idx,
+                   common::ConstSpan<double> values) {
   if (row_ptr.size() != rows + 1) {
     return Status::InvalidArgument("CSR: row_ptr must have rows+1 entries");
   }
@@ -36,10 +36,38 @@ Result<CsrMatrix> CsrMatrix::FromCsrArrays(size_t rows, size_t cols,
       }
     }
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+CsrMatrix::CsrMatrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
+
+Result<CsrMatrix> CsrMatrix::FromCsrArrays(size_t rows, size_t cols,
+                                           std::vector<size_t> row_ptr,
+                                           std::vector<size_t> col_idx,
+                                           std::vector<double> values) {
+  GEOALIGN_RETURN_IF_ERROR(
+      ValidateCsr(rows, cols, row_ptr, col_idx, values));
   CsrMatrix m(rows, cols);
   m.row_ptr_ = std::move(row_ptr);
   m.col_idx_ = std::move(col_idx);
   m.values_ = std::move(values);
+  return m;
+}
+
+Result<CsrMatrix> CsrMatrix::FromBorrowed(
+    const CsrView& view, std::shared_ptr<const void> keepalive) {
+  GEOALIGN_RETURN_IF_ERROR(ValidateCsr(view.rows, view.cols, view.row_ptr,
+                                       view.col_idx, view.values));
+  CsrMatrix m(view.rows, view.cols);
+  m.row_ptr_.clear();  // unused in borrowed mode
+  m.borrowed_ = true;
+  m.view_row_ptr_ = view.row_ptr;
+  m.view_col_idx_ = view.col_idx;
+  m.view_values_ = view.values;
+  m.keepalive_ = std::move(keepalive);
   return m;
 }
 
@@ -58,76 +86,102 @@ CsrMatrix CsrMatrix::FromDense(const linalg::Matrix& m, double prune_below) {
   return out;
 }
 
+void CsrMatrix::EnsureOwned() {
+  if (!borrowed_) return;
+  row_ptr_.assign(view_row_ptr_.begin(), view_row_ptr_.end());
+  col_idx_.assign(view_col_idx_.begin(), view_col_idx_.end());
+  values_.assign(view_values_.begin(), view_values_.end());
+  borrowed_ = false;
+  view_row_ptr_ = {};
+  view_col_idx_ = {};
+  view_values_ = {};
+  keepalive_.reset();
+}
+
 double CsrMatrix::At(size_t r, size_t c) const {
   GEOALIGN_DCHECK(r < rows_ && c < cols_);
-  const size_t* begin = col_idx_.data() + row_ptr_[r];
-  const size_t* end = col_idx_.data() + row_ptr_[r + 1];
+  common::ConstSpan<size_t> rp = row_ptr();
+  common::ConstSpan<size_t> ci = col_idx();
+  const size_t* begin = ci.data() + rp[r];
+  const size_t* end = ci.data() + rp[r + 1];
   const size_t* it = std::lower_bound(begin, end, c);
   if (it != end && *it == c) {
-    return values_[static_cast<size_t>(it - col_idx_.data())];
+    return values()[static_cast<size_t>(it - ci.data())];
   }
   return 0.0;
 }
 
 CsrMatrix::RowView CsrMatrix::Row(size_t r) const {
   GEOALIGN_DCHECK(r < rows_);
+  common::ConstSpan<size_t> rp = row_ptr();
   RowView v;
-  v.cols = col_idx_.data() + row_ptr_[r];
-  v.values = values_.data() + row_ptr_[r];
-  v.size = row_ptr_[r + 1] - row_ptr_[r];
+  v.cols = col_idx().data() + rp[r];
+  v.values = values().data() + rp[r];
+  v.size = rp[r + 1] - rp[r];
   return v;
 }
 
 linalg::Vector CsrMatrix::RowSums() const {
+  common::ConstSpan<size_t> rp = row_ptr();
+  common::ConstSpan<double> vals = values();
   linalg::Vector out(rows_, 0.0);
   for (size_t r = 0; r < rows_; ++r) {
     double acc = 0.0;
-    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) acc += values_[k];
+    for (size_t k = rp[r]; k < rp[r + 1]; ++k) acc += vals[k];
     out[r] = acc;
   }
   return out;
 }
 
 linalg::Vector CsrMatrix::ColSums() const {
+  common::ConstSpan<size_t> ci = col_idx();
+  common::ConstSpan<double> vals = values();
   linalg::Vector out(cols_, 0.0);
-  for (size_t k = 0; k < values_.size(); ++k) out[col_idx_[k]] += values_[k];
+  for (size_t k = 0; k < vals.size(); ++k) out[ci[k]] += vals[k];
   return out;
 }
 
 double CsrMatrix::Total() const {
   double acc = 0.0;
-  for (double v : values_) acc += v;
+  for (double v : values()) acc += v;
   return acc;
 }
 
-linalg::Vector CsrMatrix::MatVec(const linalg::Vector& x) const {
+linalg::Vector CsrMatrix::MatVec(common::ConstSpan<double> x) const {
   GEOALIGN_CHECK(x.size() == cols_) << "CSR MatVec: size mismatch";
+  common::ConstSpan<size_t> rp = row_ptr();
+  common::ConstSpan<size_t> ci = col_idx();
+  common::ConstSpan<double> vals = values();
   linalg::Vector out(rows_, 0.0);
   for (size_t r = 0; r < rows_; ++r) {
     double acc = 0.0;
-    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      acc += values_[k] * x[col_idx_[k]];
+    for (size_t k = rp[r]; k < rp[r + 1]; ++k) {
+      acc += vals[k] * x[ci[k]];
     }
     out[r] = acc;
   }
   return out;
 }
 
-linalg::Vector CsrMatrix::MatTVec(const linalg::Vector& x) const {
+linalg::Vector CsrMatrix::MatTVec(common::ConstSpan<double> x) const {
   GEOALIGN_CHECK(x.size() == rows_) << "CSR MatTVec: size mismatch";
+  common::ConstSpan<size_t> rp = row_ptr();
+  common::ConstSpan<size_t> ci = col_idx();
+  common::ConstSpan<double> vals = values();
   linalg::Vector out(cols_, 0.0);
   for (size_t r = 0; r < rows_; ++r) {
     double xr = x[r];
     if (ExactlyZero(xr)) continue;
-    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      out[col_idx_[k]] += values_[k] * xr;
+    for (size_t k = rp[r]; k < rp[r + 1]; ++k) {
+      out[ci[k]] += vals[k] * xr;
     }
   }
   return out;
 }
 
-void CsrMatrix::ScaleRows(const linalg::Vector& s) {
+void CsrMatrix::ScaleRows(common::ConstSpan<double> s) {
   GEOALIGN_CHECK(s.size() == rows_) << "CSR ScaleRows: size mismatch";
+  EnsureOwned();
   for (size_t r = 0; r < rows_; ++r) {
     for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
       values_[k] *= s[r];
@@ -136,14 +190,18 @@ void CsrMatrix::ScaleRows(const linalg::Vector& s) {
 }
 
 void CsrMatrix::Scale(double s) {
+  EnsureOwned();
   for (double& v : values_) v *= s;
 }
 
 CsrMatrix CsrMatrix::Transposed() const {
+  common::ConstSpan<size_t> rp = row_ptr();
+  common::ConstSpan<size_t> ci = col_idx();
+  common::ConstSpan<double> vals = values();
   CsrMatrix out(cols_, rows_);
   // Count entries per output row (input column).
   std::vector<size_t> counts(cols_, 0);
-  for (size_t c : col_idx_) ++counts[c];
+  for (size_t c : ci) ++counts[c];
   out.row_ptr_.assign(cols_ + 1, 0);
   for (size_t c = 0; c < cols_; ++c) {
     out.row_ptr_[c + 1] = out.row_ptr_[c] + counts[c];
@@ -152,36 +210,42 @@ CsrMatrix CsrMatrix::Transposed() const {
   out.values_.resize(nnz());
   std::vector<size_t> next(out.row_ptr_.begin(), out.row_ptr_.end() - 1);
   for (size_t r = 0; r < rows_; ++r) {
-    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      size_t pos = next[col_idx_[k]]++;
+    for (size_t k = rp[r]; k < rp[r + 1]; ++k) {
+      size_t pos = next[ci[k]]++;
       out.col_idx_[pos] = r;
-      out.values_[pos] = values_[k];
+      out.values_[pos] = vals[k];
     }
   }
   return out;
 }
 
 linalg::Matrix CsrMatrix::ToDense() const {
+  common::ConstSpan<size_t> rp = row_ptr();
+  common::ConstSpan<size_t> ci = col_idx();
+  common::ConstSpan<double> vals = values();
   linalg::Matrix out(rows_, cols_);
   for (size_t r = 0; r < rows_; ++r) {
-    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      out(r, col_idx_[k]) = values_[k];
+    for (size_t k = rp[r]; k < rp[r + 1]; ++k) {
+      out(r, ci[k]) = vals[k];
     }
   }
   return out;
 }
 
 void CsrMatrix::Prune(double threshold) {
+  common::ConstSpan<size_t> rp = row_ptr();
+  common::ConstSpan<size_t> ci = col_idx();
+  common::ConstSpan<double> vals = values();
   std::vector<size_t> new_row_ptr(rows_ + 1, 0);
   std::vector<size_t> new_cols;
   std::vector<double> new_vals;
   new_cols.reserve(nnz());
   new_vals.reserve(nnz());
   for (size_t r = 0; r < rows_; ++r) {
-    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      if (std::fabs(values_[k]) > threshold) {
-        new_cols.push_back(col_idx_[k]);
-        new_vals.push_back(values_[k]);
+    for (size_t k = rp[r]; k < rp[r + 1]; ++k) {
+      if (std::fabs(vals[k]) > threshold) {
+        new_cols.push_back(ci[k]);
+        new_vals.push_back(vals[k]);
       }
     }
     new_row_ptr[r + 1] = new_cols.size();
@@ -189,6 +253,11 @@ void CsrMatrix::Prune(double threshold) {
   row_ptr_ = std::move(new_row_ptr);
   col_idx_ = std::move(new_cols);
   values_ = std::move(new_vals);
+  borrowed_ = false;
+  view_row_ptr_ = {};
+  view_col_idx_ = {};
+  view_values_ = {};
+  keepalive_.reset();
 }
 
 bool CsrMatrix::AllClose(const CsrMatrix& other, double tol) const {

@@ -2,12 +2,24 @@
 #define GEOALIGN_SPARSE_CSR_MATRIX_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "common/span.h"
 #include "common/status.h"
 #include "linalg/matrix.h"
 
 namespace geoalign::sparse {
+
+/// Borrowed CSR arrays, as handed over by an embedding host (Arrow
+/// buffers, numpy arrays, the C ABI). Plain views — no lifetime.
+struct CsrView {
+  size_t rows = 0;
+  size_t cols = 0;
+  common::ConstSpan<size_t> row_ptr;
+  common::ConstSpan<size_t> col_idx;
+  common::ConstSpan<double> values;
+};
 
 /// Compressed-sparse-row matrix of doubles.
 ///
@@ -16,6 +28,13 @@ namespace geoalign::sparse {
 /// them sparse (§4.3); this is the equivalent of the SciPy CSR matrix
 /// used there. Column indices within each row are kept sorted and
 /// unique.
+///
+/// Storage is either **owned** (the default: three vectors) or
+/// **borrowed** (`FromBorrowed`: three caller spans plus an optional
+/// keepalive). Read access always goes through the span accessors, so
+/// every kernel is oblivious to which mode a matrix is in; mutation
+/// first materializes an owned copy (`EnsureOwned`), so borrowed
+/// caller memory is never written through.
 class CsrMatrix {
  public:
   /// Empty rows x cols matrix (no stored entries).
@@ -30,13 +49,23 @@ class CsrMatrix {
                                          std::vector<size_t> col_idx,
                                          std::vector<double> values);
 
+  /// Zero-copy construction over caller-owned CSR arrays (same
+  /// validation as FromCsrArrays). The caller keeps the arrays alive
+  /// for the matrix's lifetime, or passes a `keepalive` handle that
+  /// does. Mutating members copy-on-write; plain reads never copy.
+  static Result<CsrMatrix> FromBorrowed(
+      const CsrView& view, std::shared_ptr<const void> keepalive = nullptr);
+
   /// Densifies `m` (intended for tests and small examples).
   static CsrMatrix FromDense(const linalg::Matrix& m,
                              double prune_below = 0.0);
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
-  size_t nnz() const { return values_.size(); }
+  size_t nnz() const { return values().size(); }
+
+  /// True when this matrix views caller memory instead of owning it.
+  bool borrowed() const { return borrowed_; }
 
   /// Value at (r, c); 0 for entries not stored. O(log nnz(row)).
   double At(size_t r, size_t c) const;
@@ -57,12 +86,12 @@ class CsrMatrix {
   double Total() const;
 
   /// this * x (x has cols() entries).
-  linalg::Vector MatVec(const linalg::Vector& x) const;
+  linalg::Vector MatVec(common::ConstSpan<double> x) const;
   /// this^T * x (x has rows() entries).
-  linalg::Vector MatTVec(const linalg::Vector& x) const;
+  linalg::Vector MatTVec(common::ConstSpan<double> x) const;
 
   /// Multiplies every stored entry of row r by s[r].
-  void ScaleRows(const linalg::Vector& s);
+  void ScaleRows(common::ConstSpan<double> s);
   /// Multiplies every stored entry by s.
   void Scale(double s);
 
@@ -79,19 +108,41 @@ class CsrMatrix {
   /// by at most tol.
   bool AllClose(const CsrMatrix& other, double tol) const;
 
-  const std::vector<size_t>& row_ptr() const { return row_ptr_; }
-  const std::vector<size_t>& col_idx() const { return col_idx_; }
-  const std::vector<double>& values() const { return values_; }
-  std::vector<double>& mutable_values() { return values_; }
+  common::ConstSpan<size_t> row_ptr() const {
+    return borrowed_ ? view_row_ptr_ : common::ConstSpan<size_t>(row_ptr_);
+  }
+  common::ConstSpan<size_t> col_idx() const {
+    return borrowed_ ? view_col_idx_ : common::ConstSpan<size_t>(col_idx_);
+  }
+  common::ConstSpan<double> values() const {
+    return borrowed_ ? view_values_ : common::ConstSpan<double>(values_);
+  }
+  std::vector<double>& mutable_values() {
+    EnsureOwned();
+    return values_;
+  }
 
  private:
   friend class CooBuilder;
+
+  /// Copies borrowed storage into the owned vectors (no-op when
+  /// already owned). Every mutator calls this first.
+  void EnsureOwned();
 
   size_t rows_;
   size_t cols_;
   std::vector<size_t> row_ptr_;
   std::vector<size_t> col_idx_;
   std::vector<double> values_;
+
+  // Borrowed mode: views over caller memory, disjoint from the owned
+  // vectors above (so the defaulted copy/move stay correct — copies
+  // share the keepalive, never self-reference).
+  bool borrowed_ = false;
+  common::ConstSpan<size_t> view_row_ptr_;
+  common::ConstSpan<size_t> view_col_idx_;
+  common::ConstSpan<double> view_values_;
+  std::shared_ptr<const void> keepalive_;
 };
 
 }  // namespace geoalign::sparse

@@ -28,7 +28,7 @@ FusedWorkspace::Spec FusedWorkspace::ComputeSpec(const CsrMatrix& structure,
   spec.rows = structure.rows();
   spec.cols = structure.cols();
   spec.max_operands = num_operands;
-  const std::vector<size_t>& row_ptr = structure.row_ptr();
+  common::ConstSpan<size_t> row_ptr = structure.row_ptr();
   for (size_t r = 0; r < spec.rows; ++r) {
     spec.max_row_nnz = std::max(spec.max_row_nnz, row_ptr[r + 1] - row_ptr[r]);
   }
@@ -131,7 +131,7 @@ Status FusedAggregatesAligned(const FusedAggregatesInputs& in,
                               FusedWorkspace* workspace,
                               common::ThreadPool* pool) {
   if (in.mats == nullptr || in.weights == nullptr ||
-      in.row_scale == nullptr || target_estimates == nullptr ||
+      in.row_scale.data() == nullptr || target_estimates == nullptr ||
       zero_rows == nullptr || workspace == nullptr) {
     return Status::InvalidArgument("FusedAggregatesAligned: null argument");
   }
@@ -156,7 +156,7 @@ Status FusedAggregatesAligned(const FusedAggregatesInputs& in,
                     m->col_idx() == mats[0]->col_idx())
         << "FusedAggregatesAligned: sparsity structures differ";
   }
-  if (in.row_scale->size() != rows ||
+  if (in.row_scale.size() != rows ||
       (in.denominators != nullptr && in.denominators->size() != rows)) {
     return Status::InvalidArgument(
         "FusedAggregatesAligned: vector length mismatch");
@@ -195,8 +195,8 @@ Status FusedAggregatesAligned(const FusedAggregatesInputs& in,
   const double* const* active_vals = ws.active_values_.data();
   const double* active_w = ws.active_weights_.data();
 
-  const std::vector<size_t>& row_ptr = mats[0]->row_ptr();
-  const std::vector<size_t>& col_idx = mats[0]->col_idx();
+  common::ConstSpan<size_t> row_ptr = mats[0]->row_ptr();
+  common::ConstSpan<size_t> col_idx = mats[0]->col_idx();
   const std::vector<common::ChunkRange>& chunks = ws.chunks_;
 
   // GEOALIGN_HOT_LOOP_BEGIN
@@ -259,7 +259,7 @@ Status FusedAggregatesAligned(const FusedAggregatesInputs& in,
         if (in.fallback_dm != nullptr) {
           double fb_sum = (*in.fallback_row_sums)[r];
           if (fb_sum > 0.0) {
-            double fb_scale = (*in.row_scale)[r] / fb_sum;
+            double fb_scale = in.row_scale[r] / fb_sum;
             CsrMatrix::RowView fb_row = in.fallback_dm->Row(r);
             for (size_t k = 0; k < fb_row.size; ++k) {
               part[fb_row.cols[k]] += fb_row.values[k] * fb_scale;
@@ -268,8 +268,8 @@ Status FusedAggregatesAligned(const FusedAggregatesInputs& in,
         }
         continue;
       }
-      const double inv = 1.0 / denom;             // DivideRowsOrZero
-      const double rscale = (*in.row_scale)[r];   // ScaleRows
+      const double inv = 1.0 / denom;           // DivideRowsOrZero
+      const double rscale = in.row_scale[r];    // ScaleRows
       for (size_t k = rb; k < re; ++k) {
         const double acc = scratch[k - rb];
         if (ExactlyZero(acc)) continue;  // pruned by WeightedSumAligned
@@ -332,16 +332,17 @@ Status FusedAggregatesPanel(const FusedPanelInputs& in,
         << "FusedAggregatesPanel: sparsity structures differ";
   }
   for (size_t p = 0; p < width; ++p) {
-    if (in.row_scales[p] == nullptr || in.row_scales[p]->size() != rows ||
-        target_estimates[p] == nullptr || zero_rows[p] == nullptr) {
+    if (in.row_scales[p].data() == nullptr ||
+        in.row_scales[p].size() != rows || target_estimates[p] == nullptr ||
+        zero_rows[p] == nullptr) {
       return Status::InvalidArgument(
           "FusedAggregatesPanel: bad per-lane argument");
     }
   }
   if (in.operand_aggregates != nullptr) {
     for (size_t mi = 0; mi < mats.size(); ++mi) {
-      if (in.operand_aggregates[mi] == nullptr ||
-          in.operand_aggregates[mi]->size() != rows) {
+      if (in.operand_aggregates[mi].data() == nullptr ||
+          in.operand_aggregates[mi].size() != rows) {
         return Status::InvalidArgument(
             "FusedAggregatesPanel: aggregate length mismatch");
       }
@@ -387,7 +388,7 @@ Status FusedAggregatesPanel(const FusedPanelInputs& in,
     if (!any) continue;
     ws.active_values_.push_back(mats[mi]->values().data());
     if (in.operand_aggregates != nullptr) {
-      ws.active_aggs_.push_back(in.operand_aggregates[mi]->data());
+      ws.active_aggs_.push_back(in.operand_aggregates[mi].data());
     }
     std::copy(lanes, lanes + width,
               ws.panel_weights_.data() + n_active * width);
@@ -397,8 +398,8 @@ Status FusedAggregatesPanel(const FusedPanelInputs& in,
   const double* const* active_aggs = ws.active_aggs_.data();
   const double* panel_w = ws.panel_weights_.data();
 
-  const std::vector<size_t>& row_ptr = mats[0]->row_ptr();
-  const std::vector<size_t>& col_idx = mats[0]->col_idx();
+  common::ConstSpan<size_t> row_ptr = mats[0]->row_ptr();
+  common::ConstSpan<size_t> col_idx = mats[0]->col_idx();
   const std::vector<common::ChunkRange>& chunks = ws.chunks_;
 
   double* scratch = ws.panel_scratch_.data();
@@ -458,7 +459,7 @@ Status FusedAggregatesPanel(const FusedPanelInputs& in,
           kern.masked_add(denom, acc, width);
         }
       }
-      for (size_t p = 0; p < width; ++p) rscale[p] = (*in.row_scales[p])[r];
+      for (size_t p = 0; p < width; ++p) rscale[p] = in.row_scales[p][r];
 
       const uint64_t zmask = kern.zero_mask(denom, in.zero_tolerance, width);
       if (zmask == 0) {

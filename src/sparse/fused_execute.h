@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/span.h"
 #include "common/thread_pool.h"
 #include "sparse/csr_matrix.h"
 #include "sparse/simd/isa.h"
@@ -131,8 +132,10 @@ struct FusedAggregatesInputs {
   const linalg::Vector* denominators = nullptr;
   /// Rows with |denominator| <= zero_tolerance are zero rows.
   double zero_tolerance = 0.0;
-  /// Per-row scale a^s_o (the objective column).
-  const linalg::Vector* row_scale = nullptr;
+  /// Per-row scale a^s_o (the objective column), as a borrowed view —
+  /// caller memory flows straight into the kernel. Required (a
+  /// default-constructed view is rejected).
+  common::ColumnView row_scale;
   /// Optional zero-row fallback DM (same shape as the operands) and
   /// its precomputed row sums; both set or both null. Zero rows with
   /// positive fallback support scatter row_scale[r]/fallback_sums[r]
@@ -183,15 +186,16 @@ struct FusedPanelInputs {
   const double* lane_weights = nullptr;
   /// Panel width (lane count), 1..simd::kMaxPanelWidth.
   size_t width = 0;
-  /// Per-lane objective columns a^s_o (each length rows).
-  const linalg::Vector* const* row_scales = nullptr;
+  /// Per-lane objective columns a^s_o (each length rows), as borrowed
+  /// views.
+  const common::ColumnView* row_scales = nullptr;
   /// DenominatorMode::kFromAggregates: per-operand source-aggregate
   /// vectors (each length rows, indexed like *mats); the kernel then
   /// derives each lane's denominator per row by the same
   /// operand-ascending accumulation from 0.0 as the hoisted
   /// linalg::Axpy loop. Null selects kFromDmRowSums (denominators from
   /// the weighted numerator's row sums, in-pass).
-  const linalg::Vector* const* operand_aggregates = nullptr;
+  const common::ColumnView* operand_aggregates = nullptr;
   /// Rows with |denominator| <= zero_tolerance are zero rows (per lane).
   double zero_tolerance = 0.0;
   /// Optional zero-row fallback DM + row sums, as in

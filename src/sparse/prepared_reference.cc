@@ -7,14 +7,14 @@
 namespace geoalign::sparse {
 
 Result<PreparedReferenceSet> PreparedReferenceSet::Prepare(
-    std::vector<ReferenceData> references) {
+    std::vector<ReferenceDataView> references) {
   if (references.empty()) {
     return Status::InvalidArgument(
         "PreparedReferenceSet: no reference attributes");
   }
   size_t rows = references[0].disaggregation.rows();
   size_t cols = references[0].disaggregation.cols();
-  for (const ReferenceData& ref : references) {
+  for (const ReferenceDataView& ref : references) {
     if (ref.disaggregation.rows() != rows ||
         ref.disaggregation.cols() != cols) {
       return Status::InvalidArgument(
@@ -33,7 +33,7 @@ Result<PreparedReferenceSet> PreparedReferenceSet::Prepare(
   set.num_source_ = rows;
   set.num_target_ = cols;
   set.refs_.reserve(references.size());
-  for (ReferenceData& ref : references) {
+  for (ReferenceDataView& ref : references) {
     PreparedReference prepared;
     // Same normalization (and therefore same failure messages) as the
     // legacy per-call BuildNormalizedSystem.
@@ -45,7 +45,8 @@ Result<PreparedReferenceSet> PreparedReferenceSet::Prepare(
     prepared.normalizer = linalg::Max(ref.source_aggregates);
     prepared.dm_row_sums = ref.disaggregation.RowSums();
     prepared.name = std::move(ref.name);
-    prepared.source_aggregates = std::move(ref.source_aggregates);
+    prepared.source_aggregates = ref.source_aggregates;
+    prepared.aggregates_keepalive = std::move(ref.keepalive);
     prepared.disaggregation = std::move(ref.disaggregation);
     set.refs_.push_back(std::move(prepared));
   }
@@ -79,6 +80,24 @@ Result<PreparedReferenceSet> PreparedReferenceSet::Prepare(
                    dm.col_idx() == first.col_idx();
   }
   return set;
+}
+
+Result<PreparedReferenceSet> PreparedReferenceSet::Prepare(
+    std::vector<ReferenceData> references) {
+  std::vector<ReferenceDataView> views;
+  views.reserve(references.size());
+  for (ReferenceData& ref : references) {
+    ReferenceDataView view;
+    view.name = std::move(ref.name);
+    // One move into a ref-counted holder; the bytes are not copied.
+    auto held = std::make_shared<const linalg::Vector>(
+        std::move(ref.source_aggregates));
+    view.source_aggregates = common::ColumnView(held->data(), held->size());
+    view.keepalive = std::move(held);
+    view.disaggregation = std::move(ref.disaggregation);
+    views.push_back(std::move(view));
+  }
+  return Prepare(std::move(views));
 }
 
 }  // namespace geoalign::sparse

@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/span.h"
 #include "common/status.h"
 #include "linalg/vector_ops.h"
 #include "sparse/csr_matrix.h"
@@ -35,11 +37,15 @@ class Fnv1a {
     std::memcpy(&bits, &v, sizeof(bits));
     MixU64(bits);
   }
-  void MixDoubles(const std::vector<double>& v) {
+  // Span parameters (vectors convert implicitly): the mixed byte
+  // sequence is identical whichever ingest path produced the data, so
+  // fingerprints — and therefore PlanCache keys — do not depend on
+  // whether the arrays are owned or borrowed.
+  void MixDoubles(common::ConstSpan<double> v) {
     MixSize(v.size());
     MixBytes(v.data(), v.size() * sizeof(double));
   }
-  void MixSizes(const std::vector<size_t>& v) {
+  void MixSizes(common::ConstSpan<size_t> v) {
     MixSize(v.size());
     MixBytes(v.data(), v.size() * sizeof(size_t));
   }
@@ -63,6 +69,19 @@ struct ReferenceData {
   CsrMatrix disaggregation;          ///< DM_r, |U^s| x |U^t|
 };
 
+/// Zero-copy flavor of ReferenceData: the aggregate column is a
+/// borrowed view and the DM is typically in borrowed mode
+/// (CsrMatrix::FromBorrowed). `keepalive` optionally guards the
+/// aggregate memory; the DM carries its own keepalive. The viewed
+/// memory must stay alive for the lifetime of whatever Prepare
+/// produces (keepalives make that automatic for ref-counted hosts).
+struct ReferenceDataView {
+  std::string name;
+  common::ColumnView source_aggregates;
+  CsrMatrix disaggregation;
+  std::shared_ptr<const void> keepalive;
+};
+
 /// One reference after objective-independent compilation: everything
 /// Eq. 14/15 need that does not depend on the objective column,
 /// computed once and immutable afterwards.
@@ -73,13 +92,19 @@ struct ReferenceData {
 /// not commute bit-exactly with the weighted row merge — pre-scaling
 /// the values would break the bit-identity contract between the
 /// compiled path and the legacy per-call path.
+///
+/// `source_aggregates` is a view: over caller memory on the zero-copy
+/// ingest path (guarded by `aggregates_keepalive` when provided), or
+/// over a buffer adopted from the owning path. Either way the bytes
+/// are never duplicated by Prepare itself.
 struct PreparedReference {
   std::string name;
-  linalg::Vector source_aggregates;     ///< a^s_r (owned copy)
-  CsrMatrix disaggregation;             ///< DM_r, raw values (owned copy)
-  linalg::Vector normalized_aggregates; ///< a^s_r / max_i a^s_r[i] (Eq. 15 column)
-  double normalizer = 1.0;              ///< max_i a^s_r[i]
-  linalg::Vector dm_row_sums;           ///< per-row sums of DM_r
+  common::ColumnView source_aggregates;  ///< a^s_r (borrowed view)
+  std::shared_ptr<const void> aggregates_keepalive;
+  CsrMatrix disaggregation;              ///< DM_r, raw values
+  linalg::Vector normalized_aggregates;  ///< a^s_r / max_i a^s_r[i] (Eq. 15 column)
+  double normalizer = 1.0;               ///< max_i a^s_r[i]
+  linalg::Vector dm_row_sums;            ///< per-row sums of DM_r
 };
 
 /// An immutable, shareable set of prepared references — the sparse
@@ -97,6 +122,16 @@ class PreparedReferenceSet {
   /// ScaleMode::kNormalized / Eq. 15 preprocessing; errors mirror the
   /// legacy per-call path's NormalizeByMax failures), walks every DM
   /// once for its row sums, and fingerprints the whole set.
+  ///
+  /// Zero-copy contract: the aggregate views and any borrowed DM
+  /// arrays are referenced, never duplicated — the prepared set reads
+  /// caller memory through the views for its whole lifetime.
+  static Result<PreparedReferenceSet> Prepare(
+      std::vector<ReferenceDataView> references);
+
+  /// Owning adapter: moves each aggregate vector into a ref-counted
+  /// keepalive (one move, no byte copy) and forwards to the view
+  /// Prepare. Behavior and error messages are identical.
   static Result<PreparedReferenceSet> Prepare(
       std::vector<ReferenceData> references);
 

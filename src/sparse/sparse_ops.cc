@@ -147,8 +147,8 @@ Result<CsrMatrix> WeightedSumAligned(const std::vector<const CsrMatrix*>& mats,
     active_weights.push_back(weights[mi]);
   }
 
-  const std::vector<size_t>& row_ptr = mats[0]->row_ptr();
-  const std::vector<size_t>& col_idx = mats[0]->col_idx();
+  common::ConstSpan<size_t> row_ptr = mats[0]->row_ptr();
+  common::ConstSpan<size_t> col_idx = mats[0]->col_idx();
   std::vector<common::ChunkRange> chunks =
       common::DeterministicChunks(rows, kRowMergeGrain);
   std::vector<ChunkOut> parts(chunks.size());
@@ -190,8 +190,10 @@ void DivideRowsOrZero(CsrMatrix& m, const linalg::Vector& denom,
                       common::ThreadPool* pool) {
   GEOALIGN_CHECK(denom.size() == m.rows())
       << "DivideRowsOrZero: size mismatch";
-  const std::vector<size_t>& row_ptr = m.row_ptr();
+  // mutable_values() first: it materializes an owned copy of a
+  // borrowed matrix, so the row_ptr span below views the final storage.
   std::vector<double>& values = m.mutable_values();
+  common::ConstSpan<size_t> row_ptr = m.row_ptr();
   std::vector<common::ChunkRange> chunks =
       common::DeterministicChunks(m.rows(), kRowScaleGrain);
   std::vector<std::vector<size_t>> chunk_zero(chunks.size());
@@ -221,9 +223,9 @@ void DivideRowsOrZero(CsrMatrix& m, const linalg::Vector& denom,
 
 linalg::Vector ColSumsDeterministic(const CsrMatrix& m,
                                     common::ThreadPool* pool) {
-  const std::vector<size_t>& row_ptr = m.row_ptr();
-  const std::vector<size_t>& col_idx = m.col_idx();
-  const std::vector<double>& values = m.values();
+  common::ConstSpan<size_t> row_ptr = m.row_ptr();
+  common::ConstSpan<size_t> col_idx = m.col_idx();
+  common::ConstSpan<double> values = m.values();
   size_t cols = m.cols();
   return common::ParallelReduceOrdered<linalg::Vector>(
       pool, m.rows(), kColSumGrain, linalg::Vector(cols, 0.0),

@@ -93,7 +93,9 @@ TEST(BatchCrosswalk, MatchesIndividualGeoAlign) {
 }
 
 TEST(BatchCrosswalk, ValidatesInput) {
-  EXPECT_FALSE(core::BatchCrosswalk::Create({}).ok());
+  EXPECT_FALSE(
+      core::BatchCrosswalk::Create(std::vector<core::ReferenceAttribute>{})
+          .ok());
   const synth::Universe& uni = SmallUniverse();
   std::vector<core::ReferenceAttribute> refs;
   core::ReferenceAttribute ref;

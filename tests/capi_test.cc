@@ -1,0 +1,241 @@
+// Differential harness for the C ABI (capi/geoalign_c.h): everything
+// observable through libgeoalign_c — target estimates, weights, plan
+// shape, fingerprints, error behavior — must be bit-identical to the
+// C++ compile/execute path on the same bytes, whichever ingest flavor
+// (borrowed CSR or copied COO) carried the matrices in.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "capi/geoalign_c.h"
+#include "core/crosswalk_plan.h"
+#include "sparse/csr_matrix.h"
+
+namespace geoalign {
+namespace {
+
+// The same two-reference aligned world as view_layer_test.cc.
+struct CWorld {
+  std::vector<size_t> row_ptr = {0, 2, 4, 5};
+  std::vector<size_t> col_idx = {0, 1, 0, 1, 1};
+  std::vector<double> values_a = {1.0, 2.0, 3.0, 1.0, 4.0};
+  std::vector<double> values_b = {2.0, 1.0, 1.0, 2.0, 3.0};
+  std::vector<double> agg_a = {3.0, 4.0, 4.0};
+  std::vector<double> agg_b = {3.0, 3.0, 3.0};
+  std::vector<double> objective = {10.0, 20.0, 30.0};
+
+  geoalign_csr CsrA() const {
+    return {3, 2, row_ptr.data(), col_idx.data(), values_a.data()};
+  }
+  geoalign_csr CsrB() const {
+    return {3, 2, row_ptr.data(), col_idx.data(), values_b.data()};
+  }
+
+  std::vector<geoalign_coo_entry> CooOf(const std::vector<double>& vals) const {
+    std::vector<geoalign_coo_entry> out;
+    for (size_t r = 0; r < 3; ++r) {
+      for (size_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+        out.push_back({r, col_idx[i], vals[i]});
+      }
+    }
+    return out;
+  }
+
+  core::CrosswalkInput Owning() const {
+    core::CrosswalkInput input;
+    input.objective_source = objective;
+    core::ReferenceAttribute a;
+    a.name = std::string("a");
+    a.source_aggregates = agg_a;
+    a.disaggregation =
+        std::move(sparse::CsrMatrix::FromCsrArrays(3, 2, row_ptr, col_idx,
+                                                   values_a))
+            .ValueOrDie();
+    input.references.push_back(std::move(a));
+    core::ReferenceAttribute b;
+    b.name = std::string("b");
+    b.source_aggregates = agg_b;
+    b.disaggregation =
+        std::move(sparse::CsrMatrix::FromCsrArrays(3, 2, row_ptr, col_idx,
+                                                   values_b))
+            .ValueOrDie();
+    input.references.push_back(std::move(b));
+    return input;
+  }
+};
+
+geoalign_reference CsrRef(const char* name, const std::vector<double>& agg,
+                          const geoalign_csr* csr) {
+  geoalign_reference ref = {};
+  ref.name = name;
+  ref.source_aggregates = agg.data();
+  ref.csr = csr;
+  return ref;
+}
+
+TEST(CapiTest, AbiVersionMatchesHeader) {
+  EXPECT_EQ(geoalign_abi_version(), uint32_t{GEOALIGN_ABI_VERSION});
+}
+
+TEST(CapiTest, CsrIngestIsBitIdenticalToCppPath) {
+  CWorld w;
+  auto cpp_plan = std::move(core::CrosswalkPlan::Compile(
+                                w.Owning(), core::GeoAlignOptions{}))
+                      .ValueOrDie();
+  auto cpp_result = std::move(cpp_plan.Execute(w.objective)).ValueOrDie();
+
+  const geoalign_csr csr_a = w.CsrA();
+  const geoalign_csr csr_b = w.CsrB();
+  geoalign_reference refs[2] = {CsrRef("a", w.agg_a, &csr_a),
+                                CsrRef("b", w.agg_b, &csr_b)};
+  geoalign_plan* plan = nullptr;
+  ASSERT_EQ(geoalign_plan_compile(refs, 2, &plan), GEOALIGN_OK)
+      << geoalign_error_message();
+  EXPECT_EQ(geoalign_plan_num_source_units(plan), 3u);
+  EXPECT_EQ(geoalign_plan_num_target_units(plan), 2u);
+  EXPECT_EQ(geoalign_plan_num_references(plan), 2u);
+  // Same bytes -> same plan fingerprint, whatever the ingest path.
+  EXPECT_EQ(geoalign_plan_fingerprint(plan), cpp_plan.fingerprint());
+
+  double target[2] = {0.0, 0.0};
+  double weights[2] = {0.0, 0.0};
+  ASSERT_EQ(geoalign_plan_execute(plan, w.objective.data(), 3, target,
+                                  weights),
+            GEOALIGN_OK)
+      << geoalign_error_message();
+  EXPECT_EQ(0, std::memcmp(target, cpp_result.target_estimates.data(),
+                           sizeof(target)));
+  EXPECT_EQ(0,
+            std::memcmp(weights, cpp_result.weights.data(), sizeof(weights)));
+  geoalign_plan_destroy(plan);
+}
+
+TEST(CapiTest, CooIngestMatchesCsrIngestExactly) {
+  CWorld w;
+  const geoalign_csr csr_a = w.CsrA();
+  const geoalign_csr csr_b = w.CsrB();
+  geoalign_reference csr_refs[2] = {CsrRef("a", w.agg_a, &csr_a),
+                                    CsrRef("b", w.agg_b, &csr_b)};
+  geoalign_plan* csr_plan = nullptr;
+  ASSERT_EQ(geoalign_plan_compile(csr_refs, 2, &csr_plan), GEOALIGN_OK);
+
+  const std::vector<geoalign_coo_entry> coo_a = w.CooOf(w.values_a);
+  const std::vector<geoalign_coo_entry> coo_b = w.CooOf(w.values_b);
+  geoalign_reference coo_refs[2] = {};
+  coo_refs[0].name = "a";
+  coo_refs[0].source_aggregates = w.agg_a.data();
+  coo_refs[0].coo = coo_a.data();
+  coo_refs[0].coo_count = coo_a.size();
+  coo_refs[0].coo_rows = 3;
+  coo_refs[0].coo_cols = 2;
+  coo_refs[1].name = "b";
+  coo_refs[1].source_aggregates = w.agg_b.data();
+  coo_refs[1].coo = coo_b.data();
+  coo_refs[1].coo_count = coo_b.size();
+  coo_refs[1].coo_rows = 3;
+  coo_refs[1].coo_cols = 2;
+  geoalign_plan* coo_plan = nullptr;
+  ASSERT_EQ(geoalign_plan_compile(coo_refs, 2, &coo_plan), GEOALIGN_OK)
+      << geoalign_error_message();
+
+  EXPECT_EQ(geoalign_plan_fingerprint(coo_plan),
+            geoalign_plan_fingerprint(csr_plan));
+
+  double t_csr[2], t_coo[2];
+  ASSERT_EQ(geoalign_plan_execute(csr_plan, w.objective.data(), 3, t_csr,
+                                  nullptr),
+            GEOALIGN_OK);
+  ASSERT_EQ(geoalign_plan_execute(coo_plan, w.objective.data(), 3, t_coo,
+                                  nullptr),
+            GEOALIGN_OK);
+  EXPECT_EQ(0, std::memcmp(t_csr, t_coo, sizeof(t_csr)));
+
+  geoalign_plan_destroy(csr_plan);
+  geoalign_plan_destroy(coo_plan);
+}
+
+TEST(CapiTest, CompileErrorsAreReported) {
+  CWorld w;
+  geoalign_plan* plan = nullptr;
+
+  // No references.
+  EXPECT_EQ(geoalign_plan_compile(nullptr, 0, &plan),
+            GEOALIGN_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(plan, nullptr);
+  EXPECT_NE(std::string(geoalign_error_message()).find("no reference"),
+            std::string::npos);
+
+  // NULL out_plan.
+  const geoalign_csr csr_a = w.CsrA();
+  geoalign_reference ref = CsrRef("a", w.agg_a, &csr_a);
+  EXPECT_EQ(geoalign_plan_compile(&ref, 1, nullptr),
+            GEOALIGN_ERR_INVALID_ARGUMENT);
+
+  // Neither csr nor coo.
+  geoalign_reference neither = {};
+  neither.name = "a";
+  neither.source_aggregates = w.agg_a.data();
+  EXPECT_EQ(geoalign_plan_compile(&neither, 1, &plan),
+            GEOALIGN_ERR_INVALID_ARGUMENT);
+  EXPECT_NE(std::string(geoalign_error_message()).find("exactly one"),
+            std::string::npos);
+
+  // Aggregates that contradict the matrix row sums fail validation the
+  // same way the C++ path does.
+  std::vector<double> bad_agg = {100.0, 4.0, 4.0};
+  geoalign_reference bad = CsrRef("a", bad_agg, &csr_a);
+  EXPECT_EQ(geoalign_plan_compile(&bad, 1, &plan), GEOALIGN_ERR_FAILED);
+  EXPECT_NE(std::string(geoalign_error_message()).find("row 0"),
+            std::string::npos);
+
+  // COO entry out of range.
+  geoalign_coo_entry oob = {7, 0, 1.0};
+  geoalign_reference coo_ref = {};
+  coo_ref.name = "a";
+  coo_ref.source_aggregates = w.agg_a.data();
+  coo_ref.coo = &oob;
+  coo_ref.coo_count = 1;
+  coo_ref.coo_rows = 3;
+  coo_ref.coo_cols = 2;
+  EXPECT_EQ(geoalign_plan_compile(&coo_ref, 1, &plan),
+            GEOALIGN_ERR_INVALID_ARGUMENT);
+  EXPECT_NE(std::string(geoalign_error_message()).find("out of range"),
+            std::string::npos);
+}
+
+TEST(CapiTest, ExecuteErrorsAreReported) {
+  CWorld w;
+  const geoalign_csr csr_a = w.CsrA();
+  geoalign_reference ref = CsrRef("a", w.agg_a, &csr_a);
+  geoalign_plan* plan = nullptr;
+  ASSERT_EQ(geoalign_plan_compile(&ref, 1, &plan), GEOALIGN_OK);
+
+  double target[2];
+  EXPECT_EQ(geoalign_plan_execute(nullptr, w.objective.data(), 3, target,
+                                  nullptr),
+            GEOALIGN_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(geoalign_plan_execute(plan, w.objective.data(), 3, nullptr,
+                                  nullptr),
+            GEOALIGN_ERR_INVALID_ARGUMENT);
+  // Wrong objective length surfaces the C++ validation failure.
+  EXPECT_EQ(geoalign_plan_execute(plan, w.objective.data(), 2, target,
+                                  nullptr),
+            GEOALIGN_ERR_FAILED);
+  EXPECT_NE(std::string(geoalign_error_message()).size(), 0u);
+  geoalign_plan_destroy(plan);
+}
+
+TEST(CapiTest, NullHandleAccessorsAreSafe) {
+  EXPECT_EQ(geoalign_plan_num_source_units(nullptr), 0u);
+  EXPECT_EQ(geoalign_plan_num_target_units(nullptr), 0u);
+  EXPECT_EQ(geoalign_plan_num_references(nullptr), 0u);
+  EXPECT_EQ(geoalign_plan_fingerprint(nullptr), 0u);
+  geoalign_plan_destroy(nullptr);  // no-op
+}
+
+}  // namespace
+}  // namespace geoalign

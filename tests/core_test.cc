@@ -474,7 +474,9 @@ TEST(Pipeline, MissingUnitsDefaultToZero) {
 TEST(Pipeline, CreateValidatesShapes) {
   std::vector<ReferenceAttribute> refs = {MakeRef("r", {{1.0, 1.0}})};
   EXPECT_FALSE(CrosswalkPipeline::Create({}, {"c"}, refs).ok());
-  EXPECT_FALSE(CrosswalkPipeline::Create({"z"}, {"c"}, {}).ok());
+  EXPECT_FALSE(CrosswalkPipeline::Create({"z"}, {"c"},
+                                         std::vector<ReferenceAttribute>{})
+                   .ok());
   // Reference DM is 1x2 but target list has 1 unit.
   EXPECT_FALSE(CrosswalkPipeline::Create({"z"}, {"c"}, refs).ok());
 }

@@ -1,0 +1,25 @@
+/* Fixture: C++ leaking into a public C ABI header — every line below
+ * breaks a plain C99 compile or drifts from the ABI contract, and each
+ * must be flagged by geoalign-capi-abi (tests/lint_test.sh). */
+#ifndef GEOALIGN_TESTS_LINT_FIXTURES_CAPI_BAD_CPP_LEAK_H_
+#define GEOALIGN_TESTS_LINT_FIXTURES_CAPI_BAD_CPP_LEAK_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace geoalign {
+
+class BadHandle {};
+
+template <typename T>
+struct BadBox {
+  T value;
+};
+
+enum BadStatus { kBadOk = 0 };
+
+void BadByReference(const std::vector<double>& column);
+
+}  // namespace geoalign
+
+#endif /* GEOALIGN_TESTS_LINT_FIXTURES_CAPI_BAD_CPP_LEAK_H_ */

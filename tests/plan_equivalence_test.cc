@@ -171,9 +171,9 @@ void SweepAllOptions(const core::CrosswalkInput& input,
             // non-aligned reference sets ExecutePanelWith degrades to
             // the per-column lane; the contract is the same.)
             {
-              const linalg::Vector* objs[3] = {&input.objective_source,
-                                               &input.objective_source,
-                                               &input.objective_source};
+              const common::ColumnView objs[3] = {input.objective_source,
+                                                  input.objective_source,
+                                                  input.objective_source};
               std::optional<Result<core::CrosswalkResult>> slots[3];
               std::optional<Result<core::CrosswalkResult>>* slot_ptrs[3] = {
                   &slots[0], &slots[1], &slots[2]};
@@ -690,12 +690,12 @@ TEST(PlanEquivalenceTest, PanelLaneServesWithZeroHotPathAllocs) {
     obs::Counter& allocs = obs::MetricsRegistry::Global().GetCounter(
         "execute.hot_path_allocs");
     uint64_t allocs_before = allocs.Value();
-    const linalg::Vector* objs[kWidth];
+    common::ColumnView objs[kWidth];
     std::optional<Result<core::CrosswalkResult>> slots[kWidth];
     std::optional<Result<core::CrosswalkResult>>* slot_ptrs[kWidth];
     for (int rep = 0; rep < 3; ++rep) {
       for (size_t p = 0; p < kWidth; ++p) {
-        objs[p] = &input.objective_source;
+        objs[p] = input.objective_source;
         slots[p].reset();
         slot_ptrs[p] = &slots[p];
       }
@@ -751,11 +751,11 @@ TEST(PlanEquivalenceTest, CachedPlanExecutesIdenticallyAcrossForcedIsas) {
     EXPECT_GE(plan->panel_width(), 1u);
     EXPECT_LE(plan->panel_width(), sparse::simd::kMaxPanelWidth);
 
-    const linalg::Vector* objs[3];
+    common::ColumnView objs[3];
     std::optional<Result<core::CrosswalkResult>> slots[3];
     std::optional<Result<core::CrosswalkResult>>* slot_ptrs[3];
     for (size_t p = 0; p < 3; ++p) {
-      objs[p] = &objectives[p];
+      objs[p] = objectives[p];
       slot_ptrs[p] = &slots[p];
     }
     plan->ExecutePanelWith(objs, slot_ptrs, 3, nullptr);

@@ -24,6 +24,7 @@
 #include <random>
 #include <vector>
 
+#include "common/span.h"
 #include "common/string_util.h"
 #include "linalg/matrix.h"
 #include "sparse/coo_builder.h"
@@ -249,7 +250,7 @@ struct PanelWorld {
   std::vector<sparse::CsrMatrix> mats;  // aligned (one shared structure)
   std::vector<const sparse::CsrMatrix*> mat_ptrs;
   std::vector<linalg::Vector> aggs;  // per-operand source aggregates
-  std::vector<const linalg::Vector*> agg_ptrs;
+  std::vector<common::ColumnView> agg_views;
   sparse::CsrMatrix fallback;
   linalg::Vector fallback_sums;
   // kMaxPanelWidth objective columns and a full operands × kMaxPanelWidth
@@ -306,7 +307,7 @@ PanelWorld MakePanelWorld(uint64_t seed, size_t rows, size_t cols,
     }
     w.aggs.push_back(std::move(agg));
   }
-  for (const linalg::Vector& a : w.aggs) w.agg_ptrs.push_back(&a);
+  for (const linalg::Vector& a : w.aggs) w.agg_views.push_back(a);
 
   // Fallback DM: support on most rows, but deliberately none on some
   // (a zero row without fallback support loses its mass — both paths
@@ -361,13 +362,13 @@ void RunPanel(const PanelWorld& w, size_t width, simd::Isa isa,
           w.weight_grid[mi * simd::kMaxPanelWidth + p];
     }
   }
-  std::vector<const linalg::Vector*> row_scales(width);
+  std::vector<common::ColumnView> row_scales(width);
   targets->assign(width, linalg::Vector());
   zeros->assign(width, {});
   std::vector<linalg::Vector*> target_ptrs(width);
   std::vector<std::vector<size_t>*> zero_ptrs(width);
   for (size_t p = 0; p < width; ++p) {
-    row_scales[p] = &w.objectives[p];
+    row_scales[p] = w.objectives[p];
     target_ptrs[p] = &(*targets)[p];
     zero_ptrs[p] = &(*zeros)[p];
   }
@@ -376,7 +377,7 @@ void RunPanel(const PanelWorld& w, size_t width, simd::Isa isa,
   in.lane_weights = lane_weights.data();
   in.width = width;
   in.row_scales = row_scales.data();
-  if (from_aggregates) in.operand_aggregates = w.agg_ptrs.data();
+  if (from_aggregates) in.operand_aggregates = w.agg_views.data();
   in.zero_tolerance = tol;
   if (with_fallback) {
     in.fallback_dm = &w.fallback;
@@ -413,7 +414,7 @@ void RunSingleColumnOracle(const PanelWorld& w, size_t p, size_t width,
     in.denominators = &denom;
   }
   in.zero_tolerance = tol;
-  in.row_scale = &w.objectives[p];
+  in.row_scale = w.objectives[p];
   if (with_fallback) {
     in.fallback_dm = &w.fallback;
     in.fallback_row_sums = &w.fallback_sums;
@@ -559,14 +560,14 @@ TEST(FusedPanelDifferentialTest, RejectsMalformedInputs) {
   std::vector<size_t> zeros;
   linalg::Vector* target_ptr = &target;
   std::vector<size_t>* zero_ptr = &zeros;
-  const linalg::Vector* scale_ptr = &w.objectives[0];
+  const common::ColumnView scale_view = w.objectives[0];
   sparse::FusedWorkspace ws;
 
   sparse::FusedPanelInputs in;
   in.mats = &w.mat_ptrs;
   in.lane_weights = lane_weights.data();
   in.width = 1;
-  in.row_scales = &scale_ptr;
+  in.row_scales = &scale_view;
 
   // Width 0 and width > kMaxPanelWidth are rejected.
   sparse::FusedPanelInputs bad = in;

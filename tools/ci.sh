@@ -33,6 +33,13 @@
 #           LOUDLY when clang++ is absent (the capability system is
 #           clang-only); skip explicitly with SKIP_TSA=1.
 #   lint    tools/geoalign_lint.py project-specific correctness lints
+#   capi    the C ABI end-to-end gate (tests/capi_smoke_test.sh):
+#           compile examples/capi_smoke.c with a REAL C compiler under
+#           -std=c99 -Wall -Werror (any C++ leaking through
+#           capi/geoalign_c.h fails the compile), run it against
+#           libgeoalign_c.so, and byte-diff its output against
+#           geoalign_cli on the same crosswalk — the embedding path
+#           must be bit-identical to the native one
 #   obs     run geoalign_cli on a generated example with --metrics-out
 #           and --trace-out, then validate both outputs parse as JSON
 #           (the trace must be Chrome trace-event shaped, i.e. carry a
@@ -56,6 +63,7 @@
 #                 concurrency-only smoke.
 #   SKIP_TSAN=1 SKIP_ASAN=1 SKIP_UBSAN=1 SKIP_TIDY=1 SKIP_TSA=1
 #   SKIP_LINT=1 SKIP_BENCH=1 SKIP_FUSED=1 SKIP_OBS=1 SKIP_SIMD=1
+#   SKIP_CAPI=1
 #                 skip the corresponding gate (recorded as "skipped"
 #                 in the summary, never as a pass).
 set -uo pipefail
@@ -70,15 +78,24 @@ TSA_DIR="${TSA_DIR:-build-tsa}"
 CLANGXX="${CLANGXX:-clang++}"
 CTEST_FILTER="${CTEST_FILTER:-}"
 
-GATES=(plain bench fused simd tsan asan ubsan tidy tsa lint obs)
+GATES=(plain bench fused simd tsan asan ubsan tidy tsa lint capi obs)
 # Which toolchain each gate runs on, for the summary matrix. "cxx" is
 # the default compiler CMake resolves (gcc or clang alike).
 declare -A TOOL=(
   [plain]=cxx [bench]=cxx [fused]=cxx [simd]=cxx [tsan]=cxx [asan]=cxx
-  [ubsan]=cxx [tidy]=clang-tidy [tsa]=clang++ [lint]=python3 [obs]=python3
+  [ubsan]=cxx [tidy]=clang-tidy [tsa]=clang++ [lint]=python3 [capi]=cc
+  [obs]=python3
 )
 declare -A RESULT
 failed=0
+
+# C ABI end-to-end: C99-compile the embedder example, run it against
+# libgeoalign_c.so out of the plain build, diff against the CLI. Runs
+# out of the plain build tree, so order it after the plain gate.
+capi_gate() {
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target geoalign_c geoalign_cli &&
+    tests/capi_smoke_test.sh . "$BUILD_DIR"
+}
 
 # Observability end-to-end: tiny synthetic crosswalk through the CLI,
 # then both telemetry artifacts must parse. Runs out of the plain
@@ -210,6 +227,7 @@ printf '%-12s %-8s gates: %s\n' "$CLANGXX" "$(tool_status "$CLANGXX")" "tsa"
 printf '%-12s %-8s gates: %s\n' "${CLANG_TIDY:-clang-tidy}" \
   "$(tool_status "${CLANG_TIDY:-clang-tidy}")" "tidy"
 printf '%-12s %-8s gates: %s\n' "python3" "$(tool_status python3)" "lint obs"
+printf '%-12s %-8s gates: %s\n' "${CC:-cc}" "$(tool_status "${CC:-cc}")" "capi"
 
 run_gate plain 0 run_suite "$BUILD_DIR"
 run_gate bench "${SKIP_BENCH:-0}" env \
@@ -227,6 +245,7 @@ run_gate ubsan "${SKIP_UBSAN:-0}" run_suite "$UBSAN_DIR" -DGEOALIGN_SANITIZE=und
 run_gate tidy "${SKIP_TIDY:-0}" tools/run_clang_tidy.sh "$BUILD_DIR"
 run_gate tsa "${SKIP_TSA:-0}" tsa_gate
 run_gate lint "${SKIP_LINT:-0}" python3 tools/geoalign_lint.py --root .
+run_gate capi "${SKIP_CAPI:-0}" capi_gate
 run_gate obs "${SKIP_OBS:-0}" obs_gate
 
 echo

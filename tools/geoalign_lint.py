@@ -86,6 +86,18 @@ documented in docs/static_analysis.md:
       invisible to the analysis and silently exempts its critical
       sections from the compile-time locking contracts.
 
+  geoalign-capi-abi
+      The public C ABI headers (capi/*.h) must stay C99-clean: no
+      C++-only keywords (class/template/namespace/constexpr/nullptr/
+      throw/new/delete/bool), no `std::` or other `::` qualification,
+      no reference declarators (`&`), no extensionless C++ standard
+      includes, and no `=` outside preprocessor lines (the error codes
+      are #defines, not enums with initializers, so a plain C compiler
+      and every FFI binding generator parse the header byte-for-byte
+      the same way). See docs/embedding.md; enforced end-to-end by the
+      `capi` gate, which compiles examples/capi_smoke.c with a real C
+      compiler under -std=c99 -Wall -Werror.
+
 Suppression: append `// NOLINT(geoalign-<rule>)` (or bare `NOLINT`) to
 the offending line, or put `// NOLINTNEXTLINE(geoalign-<rule>)` on the
 line above. Suppressions should carry a rationale.
@@ -111,6 +123,7 @@ RULES = (
     "geoalign-hot-alloc",
     "geoalign-raw-intrinsic",
     "geoalign-raw-mutex",
+    "geoalign-capi-abi",
 )
 
 # The one file allowed to spell the raw std locking primitives: the
@@ -171,6 +184,20 @@ RAW_INTRINSIC_RE = re.compile(
     r"|\b__m(?:128|256|512)[di]?\b"
     r"|\bfloat64x2_t\b"
     r"|\bv[a-z][a-z0-9_]*q_(?:f64|u64)\b")
+# C++ leakage into the C ABI headers (capi/*.h). Spelling-level: any
+# C++-only keyword, any `::` qualification, a reference declarator, or
+# an extensionless (C++ standard library) include makes the header
+# unparseable or subtly different under a plain C compiler.
+CAPI_CXX_TOKEN_RE = re.compile(
+    r"\b(?:class|template|namespace|typename|constexpr|nullptr|throw"
+    r"|new|delete|bool|using|virtual|operator|static_cast|const_cast"
+    r"|reinterpret_cast|dynamic_cast)\b"
+    r"|::"
+    r"|&")
+CAPI_INCLUDE_RE = re.compile(r"#\s*include\s*[<\"]([^>\"]+)[>\"]")
+# A bare assignment/initializer outside the preprocessor: `=` that is
+# not part of ==, !=, <=, >=.
+CAPI_ASSIGN_RE = re.compile(r"(?<![=!<>])=(?!=)")
 UNORDERED_DECL_RE = re.compile(
     r"unordered_(?:map|set)\s*<[^;{}]*?>\s*(?:const\s*)?[&*]?\s*([A-Za-z_]\w*)"
 )
@@ -323,6 +350,8 @@ class Linter:
             self.check_raw_intrinsic(path, stripped, raw_lines)
         if rel.startswith("src/") and rel != RAW_MUTEX_EXEMPT:
             self.check_raw_mutex(path, stripped, raw_lines)
+        if rel.startswith("capi/") and rel.endswith(".h"):
+            self.check_capi_abi(path, stripped, raw_lines)
 
     def check_float_eq(self, path, stripped, raw_lines):
         for m in FLOAT_EQ_RE.finditer(stripped):
@@ -403,6 +432,31 @@ class Linter:
                 "wrappers so -Wthread-safety sees the lock"
                 % m.group(0).strip(), raw_lines)
 
+    def check_capi_abi(self, path, stripped, raw_lines):
+        for m in CAPI_CXX_TOKEN_RE.finditer(stripped):
+            self.report(
+                path, line_of(m.start(), stripped), "geoalign-capi-abi",
+                "C++ construct ('%s') in a C ABI header; capi/*.h must "
+                "compile under a plain C99 compiler (docs/embedding.md)"
+                % m.group(0).strip(), raw_lines)
+        for m in CAPI_INCLUDE_RE.finditer(stripped):
+            if not m.group(1).endswith(".h"):
+                self.report(
+                    path, line_of(m.start(), stripped),
+                    "geoalign-capi-abi",
+                    "C++ standard include ('%s') in a C ABI header; "
+                    "only C headers (<stddef.h>, <stdint.h>, ...) are "
+                    "allowed" % m.group(1), raw_lines)
+        for idx, line in enumerate(stripped.split("\n"), start=1):
+            if line.lstrip().startswith("#"):
+                continue
+            for m in CAPI_ASSIGN_RE.finditer(line):
+                self.report(
+                    path, idx, "geoalign-capi-abi",
+                    "initializer/assignment outside the preprocessor in "
+                    "a C ABI header; constants are #defines so C and "
+                    "binding generators parse identically", raw_lines)
+
     def check_unordered_iteration(self, path, stripped, raw_lines):
         names = set(UNORDERED_DECL_RE.findall(stripped))
         if not names:
@@ -455,11 +509,12 @@ def read_text(path):
 
 def default_files(root):
     files = []
-    src = os.path.join(root, "src")
-    for dirpath, _, filenames in os.walk(src):
-        for fn in sorted(filenames):
-            if fn.endswith((".h", ".cc")):
-                files.append(os.path.join(dirpath, fn))
+    for sub in ("src", "capi"):
+        top = os.path.join(root, sub)
+        for dirpath, _, filenames in os.walk(top):
+            for fn in sorted(filenames):
+                if fn.endswith((".h", ".cc")):
+                    files.append(os.path.join(dirpath, fn))
     return sorted(files)
 
 
