@@ -12,13 +12,16 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <ctime>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/geoalign.h"
 #include "eval/report.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "obs/telemetry.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
@@ -77,6 +80,19 @@ int main(int argc, char** argv) {
           [&](size_t i) { histogram.Record(static_cast<double>(i % 4096)); });
   measure("trace_span", [&](size_t) { GEOALIGN_TRACE_SPAN("bench.span"); });
   obs::TraceRecorder::Global().Clear();
+
+  // Request scoping and the flight recorder are deliberately NOT gated
+  // on the telemetry switch (docs/observability.md), so their enabled
+  // and disabled columns measure the same always-on cost.
+  measure("request_scope",
+          [&](size_t) { obs::RequestScope scope("bench-request"); });
+  obs::AuditRecord proto;
+  std::memcpy(proto.mode, "fused", 6);
+  measure("audit_record", [&](size_t i) {
+    proto.rows = i;
+    obs::FlightRecorder::Global().Record(proto);
+  });
+  obs::FlightRecorder::Global().Clear();
 
   // End-to-end: one compiled plan executed repeatedly, telemetry on vs
   // off. This is the configuration the <2% overhead acceptance bound

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <utility>
@@ -18,6 +19,8 @@
 #include "common/span.h"
 #include "common/string_util.h"
 #include "core/crosswalk_plan.h"
+#include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "sparse/coo_builder.h"
 #include "sparse/csr_matrix.h"
@@ -250,5 +253,60 @@ uint64_t geoalign_plan_fingerprint(const geoalign_plan* plan) {
 void geoalign_plan_destroy(geoalign_plan* plan) { delete plan; }
 
 const char* geoalign_error_message(void) { return t_last_error.c_str(); }
+
+int geoalign_metrics_export(int format, char** out_data, size_t* out_len) {
+  if (out_data == nullptr) {
+    return Fail(GEOALIGN_ERR_INVALID_ARGUMENT, "geoalign: out_data is NULL");
+  }
+  *out_data = nullptr;
+  if (out_len != nullptr) *out_len = 0;
+  geoalign::obs::MetricsFormat fmt;
+  switch (format) {
+    case GEOALIGN_METRICS_FORMAT_PROMETHEUS:
+      fmt = geoalign::obs::MetricsFormat::kPrometheus;
+      break;
+    case GEOALIGN_METRICS_FORMAT_JSON:
+      fmt = geoalign::obs::MetricsFormat::kJson;
+      break;
+    case GEOALIGN_METRICS_FORMAT_TEXT:
+      fmt = geoalign::obs::MetricsFormat::kText;
+      break;
+    default:
+      return Fail(GEOALIGN_ERR_INVALID_ARGUMENT,
+                  "geoalign: unknown metrics format");
+  }
+  try {
+    const std::string rendered = geoalign::obs::FormatMetricsSnapshot(
+        geoalign::obs::MetricsRegistry::Global().Snapshot(), fmt);
+    char* buffer = static_cast<char*>(std::malloc(rendered.size() + 1));
+    if (buffer == nullptr) {
+      return Fail(GEOALIGN_ERR_FAILED, "geoalign: out of memory");
+    }
+    std::memcpy(buffer, rendered.c_str(), rendered.size() + 1);
+    *out_data = buffer;
+    if (out_len != nullptr) *out_len = rendered.size();
+    return GEOALIGN_OK;
+  } catch (const std::exception& e) {
+    return Fail(GEOALIGN_ERR_FAILED, e.what());
+  }
+}
+
+void geoalign_buffer_free(char* data) { std::free(data); }
+
+int geoalign_flight_recorder_dump(const char* path) {
+  if (path == nullptr) {
+    return Fail(GEOALIGN_ERR_INVALID_ARGUMENT, "geoalign: path is NULL");
+  }
+  try {
+    std::string error;
+    if (!geoalign::obs::FlightRecorder::Global().DumpToFile(path, "demand",
+                                                            &error)) {
+      return Fail(GEOALIGN_ERR_FAILED, "geoalign: " + error);
+    }
+    return GEOALIGN_OK;
+  } catch (const std::exception& e) {
+    return Fail(GEOALIGN_ERR_FAILED, e.what());
+  }
+}
 
 }  // extern "C"

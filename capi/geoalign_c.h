@@ -129,6 +129,31 @@ GEOALIGN_C_EXPORT void geoalign_plan_destroy(geoalign_plan* plan);
  * same thread. */
 GEOALIGN_C_EXPORT const char* geoalign_error_message(void);
 
+/* Metrics exposition formats for geoalign_metrics_export. */
+#define GEOALIGN_METRICS_FORMAT_PROMETHEUS 0 /* text exposition 0.0.4 */
+#define GEOALIGN_METRICS_FORMAT_JSON 1
+#define GEOALIGN_METRICS_FORMAT_TEXT 2 /* "name value" lines */
+
+/* Serializes a snapshot of the library's metrics registry in the
+ * requested format — byte-identical to what the C++ exporter and
+ * `geoalign_cli --metrics-format=...` produce, so an embedder (or the
+ * future geoalignd daemon) can serve a Prometheus scrape without
+ * linking any C++. On success stores a NUL-terminated malloc'd buffer
+ * in *out_data (and its length, excluding the NUL, in *out_len when
+ * non-NULL); free it with geoalign_buffer_free. */
+GEOALIGN_C_EXPORT int geoalign_metrics_export(int format, char** out_data,
+                                              size_t* out_len);
+
+/* Frees a buffer returned by geoalign_metrics_export; NULL is a
+ * no-op. */
+GEOALIGN_C_EXPORT void geoalign_buffer_free(char* data);
+
+/* Dumps the always-on flight recorder (recent execute audit records,
+ * in-flight request ids, last metrics snapshot) to `path` as JSONL —
+ * the same dump the library writes on GEOALIGN_CHECK failure or from
+ * its fatal-signal handler when GEOALIGN_FLIGHT_RECORDER is set. */
+GEOALIGN_C_EXPORT int geoalign_flight_recorder_dump(const char* path);
+
 #ifdef __cplusplus
 }
 #endif

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/thread_annotations.h"
+#include "obs/flight_recorder.h"
 
 namespace geoalign {
 
@@ -67,7 +68,14 @@ LogMessage::~LogMessage() {
       std::fprintf(stderr, "%s\n", line.c_str());
     }
   }
-  if (level_ == LogLevel::kFatal) std::abort();
+  if (level_ == LogLevel::kFatal) {
+    // Post-mortem dump of recent execute audits + last metrics
+    // snapshot before the abort (no-op unless a dump path is
+    // configured; see obs/flight_recorder.h). We are not in a signal
+    // context here, so the allocating dump path is fine.
+    obs::NotifyFatal();
+    std::abort();
+  }
 }
 
 }  // namespace internal

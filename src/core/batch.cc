@@ -8,6 +8,7 @@
 
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
 #include "sparse/simd/panel_kernels.h"
@@ -45,7 +46,7 @@ obs::Counter& ColumnsTotal() {
 Result<std::vector<BatchCrosswalk::BatchResult>> RunPanels(
     const CrosswalkPlan& plan,
     const std::vector<BatchCrosswalk::Objective>& objectives,
-    common::ThreadPool* pool) {
+    common::ThreadPool* pool, const obs::RequestToken& request) {
   const size_t n = objectives.size();
   std::vector<std::optional<Result<CrosswalkResult>>> results(n);
   std::vector<size_t> valid;
@@ -70,6 +71,7 @@ Result<std::vector<BatchCrosswalk::BatchResult>> RunPanels(
                     std::min(width, std::max<size_t>(valid.size(), 1)));
   }
   common::ParallelForChunks(pool, num_panels, [&](size_t p) {
+    obs::RequestScope request_scope(request);
     obs::Stopwatch panel_watch;
     const size_t begin = p * width;
     const size_t count = std::min(width, valid.size() - begin);
@@ -161,6 +163,9 @@ Result<BatchCrosswalk::BatchResult> BatchCrosswalk::RunOne(
     return Status::InvalidArgument("BatchCrosswalk: objective '" +
                                    objective.name + "' wrong length");
   }
+  // No-op when called from Run's fan-out (the worker already carries
+  // the batch's request); gives direct callers an id of their own.
+  obs::EnsureRequestScope ensure_request;
   obs::Stopwatch column_watch;
   ColumnsTotal().Add(1);
   // BatchResult never carries the DM, so take the fused lane: Eq. 14
@@ -181,12 +186,16 @@ Result<BatchCrosswalk::BatchResult> BatchCrosswalk::RunOne(
 
 Result<std::vector<BatchCrosswalk::BatchResult>> BatchCrosswalk::Run(
     const std::vector<Objective>& objectives) const {
+  obs::EnsureRequestScope ensure_request;
+  // Worker lambdas re-establish this token so fan-out spans and audit
+  // records stay attributed to the request (see CrosswalkPipeline).
+  const obs::RequestToken request = obs::CurrentRequest();
   GEOALIGN_TRACE_SPAN("realign.batch");
   ColumnsPerBatch().Record(static_cast<double>(objectives.size()));
   std::unique_ptr<common::ThreadPool> pool = common::MakePoolOrNull(
       common::ResolveThreadCount(plan_.options().threads));
   if (plan_.references().aligned()) {
-    return RunPanels(plan_, objectives, pool.get());
+    return RunPanels(plan_, objectives, pool.get(), request);
   }
   std::vector<BatchResult> out;
   out.reserve(objectives.size());
@@ -218,6 +227,7 @@ Result<std::vector<BatchCrosswalk::BatchResult>> BatchCrosswalk::Run(
   }
   std::vector<std::optional<Result<BatchResult>>> results(objectives.size());
   common::ParallelForChunks(pool.get(), objectives.size(), [&](size_t i) {
+    obs::RequestScope request_scope(request);
     size_t wi = common::ThreadPool::CurrentWorkerIndex();
     ExecuteWorkspace& ws =
         bank[wi == common::ThreadPool::kNoWorkerIndex ? 0 : wi + 1];

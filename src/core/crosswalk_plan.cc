@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "common/float_eq.h"
 #include "sparse/simd/panel_kernels.h"
 #include "linalg/nnls.h"
 #include "linalg/qr.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sparse/coo_builder.h"
@@ -361,48 +363,74 @@ Result<CrosswalkResult> CrosswalkPlan::ExecuteWith(
   }
   GEOALIGN_TRACE_SPAN("execute");
   obs::Stopwatch execute_watch;
-  CrosswalkResult result;
-  Stopwatch watch;
+  const char* audit_mode = "materializing";
 
-  // Step 1: weight learning (Eq. 15) over the precompiled design.
-  // (The weight_solve span lives inside the solver dispatch so it
-  // covers every WeightSolver, simplex fast path included.)
-  GEOALIGN_ASSIGN_OR_RETURN(linalg::Vector b,
-                            linalg::NormalizeByMax(objective_source));
-  GEOALIGN_ASSIGN_OR_RETURN(linalg::Vector beta, SolveWeightsNormalized(b));
-  result.timing.Add("weight_learning", watch.ElapsedSeconds());
+  // The body runs inside a lambda so the single exit point below can
+  // publish one flight-recorder audit record per execute, success or
+  // failure (the recorder is always on; see obs/flight_recorder.h).
+  Result<CrosswalkResult> outcome = [&]() -> Result<CrosswalkResult> {
+    CrosswalkResult result;
+    Stopwatch watch;
 
-  // Steps 2+3: disaggregation (Eq. 14) + re-aggregation (Eq. 17),
-  // through one of two bit-identical lanes. The fused lane needs the
-  // shared-structure invariant; a non-aligned prepared set asked for
-  // aggregates only goes through the materializing lane and drops the
-  // DM at the end.
-  ExecuteWorkspace local_workspace;
-  ExecuteWorkspace* ws =
-      workspace != nullptr ? workspace : &local_workspace;
-  const uint64_t allocs_before = ws->alloc_events();
+    // Step 1: weight learning (Eq. 15) over the precompiled design.
+    // (The weight_solve span lives inside the solver dispatch so it
+    // covers every WeightSolver, simplex fast path included.)
+    GEOALIGN_ASSIGN_OR_RETURN(linalg::Vector b,
+                              linalg::NormalizeByMax(objective_source));
+    GEOALIGN_ASSIGN_OR_RETURN(linalg::Vector beta, SolveWeightsNormalized(b));
+    result.timing.Add("weight_learning", watch.ElapsedSeconds());
 
-  if (output == ExecuteOutput::kAggregatesOnly && prepared_.aligned()) {
-    GEOALIGN_RETURN_IF_ERROR(
-        ExecuteFusedAggregates(objective_source, beta, pool, ws, &result));
-  } else {
-    GEOALIGN_RETURN_IF_ERROR(
-        ExecuteMaterializing(objective_source, beta, pool, ws, &result));
-    if (output == ExecuteOutput::kAggregatesOnly) {
-      result.estimated_dm = sparse::CsrMatrix();
+    // Steps 2+3: disaggregation (Eq. 14) + re-aggregation (Eq. 17),
+    // through one of two bit-identical lanes. The fused lane needs the
+    // shared-structure invariant; a non-aligned prepared set asked for
+    // aggregates only goes through the materializing lane and drops the
+    // DM at the end.
+    ExecuteWorkspace local_workspace;
+    ExecuteWorkspace* ws =
+        workspace != nullptr ? workspace : &local_workspace;
+    const uint64_t allocs_before = ws->alloc_events();
+
+    if (output == ExecuteOutput::kAggregatesOnly && prepared_.aligned()) {
+      audit_mode = "fused";
+      GEOALIGN_RETURN_IF_ERROR(
+          ExecuteFusedAggregates(objective_source, beta, pool, ws, &result));
+    } else {
+      GEOALIGN_RETURN_IF_ERROR(
+          ExecuteMaterializing(objective_source, beta, pool, ws, &result));
+      if (output == ExecuteOutput::kAggregatesOnly) {
+        result.estimated_dm = sparse::CsrMatrix();
+      }
     }
-  }
 
-  result.weights = std::move(beta);
-  ZeroRowsTotal().Add(result.zero_rows.size());
-  // Workspace telemetry (observe-only): growth events this execute,
-  // and reuse of an externally supplied workspace that stayed warm.
-  const uint64_t grown = ws->alloc_events() - allocs_before;
-  HotPathAllocs().Add(grown);
-  if (workspace != nullptr && grown == 0) WorkspaceReuse().Add(1);
-  ExecuteCount().Add(1);
-  ExecuteLatencyUs().Record(execute_watch.ElapsedMicros());
-  return result;
+    result.weights = std::move(beta);
+    ZeroRowsTotal().Add(result.zero_rows.size());
+    // Workspace telemetry (observe-only): growth events this execute,
+    // and reuse of an externally supplied workspace that stayed warm.
+    const uint64_t grown = ws->alloc_events() - allocs_before;
+    HotPathAllocs().Add(grown);
+    if (workspace != nullptr && grown == 0) WorkspaceReuse().Add(1);
+    ExecuteCount().Add(1);
+    ExecuteLatencyUs().Record(execute_watch.ElapsedMicros());
+    return result;
+  }();
+
+  obs::AuditRecord audit;
+  audit.plan_fingerprint = prepared_.fingerprint();
+  std::strncpy(audit.mode, audit_mode, sizeof(audit.mode) - 1);
+  audit.rows = prepared_.num_source();
+  audit.latency_us = static_cast<uint64_t>(execute_watch.ElapsedMicros());
+  if (outcome.ok()) {
+    audit.zero_rows = outcome->zero_rows.size();
+    audit.fallback =
+        options_.zero_row_fallback == ZeroRowFallback::kFallbackDm &&
+                !outcome->zero_rows.empty()
+            ? 1
+            : 0;
+  } else {
+    audit.ok = 0;
+  }
+  obs::FlightRecorder::Global().Record(audit);
+  return outcome;
 }
 
 const linalg::Vector& CrosswalkPlan::EffectiveWeights(
@@ -689,8 +717,21 @@ void CrosswalkPlan::ExecuteOnePanel(
                                            ps.targets.data(),
                                            ps.zero_lists.data(), &ws->fused());
   const double kernel_seconds = kernel_watch.ElapsedSeconds();
+
+  // One always-on flight-recorder audit record per panel (the panel is
+  // the execute unit in this lane; per-lane context lives in results).
+  obs::AuditRecord audit;
+  audit.plan_fingerprint = prepared_.fingerprint();
+  std::strncpy(audit.mode, "panel", sizeof(audit.mode) - 1);
+  audit.panel_width = static_cast<uint32_t>(width);
+  audit.isa = static_cast<uint32_t>(isa);
+  audit.rows = prepared_.num_source();
+
   if (!st.ok()) {
     for (size_t li = 0; li < width; ++li) results[ps.lanes[li]]->emplace(st);
+    audit.ok = 0;
+    audit.latency_us = static_cast<uint64_t>(execute_watch.ElapsedMicros());
+    obs::FlightRecorder::Global().Record(audit);
     return;
   }
   for (size_t li = 0; li < width; ++li) {
@@ -706,7 +747,9 @@ void CrosswalkPlan::ExecuteOnePanel(
         continue;
       }
       FallbackRebuilds().Add(1);
+      ++audit.fallback;
     }
+    audit.zero_rows += res.zero_rows.size();
     ZeroRowsTotal().Add(res.zero_rows.size());
     res.timing.Add("disaggregation", kernel_seconds);
     res.timing.Add("reaggregation", 0.0);
@@ -723,6 +766,8 @@ void CrosswalkPlan::ExecuteOnePanel(
   HotPathAllocs().Add(grown);
   if (grown == 0) WorkspaceReuse().Add(1);
   ExecuteLatencyUs().Record(execute_watch.ElapsedMicros());
+  audit.latency_us = static_cast<uint64_t>(execute_watch.ElapsedMicros());
+  obs::FlightRecorder::Global().Record(audit);
 }
 
 }  // namespace geoalign::core

@@ -7,6 +7,7 @@
 
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
 #include "sparse/simd/panel_kernels.h"
@@ -181,6 +182,9 @@ Result<linalg::Vector> CrosswalkPipeline::ResolveColumn(
 
 Result<CrosswalkResult> CrosswalkPipeline::Realign(
     const std::vector<std::pair<std::string, double>>& objective) const {
+  // Serving entry: make sure spans and audit records below carry a
+  // request id even when the caller opened no RequestScope.
+  obs::EnsureRequestScope ensure_request;
   GEOALIGN_TRACE_SPAN("realign");
   obs::Stopwatch realign_watch;
   ColumnsTotal().Add(1);
@@ -205,6 +209,11 @@ Result<CrosswalkResult> CrosswalkPipeline::Realign(
 Result<std::vector<CrosswalkResult>> CrosswalkPipeline::RealignMany(
     const std::vector<Column>& objectives, size_t threads,
     ExecuteOutput output) const {
+  obs::EnsureRequestScope ensure_request;
+  // Pool workers have their own (empty) thread-local request context;
+  // each worker lambda below re-establishes this token so every span
+  // and audit record of the fan-out stays attributed to the request.
+  const obs::RequestToken request = obs::CurrentRequest();
   GEOALIGN_TRACE_SPAN("realign.batch");
   ColumnsPerBatch().Record(static_cast<double>(objectives.size()));
   ColumnsTotal().Add(objectives.size());
@@ -247,6 +256,7 @@ Result<std::vector<CrosswalkResult>> CrosswalkPipeline::RealignMany(
                       std::min(width, std::max<size_t>(valid.size(), 1)));
     }
     common::ParallelForChunks(pool.get(), num_panels, [&](size_t p) {
+      obs::RequestScope request_scope(request);
       obs::Stopwatch panel_watch;
       const size_t begin = p * width;
       const size_t count = std::min(width, valid.size() - begin);
@@ -303,6 +313,7 @@ Result<std::vector<CrosswalkResult>> CrosswalkPipeline::RealignMany(
     std::vector<std::optional<Result<CrosswalkResult>>> results(
         objectives.size());
     common::ParallelForChunks(pool.get(), objectives.size(), [&](size_t i) {
+      obs::RequestScope request_scope(request);
       obs::Stopwatch column_watch;
       Result<linalg::Vector> column =
           ResolveColumn(objectives[i], source_index_);
@@ -349,6 +360,7 @@ Result<std::vector<CrosswalkResult>> CrosswalkPipeline::RealignMany(
   std::vector<std::optional<Result<CrosswalkResult>>> results(
       objectives.size());
   common::ParallelForChunks(pool.get(), objectives.size(), [&](size_t i) {
+    obs::RequestScope request_scope(request);
     obs::Stopwatch column_watch;
     CrosswalkInput input;
     Result<linalg::Vector> column =

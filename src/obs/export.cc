@@ -1,0 +1,153 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+namespace geoalign::obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; our
+/// registry names are dotted ("execute.latency_us"), so invalid
+/// characters map to '_' and the "geoalign_" prefix guarantees a valid
+/// first character.
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out = "geoalign_";
+  for (char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(valid ? c : '_');
+  }
+  return out;
+}
+
+/// HELP-text escaping per the exposition format: backslash and
+/// line feed only.
+void AppendEscapedHelp(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+/// Label-value escaping: backslash, double-quote, and line feed.
+void AppendEscapedLabelValue(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void AppendHeader(std::string& out, const std::string& prom_name,
+                  const std::string& original_name, const char* type) {
+  out += "# HELP " + prom_name + " geoalign metric ";
+  AppendEscapedHelp(out, original_name);
+  out += "\n# TYPE " + prom_name + ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+bool ParseMetricsFormat(std::string_view name, MetricsFormat* out) {
+  if (name == "prom" || name == "prometheus") {
+    *out = MetricsFormat::kPrometheus;
+  } else if (name == "json") {
+    *out = MetricsFormat::kJson;
+  } else if (name == "text") {
+    *out = MetricsFormat::kText;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const CounterSnapshot& c : snapshot.counters) {
+    const std::string prom = SanitizeMetricName(c.name);
+    AppendHeader(out, prom, c.name, "counter");
+    out += prom + ' ' + std::to_string(c.value) + '\n';
+  }
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    const std::string prom = SanitizeMetricName(g.name);
+    AppendHeader(out, prom, g.name, "gauge");
+    out += prom + ' ' + std::to_string(g.value) + '\n';
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    const std::string prom = SanitizeMetricName(h.name);
+    AppendHeader(out, prom, h.name, "histogram");
+    // The registry stores per-bucket counts; the exposition format
+    // wants cumulative ones.
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += i < h.bucket_counts.size() ? h.bucket_counts[i] : 0;
+      out += prom + "_bucket{le=\"";
+      AppendEscapedLabelValue(out, FormatDouble(h.bounds[i]));
+      out += "\"} " + std::to_string(cumulative) + '\n';
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + '\n';
+    out += prom + "_sum " + FormatDouble(h.sum) + '\n';
+    out += prom + "_count " + std::to_string(h.count) + '\n';
+  }
+  return out;
+}
+
+std::string ToJsonLine(const MetricsSnapshot& snapshot) {
+  // ToJson uses newlines only as structural whitespace between tokens,
+  // so stripping them yields the same JSON document on one line.
+  const std::string pretty = snapshot.ToJson();
+  std::string out;
+  out.reserve(pretty.size());
+  for (char c : pretty) {
+    if (c != '\n') out.push_back(c);
+  }
+  return out;
+}
+
+std::string FormatMetricsSnapshot(const MetricsSnapshot& snapshot,
+                                  MetricsFormat format) {
+  switch (format) {
+    case MetricsFormat::kPrometheus:
+      return ToPrometheusText(snapshot);
+    case MetricsFormat::kJson:
+      return snapshot.ToJson();
+    case MetricsFormat::kText:
+      return snapshot.ToText();
+  }
+  return std::string();
+}
+
+bool WriteMetricsFile(const std::string& path, MetricsFormat format,
+                      std::string* error) {
+  const std::string content =
+      FormatMetricsSnapshot(MetricsRegistry::Global().Snapshot(), format);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == content.size();
+  if (!ok && error != nullptr) *error = "short write to " + path;
+  return ok;
+}
+
+}  // namespace geoalign::obs

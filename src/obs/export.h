@@ -1,0 +1,53 @@
+#ifndef GEOALIGN_OBS_EXPORT_H_
+#define GEOALIGN_OBS_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+// The one metrics exposition writer. Everything that serializes a
+// MetricsSnapshot for consumption outside the process — the CLI, the
+// C ABI, the flight recorder, the future geoalignd /metrics endpoint —
+// goes through FormatMetricsSnapshot / WriteMetricsFile. Calling the
+// snapshot's ToText/ToJson directly outside src/obs/ is forbidden by
+// the geoalign-metrics-export lint rule (tools/geoalign_lint.py).
+
+namespace geoalign::obs {
+
+enum class MetricsFormat {
+  kPrometheus,  ///< Prometheus text exposition format 0.0.4
+  kJson,        ///< MetricsSnapshot::ToJson
+  kText,        ///< MetricsSnapshot::ToText ("name value" lines)
+};
+
+/// Parses "prom"/"prometheus", "json", "text" (case-sensitive).
+/// Returns false and leaves `*out` untouched on anything else.
+bool ParseMetricsFormat(std::string_view name, MetricsFormat* out);
+
+/// Renders the snapshot in Prometheus text exposition format:
+/// `# HELP` / `# TYPE` lines per metric, sanitized names (dots and
+/// other invalid characters become `_`, everything prefixed
+/// `geoalign_`; the HELP text preserves the original dotted name),
+/// counters and gauges as single samples, histograms as CUMULATIVE
+/// `_bucket{le="..."}` samples over the registration bounds plus
+/// `le="+Inf"`, then `_sum` and `_count`. `_count` always equals the
+/// `+Inf` bucket (see HistogramSnapshot::count).
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// One-line (no newline anywhere) JSON rendering of the snapshot,
+/// used for the flight recorder's cached-metrics line.
+std::string ToJsonLine(const MetricsSnapshot& snapshot);
+
+/// Renders `snapshot` in the requested format.
+std::string FormatMetricsSnapshot(const MetricsSnapshot& snapshot,
+                                  MetricsFormat format);
+
+/// Snapshots the global registry, renders it in `format`, and writes
+/// it to `path`. Returns false and fills `*error` on I/O failure.
+bool WriteMetricsFile(const std::string& path, MetricsFormat format,
+                      std::string* error);
+
+}  // namespace geoalign::obs
+
+#endif  // GEOALIGN_OBS_EXPORT_H_

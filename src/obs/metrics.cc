@@ -69,15 +69,21 @@ void Histogram::Record(double value) {
       std::lower_bound(bounds_.begin(), bounds_.end(), value) -
       bounds_.begin());
   buckets_[i].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    total += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 void Histogram::Reset() {
   for (size_t i = 0; i <= bounds_.size(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
   }
-  count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
 }
 
@@ -205,12 +211,15 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   for (const auto& [name, hist] : histograms_) {
     HistogramSnapshot h;
     h.name = name;
-    h.count = hist->Count();
     h.sum = hist->Sum();
     h.bounds = hist->bounds();
     h.bucket_counts.reserve(h.bounds.size() + 1);
+    // Derive the count from the same bucket reads so the snapshot's
+    // `count == Σ bucket_counts` invariant holds even when writers are
+    // recording concurrently.
     for (size_t i = 0; i <= h.bounds.size(); ++i) {
       h.bucket_counts.push_back(hist->BucketCount(i));
+      h.count += h.bucket_counts.back();
     }
     snap.histograms.push_back(std::move(h));
   }

@@ -86,11 +86,17 @@ class Gauge {
 };
 
 /// Fixed-bucket histogram: cumulative-free per-bucket atomic counts
-/// plus an exact total count and a (relaxed, unordered) double sum.
-/// Bucket upper bounds are fixed at registration; values land in the
-/// first bucket whose bound is >= value, or the implicit overflow
-/// bucket. Counts are exact under concurrency; the sum is subject to
-/// floating-point non-associativity across interleavings (report-only).
+/// plus a (relaxed, unordered) double sum. Bucket upper bounds are
+/// fixed at registration; values land in the first bucket whose bound
+/// is >= value, or the implicit overflow bucket. Counts are exact
+/// under concurrency; the sum is subject to floating-point
+/// non-associativity across interleavings (report-only).
+///
+/// There is deliberately no separate total-count atomic: every Record
+/// lands in exactly one bucket, so Count() is the sum of the bucket
+/// counts. That makes the exporter invariant `_count == Σ _bucket`
+/// hold by construction for any snapshot, including one taken while
+/// writers are mid-Record (tests/obs_export_test.cc hammers this).
 class Histogram {
  public:
   /// Default bounds: a 1-2-5 exponential ladder from 1 to 5e7,
@@ -106,7 +112,8 @@ class Histogram {
   void Record(double value);
 
   const std::vector<double>& bounds() const { return bounds_; }
-  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  /// Exact sum of the per-bucket counts (see class comment).
+  uint64_t Count() const;
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
   uint64_t BucketCount(size_t i) const {
     return buckets_[i].load(std::memory_order_relaxed);
@@ -117,7 +124,6 @@ class Histogram {
   std::vector<double> bounds_;  ///< ascending upper bounds
   /// One count per bound, plus the trailing overflow bucket.
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
-  std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
 };
 
@@ -133,6 +139,8 @@ struct GaugeSnapshot {
 };
 struct HistogramSnapshot {
   std::string name;
+  /// Always equals the sum of `bucket_counts` (derived from the same
+  /// bucket reads), so exporters can rely on `_count == Σ _bucket`.
   uint64_t count = 0;
   double sum = 0.0;
   std::vector<double> bounds;

@@ -1,0 +1,115 @@
+#include "obs/request_context.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace geoalign::obs {
+
+namespace {
+
+thread_local RequestToken t_current;
+
+/// Process-wide ordinal for generated ids and token seq values.
+std::atomic<uint64_t> g_next_seq{1};
+
+/// Fixed in-flight table: one slot per originating RequestScope. The
+/// writer publishes `seq` with release order after the id bytes are in
+/// place, so a signal-time reader that sees a nonzero seq sees a
+/// complete id. Overflow (more than kInFlightSlots concurrent
+/// originating scopes) silently drops the registration — identity
+/// propagation and span/audit stamping still work, only the dump's
+/// in-flight list is capped.
+constexpr size_t kInFlightSlots = 64;
+struct InFlightSlot {
+  std::atomic<uint64_t> seq{0};
+  char id[RequestToken::kMaxIdLength + 1] = {0};
+};
+InFlightSlot g_in_flight[kInFlightSlots];
+
+int ClaimSlot(uint64_t seq, const char* id) {
+  for (size_t i = 0; i < kInFlightSlots; ++i) {
+    uint64_t expected = 0;
+    // Reserve first (seq briefly holds the sentinel ~0 so no reader
+    // trusts the id bytes while they are being written).
+    if (g_in_flight[i].seq.compare_exchange_strong(
+            expected, ~uint64_t{0}, std::memory_order_acquire)) {
+      // `id` is always a RequestToken::id buffer, so the full
+      // NUL-terminated length is safe to copy.
+      std::memcpy(g_in_flight[i].id, id, RequestToken::kMaxIdLength + 1);
+      g_in_flight[i].seq.store(seq, std::memory_order_release);
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void ReleaseSlot(int slot) {
+  if (slot >= 0) {
+    g_in_flight[static_cast<size_t>(slot)].seq.store(
+        0, std::memory_order_release);
+  }
+}
+
+}  // namespace
+
+void RequestScope::Establish(std::string_view id, bool claim_slot) {
+  prev_ = t_current;
+  RequestToken token;
+  token.seq = g_next_seq.fetch_add(1, std::memory_order_relaxed);
+  if (id.empty()) {
+    std::snprintf(token.id, sizeof(token.id), "req-%llu",
+                  static_cast<unsigned long long>(token.seq));
+  } else {
+    const size_t n = id.size() < RequestToken::kMaxIdLength
+                         ? id.size()
+                         : RequestToken::kMaxIdLength;
+    std::memcpy(token.id, id.data(), n);
+    token.id[n] = '\0';
+  }
+  t_current = token;
+  token_ = token;
+  if (claim_slot) slot_ = ClaimSlot(token.seq, token.id);
+}
+
+RequestScope::RequestScope() { Establish(std::string_view(), true); }
+
+RequestScope::RequestScope(std::string_view id) { Establish(id, true); }
+
+RequestScope::RequestScope(const RequestToken& token) {
+  prev_ = t_current;
+  t_current = token;
+  token_ = token;
+}
+
+RequestScope::~RequestScope() {
+  ReleaseSlot(slot_);
+  t_current = prev_;
+}
+
+const char* RequestScope::id() const { return token_.id; }
+
+uint64_t RequestScope::seq() const { return token_.seq; }
+
+const RequestToken& CurrentRequest() { return t_current; }
+
+uint64_t CurrentRequestSeq() { return t_current.seq; }
+
+namespace internal {
+
+size_t SnapshotInFlightRequests(char (*out)[RequestToken::kMaxIdLength + 1],
+                                size_t max) {
+  size_t n = 0;
+  for (size_t i = 0; i < kInFlightSlots && n < max; ++i) {
+    const uint64_t seq = g_in_flight[i].seq.load(std::memory_order_acquire);
+    if (seq == 0 || seq == ~uint64_t{0}) continue;
+    std::memcpy(out[n], g_in_flight[i].id, RequestToken::kMaxIdLength + 1);
+    out[n][RequestToken::kMaxIdLength] = '\0';
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace internal
+
+}  // namespace geoalign::obs

@@ -82,12 +82,9 @@ std::string SummaryTable() {
                   h.Mean(), h.Quantile(0.5), h.Quantile(0.99));
     out += buf;
   }
-  uint64_t dropped = TraceRecorder::Global().TotalDropped();
-  if (dropped > 0) {
-    std::snprintf(buf, sizeof(buf), "%-36s %12llu\n", "trace.spans_dropped",
-                  static_cast<unsigned long long>(dropped));
-    out += buf;
-  }
+  // Ring truncation shows up as the regular trace.dropped_spans
+  // counter (registered eagerly by the trace recorder), so there is no
+  // special-cased row here anymore.
   return out;
 }
 

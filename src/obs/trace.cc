@@ -3,7 +3,23 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/metrics.h"
+
 namespace geoalign::obs {
+
+namespace {
+
+/// Ring wrap-around losses, surfaced in metric snapshots so the 8192-
+/// span per-thread cap never truncates silently. Lock order: taken
+/// (via the registry mutex, first call only) under a TraceBuffer's
+/// mu_; the registry mutex is a leaf, so no cycle.
+Counter& DroppedSpansCounter() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("trace.dropped_spans");
+  return counter;
+}
+
+}  // namespace
 
 void TraceBuffer::Record(const SpanEvent& event) {
   common::MutexLock lock(mu_);
@@ -15,6 +31,7 @@ void TraceBuffer::Record(const SpanEvent& event) {
   ring_[next_] = event;
   next_ = (next_ + 1) % kCapacity;
   ++dropped_;
+  DroppedSpansCounter().Add();
 }
 
 void TraceBuffer::CollectInto(std::vector<SpanEvent>& out) const {
@@ -37,7 +54,12 @@ void TraceBuffer::Clear() {
 }
 
 TraceRecorder& TraceRecorder::Global() {
-  static TraceRecorder* recorder = new TraceRecorder();
+  static TraceRecorder* recorder = [] {
+    // Register the drop counter eagerly so snapshots show it at 0
+    // before (and whether or not) any ring ever wraps.
+    DroppedSpansCounter();
+    return new TraceRecorder();
+  }();
   return *recorder;
 }
 
@@ -110,9 +132,10 @@ std::string TraceRecorder::ExportChromeTrace() const {
                   "%s\n  {\"name\": \"%s\", \"cat\": \"geoalign\", "
                   "\"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
                   "\"pid\": 1, \"tid\": %u, "
-                  "\"args\": {\"depth\": %u}}",
+                  "\"args\": {\"depth\": %u, \"req\": %llu}}",
                   i == 0 ? "" : ",", e.name, ts, dur, e.thread_index,
-                  e.depth);
+                  e.depth,
+                  static_cast<unsigned long long>(e.request_seq));
     out += buf;
   }
   out += "\n]}\n";

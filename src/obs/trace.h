@@ -9,6 +9,7 @@
 // Header-only, standard-library-only shim: using it keeps obs link-
 // free of geoalign_common, preserving the obs-below-common layering.
 #include "common/thread_annotations.h"
+#include "obs/request_context.h"
 #include "obs/telemetry.h"
 #include "obs/timer.h"
 
@@ -22,6 +23,7 @@ struct SpanEvent {
   int64_t end_ticks = 0;
   uint32_t thread_index = 0;  ///< stable small id, first-use order
   uint32_t depth = 0;         ///< nesting depth at record time (1 = top)
+  uint64_t request_seq = 0;   ///< RequestToken::seq at span open (0 = none)
 };
 
 /// Bounded per-thread ring buffer of completed spans. Single writer
@@ -111,6 +113,7 @@ class ScopedSpan {
     if (!Enabled()) return;
     name_ = name;
     depth_ = ++internal::ThreadSpanDepth();
+    request_seq_ = CurrentRequestSeq();
     start_ticks_ = NowTicks();
   }
 
@@ -122,6 +125,7 @@ class ScopedSpan {
     event.start_ticks = start_ticks_;
     event.end_ticks = NowTicks();
     event.depth = depth_;
+    event.request_seq = request_seq_;
     TraceRecorder::Global().Record(event);
   }
 
@@ -132,6 +136,7 @@ class ScopedSpan {
   const char* name_ = nullptr;
   int64_t start_ticks_ = 0;
   uint32_t depth_ = 0;
+  uint64_t request_seq_ = 0;
 };
 
 #define GEOALIGN_OBS_CONCAT_INNER(a, b) a##b

@@ -6,13 +6,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "capi/geoalign_c.h"
 #include "core/crosswalk_plan.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "sparse/csr_matrix.h"
 
 namespace geoalign {
@@ -235,6 +239,72 @@ TEST(CapiTest, NullHandleAccessorsAreSafe) {
   EXPECT_EQ(geoalign_plan_num_references(nullptr), 0u);
   EXPECT_EQ(geoalign_plan_fingerprint(nullptr), 0u);
   geoalign_plan_destroy(nullptr);  // no-op
+}
+
+// The C metrics export is the SAME serializer the C++ side uses:
+// byte-identical output for a quiescent registry, in every format.
+TEST(CapiTest, MetricsExportMatchesCppSerializerByteForByte) {
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  const std::pair<int, obs::MetricsFormat> formats[] = {
+      {GEOALIGN_METRICS_FORMAT_PROMETHEUS, obs::MetricsFormat::kPrometheus},
+      {GEOALIGN_METRICS_FORMAT_JSON, obs::MetricsFormat::kJson},
+      {GEOALIGN_METRICS_FORMAT_TEXT, obs::MetricsFormat::kText},
+  };
+  for (const auto& [c_format, cpp_format] : formats) {
+    char* data = nullptr;
+    size_t len = 0;
+    ASSERT_EQ(geoalign_metrics_export(c_format, &data, &len), GEOALIGN_OK);
+    ASSERT_NE(data, nullptr);
+    EXPECT_EQ(std::strlen(data), len);  // NUL-terminated, len excludes NUL
+    const std::string want = obs::FormatMetricsSnapshot(snapshot, cpp_format);
+    EXPECT_EQ(std::string(data, len), want) << "format " << c_format;
+    geoalign_buffer_free(data);
+  }
+}
+
+TEST(CapiTest, MetricsExportRejectsBadArguments) {
+  char* data = nullptr;
+  EXPECT_EQ(geoalign_metrics_export(42, &data, nullptr),
+            GEOALIGN_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(geoalign_metrics_export(GEOALIGN_METRICS_FORMAT_JSON, nullptr,
+                                    nullptr),
+            GEOALIGN_ERR_INVALID_ARGUMENT);
+  // out_len is optional.
+  EXPECT_EQ(geoalign_metrics_export(GEOALIGN_METRICS_FORMAT_JSON, &data,
+                                    nullptr),
+            GEOALIGN_OK);
+  ASSERT_NE(data, nullptr);
+  geoalign_buffer_free(data);
+  geoalign_buffer_free(nullptr);  // no-op
+}
+
+TEST(CapiTest, FlightRecorderDumpWritesParseableFile) {
+  CWorld w;
+  const geoalign_csr csr_a = w.CsrA();
+  geoalign_reference ref = CsrRef("a", w.agg_a, &csr_a);
+  geoalign_plan* plan = nullptr;
+  ASSERT_EQ(geoalign_plan_compile(&ref, 1, &plan), GEOALIGN_OK);
+  double target[2];
+  ASSERT_EQ(geoalign_plan_execute(plan, w.objective.data(), 3, target,
+                                  nullptr),
+            GEOALIGN_OK);
+  geoalign_plan_destroy(plan);
+
+  const std::string path = ::testing::TempDir() + "geoalign_capi_fr.jsonl";
+  ASSERT_EQ(geoalign_flight_recorder_dump(path.c_str()), GEOALIGN_OK);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));  // header
+  EXPECT_NE(line.find("\"type\":\"header\""), std::string::npos);
+  EXPECT_NE(line.find("\"reason\":\"demand\""), std::string::npos);
+  ASSERT_TRUE(std::getline(in, line));  // the execute's audit record
+  EXPECT_NE(line.find("\"type\":\"audit\""), std::string::npos);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(geoalign_flight_recorder_dump(nullptr),
+            GEOALIGN_ERR_INVALID_ARGUMENT);
 }
 
 }  // namespace

@@ -1,0 +1,24 @@
+// Fixture for tools/geoalign_lint.py: direct MetricsSnapshot
+// serialization outside src/obs/ must be flagged — every exposition of
+// the registry goes through the one writer in obs/export.h so the CLI,
+// the C ABI, and the flight recorder stay byte-identical
+// (docs/observability.md).
+
+namespace geoalign::core {
+
+struct FakeSnapshot {
+  const char* ToJson() const { return "{}"; }
+  const char* ToText() const { return ""; }
+};
+
+const char* DumpMetricsJson(const FakeSnapshot& snapshot) {
+  // violation: .ToJson() outside src/obs/
+  return snapshot.ToJson();
+}
+
+const char* DumpMetricsText(const FakeSnapshot* snapshot) {
+  // violation: ->ToText() outside src/obs/
+  return snapshot->ToText();
+}
+
+}  // namespace geoalign::core

@@ -49,6 +49,7 @@ expect_violation src/core/bad_raw_clock.cc geoalign-raw-clock
 expect_violation src/sparse/bad_hot_alloc.cc geoalign-hot-alloc
 expect_violation src/core/bad_raw_intrinsic.cc geoalign-raw-intrinsic
 expect_violation src/core/bad_raw_mutex.cc geoalign-raw-mutex
+expect_violation src/core/bad_metrics_export.cc geoalign-metrics-export
 expect_violation capi/bad_cpp_leak.h geoalign-capi-abi
 expect_clean "clean fixture" --root "$FIXTURES" "$FIXTURES/src/common/clean.cc"
 expect_clean "real src/ tree" --root "$ROOT"

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Compare fresh benchmark runs against the committed baselines.
+
+Each bench binary writes a JSON result file whose "bench" field names
+it (e.g. {"bench": "obs_overhead", ...}); the committed baseline for
+that bench lives at BENCH_<bench>.json in the repo root. This tool
+flattens both documents to dotted numeric paths, pairs them up, and
+reports the relative change per metric with a direction-aware verdict:
+
+  lower-is-better   names matching seconds|_ns|_us|_ms|latency|ratio|
+                    _over_|bytes|allocs
+  higher-is-better  names matching speedup|per_sec|per_second|
+                    throughput|ops
+  informational     everything else (shape/config numbers — counts,
+                    sizes, dates never gate)
+
+A metric that moved in the bad direction by more than --threshold
+percent is a regression and the exit code is 1 (the `benchdiff` gate
+in tools/ci.sh runs this advisorily — a regression is reported in the
+summary but does not fail the build, since shared CI machines are
+noisy; SKIP_BENCHDIFF=1 skips it entirely).
+
+When the fresh run's bench_scale differs from the baseline's, absolute
+numbers are not comparable; the report is still printed but every
+verdict is downgraded to informational and the exit code is 0.
+
+Usage:
+  bench_compare.py [--baseline-dir DIR] [--threshold PCT] fresh.json...
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+LOWER_BETTER_RE = re.compile(
+    r"seconds|_ns\b|_us\b|_ms\b|latency|ratio|_over_|bytes|allocs")
+HIGHER_BETTER_RE = re.compile(
+    r"speedup|per_sec\b|per_second|throughput|\bops\b")
+# Config/metadata paths that never gate, whatever their spelling.
+SKIP_RE = re.compile(r"(?:^|\.)(?:date|repetitions|threads)(?:\.|$)")
+
+
+def flatten(value, prefix=""):
+    """Yields (dotted_path, number) for every numeric leaf."""
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        yield prefix, float(value)
+    elif isinstance(value, dict):
+        # A row list entry like {"op": "counter_add", "enabled_ns": ...}
+        # is keyed by its name field rather than its list index, so
+        # reordering rows never mispairs metrics.
+        for key, child in value.items():
+            child_prefix = "%s.%s" % (prefix, key) if prefix else key
+            yield from flatten(child, child_prefix)
+    elif isinstance(value, list):
+        for i, child in enumerate(value):
+            label = None
+            if isinstance(child, dict):
+                for name_key in ("op", "name", "case", "kind"):
+                    if isinstance(child.get(name_key), str):
+                        label = child[name_key]
+                        break
+            child_prefix = "%s.%s" % (prefix, label if label is not None
+                                      else str(i))
+            yield from flatten(child, child_prefix)
+
+
+def direction(path):
+    if LOWER_BETTER_RE.search(path):
+        return "lower"
+    if HIGHER_BETTER_RE.search(path):
+        return "higher"
+    return "info"
+
+
+def compare_one(fresh_path, baseline_dir, threshold):
+    """Returns (regressions, notes) for one fresh result file."""
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    bench = fresh.get("bench")
+    if not isinstance(bench, str) or not bench:
+        return 0, ["%s: no \"bench\" field; skipped" % fresh_path]
+    baseline_path = os.path.join(baseline_dir, "BENCH_%s.json" % bench)
+    if not os.path.isfile(baseline_path):
+        return 0, ["%s: no committed baseline %s; skipped"
+                   % (fresh_path, baseline_path)]
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    comparable = True
+    scale_fresh = fresh.get("bench_scale")
+    scale_base = baseline.get("bench_scale")
+    if scale_fresh != scale_base:
+        comparable = False
+
+    base_metrics = dict(flatten(baseline))
+    rows = []
+    regressions = 0
+    for path, value in flatten(fresh):
+        if SKIP_RE.search(path):
+            continue
+        base = base_metrics.get(path)
+        if base is None:
+            rows.append((path, None, value, None, "new"))
+            continue
+        delta = ((value - base) / base * 100.0) if base != 0 else (
+            0.0 if value == 0 else float("inf"))
+        kind = direction(path)
+        if not comparable or kind == "info":
+            verdict = "info"
+        else:
+            bad = delta > threshold if kind == "lower" else -delta > threshold
+            good = -delta > threshold if kind == "lower" else delta > threshold
+            verdict = "REGRESSED" if bad else ("improved" if good else "ok")
+        if verdict == "REGRESSED":
+            regressions += 1
+        rows.append((path, base, value, delta, verdict))
+
+    header = "== %s vs %s" % (fresh_path, baseline_path)
+    if not comparable:
+        header += ("  [bench_scale %s != baseline %s — informational only]"
+                   % (scale_fresh, scale_base))
+    print(header)
+    print("%-52s %14s %14s %9s  %s"
+          % ("metric", "baseline", "fresh", "delta%", "verdict"))
+    for path, base, value, delta, verdict in rows:
+        print("%-52s %14s %14.4g %9s  %s"
+              % (path,
+                 "-" if base is None else "%.4g" % base,
+                 value,
+                 "-" if delta is None else "%+.1f" % delta,
+                 verdict))
+    print()
+    return regressions, []
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="diff fresh bench runs against committed baselines")
+    parser.add_argument("--baseline-dir", default=".",
+                        help="directory holding BENCH_<bench>.json "
+                             "baselines (default: repo root)")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="regression threshold in percent "
+                             "(default: 10)")
+    parser.add_argument("fresh", nargs="+",
+                        help="fresh bench result JSON files")
+    args = parser.parse_args(argv)
+
+    total_regressions = 0
+    for fresh_path in args.fresh:
+        if not os.path.isfile(fresh_path):
+            print("bench_compare: no such file: %s" % fresh_path,
+                  file=sys.stderr)
+            return 2
+        regressions, notes = compare_one(
+            fresh_path, args.baseline_dir, args.threshold)
+        total_regressions += regressions
+        for note in notes:
+            print("note: %s" % note)
+
+    if total_regressions:
+        print("bench_compare: %d metric(s) regressed beyond %.1f%%"
+              % (total_regressions, args.threshold), file=sys.stderr)
+        return 1
+    print("bench_compare: no regressions beyond %.1f%%" % args.threshold)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

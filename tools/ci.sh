@@ -41,9 +41,21 @@
 #           geoalign_cli on the same crosswalk — the embedding path
 #           must be bit-identical to the native one
 #   obs     run geoalign_cli on a generated example with --metrics-out
-#           and --trace-out, then validate both outputs parse as JSON
-#           (the trace must be Chrome trace-event shaped, i.e. carry a
-#           traceEvents array — docs/observability.md)
+#           and --trace-out under GEOALIGN_TELEMETRY=0 (proving the
+#           output flags implicitly enable telemetry), validate both
+#           outputs parse as JSON (the trace must be Chrome trace-event
+#           shaped, i.e. carry a traceEvents array), then re-run with
+#           --metrics-format=prom and --flight-recorder-out and
+#           validate the Prometheus exposition (every histogram's
+#           _count equals its +Inf bucket) and the flight-recorder
+#           JSONL dump — docs/observability.md
+#   benchdiff
+#           ADVISORY: run the obs_overhead benchmark fresh and diff it
+#           against the committed BENCH_obs_overhead.json with
+#           tools/bench_compare.py. A regression beyond the threshold
+#           is reported as ADVISORY-FAIL in the summary but never
+#           fails the build (shared CI machines are noisy); regenerate
+#           the baseline when a change is intentional.
 #
 # The summary prints a gate × toolchain matrix: each gate names the
 # toolchain it ran on, and a toolchain-availability header makes a
@@ -63,7 +75,7 @@
 #                 concurrency-only smoke.
 #   SKIP_TSAN=1 SKIP_ASAN=1 SKIP_UBSAN=1 SKIP_TIDY=1 SKIP_TSA=1
 #   SKIP_LINT=1 SKIP_BENCH=1 SKIP_FUSED=1 SKIP_OBS=1 SKIP_SIMD=1
-#   SKIP_CAPI=1
+#   SKIP_CAPI=1 SKIP_BENCHDIFF=1
 #                 skip the corresponding gate (recorded as "skipped"
 #                 in the summary, never as a pass).
 set -uo pipefail
@@ -78,13 +90,14 @@ TSA_DIR="${TSA_DIR:-build-tsa}"
 CLANGXX="${CLANGXX:-clang++}"
 CTEST_FILTER="${CTEST_FILTER:-}"
 
-GATES=(plain bench fused simd tsan asan ubsan tidy tsa lint capi obs)
+GATES=(plain bench fused simd tsan asan ubsan tidy tsa lint capi obs
+       benchdiff)
 # Which toolchain each gate runs on, for the summary matrix. "cxx" is
 # the default compiler CMake resolves (gcc or clang alike).
 declare -A TOOL=(
   [plain]=cxx [bench]=cxx [fused]=cxx [simd]=cxx [tsan]=cxx [asan]=cxx
   [ubsan]=cxx [tidy]=clang-tidy [tsa]=clang++ [lint]=python3 [capi]=cc
-  [obs]=python3
+  [obs]=python3 [benchdiff]=python3
 )
 declare -A RESULT
 failed=0
@@ -117,7 +130,10 @@ s2,t1,3
 s2,t2,1
 s3,t2,4
 EOF
-  "$BUILD_DIR/tools/geoalign_cli" \
+  # GEOALIGN_TELEMETRY=0 proves the implicit enable: asking for a
+  # telemetry artifact must flip the switch on unless an explicit
+  # --telemetry pins it.
+  env GEOALIGN_TELEMETRY=0 "$BUILD_DIR/tools/geoalign_cli" \
     --objective "$dir/objective.csv" --ref "population=$dir/ref.csv" \
     --metrics-out="$dir/metrics.json" --trace-out="$dir/trace.json" \
     --out "$dir/out.csv" || { rm -rf "$dir"; return 1; }
@@ -126,7 +142,8 @@ import json, sys
 with open(sys.argv[1]) as f:
     metrics = json.load(f)
 assert "counters" in metrics and "histograms" in metrics, metrics.keys()
-assert metrics["counters"].get("compile.count", 0) >= 1, metrics["counters"]
+assert metrics["counters"].get("compile.count", 0) >= 1, (
+    "implicit telemetry enable failed: " + repr(metrics["counters"]))
 with open(sys.argv[2]) as f:
     trace = json.load(f)
 assert isinstance(trace.get("traceEvents"), list), type(trace)
@@ -134,8 +151,50 @@ print("obs gate: metrics + trace both parse; "
       f"{len(trace['traceEvents'])} trace event(s)")
 EOF
   local rc=$?
+  [[ $rc -ne 0 ]] && { rm -rf "$dir"; return "$rc"; }
+  # Second pass: the Prometheus exposition and the flight recorder.
+  "$BUILD_DIR/tools/geoalign_cli" \
+    --objective "$dir/objective.csv" --ref "population=$dir/ref.csv" \
+    --metrics-out="$dir/metrics.prom" --metrics-format=prom \
+    --flight-recorder-out="$dir/flight.jsonl" --request-id=ci-obs-gate \
+    --out "$dir/out2.csv" || { rm -rf "$dir"; return 1; }
+  python3 - "$dir/metrics.prom" "$dir/flight.jsonl" <<'EOF'
+import json, re, sys
+with open(sys.argv[1]) as f:
+    prom = f.read()
+assert prom.startswith("# HELP "), prom[:60]
+# Histograms are identified by their +Inf bucket line; each one's
+# _count sample must carry the same number. (A plain _count suffix is
+# ambiguous: the counter "compile.count" also sanitizes to
+# geoalign_compile_count.)
+infs = dict(re.findall(r'^(\w+)_bucket\{le="\+Inf"\} (\d+)$', prom, re.M))
+assert infs, "no histograms in the prom exposition"
+for name, inf in infs.items():
+    m = re.search(r"^%s_count (\d+)$" % re.escape(name), prom, re.M)
+    assert m is not None and m.group(1) == inf, (name, inf, m)
+lines = [json.loads(l) for l in open(sys.argv[2]) if l.strip()]
+assert lines and lines[0]["type"] == "header", lines[:1]
+audits = [l for l in lines if l["type"] == "audit"]
+assert any(a["request_id"] == "ci-obs-gate" for a in audits), audits
+print("obs gate: prom exposition consistent "
+      f"({len(infs)} histogram(s)); flight recorder dump parses "
+      f"({len(audits)} audit record(s))")
+EOF
+  rc=$?
   rm -rf "$dir"
   return "$rc"
+}
+
+# Advisory benchmark diff: a fresh obs_overhead run against the
+# committed baseline. Pure reporting — run_advisory_gate never fails
+# the build on a regression; regenerate BENCH_obs_overhead.json when a
+# change is intentional.
+benchdiff_gate() {
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target obs_overhead || return 1
+  local fresh="$BUILD_DIR/BENCH_obs_overhead_fresh.json"
+  env GEOALIGN_BENCH_REPS=3 "$BUILD_DIR/bench/obs_overhead" "$fresh" &&
+    python3 tools/bench_compare.py --threshold "${BENCHDIFF_THRESHOLD:-50}" \
+      "$fresh"
 }
 
 # SIMD bit-identity: the differential kernel harness plus the panel /
@@ -214,6 +273,26 @@ run_gate() {
   fi
 }
 
+# run_advisory_gate <name> <skip-flag-value> <command...> — like
+# run_gate, but a failure is recorded as ADVISORY-FAIL and never sets
+# the overall exit code (used for noise-prone benchmark diffs).
+run_advisory_gate() {
+  local name="$1" skip="$2"
+  shift 2
+  echo
+  echo "=== gate: $name (advisory) ==="
+  if [[ "$skip" == "1" ]]; then
+    echo "skipped (SKIP_${name^^}=1)"
+    RESULT[$name]="skipped"
+    return
+  fi
+  if "$@"; then
+    RESULT[$name]="pass"
+  else
+    RESULT[$name]="ADVISORY-FAIL"
+  fi
+}
+
 # Toolchain availability up front, so a machine that cannot run the
 # clang-only gates learns it before an hour of sanitizer rebuilds.
 tool_status() {
@@ -226,7 +305,8 @@ printf '%-12s %-8s gates: %s\n' "$CXX_BIN" "$(tool_status "$CXX_BIN")" \
 printf '%-12s %-8s gates: %s\n' "$CLANGXX" "$(tool_status "$CLANGXX")" "tsa"
 printf '%-12s %-8s gates: %s\n' "${CLANG_TIDY:-clang-tidy}" \
   "$(tool_status "${CLANG_TIDY:-clang-tidy}")" "tidy"
-printf '%-12s %-8s gates: %s\n' "python3" "$(tool_status python3)" "lint obs"
+printf '%-12s %-8s gates: %s\n' "python3" "$(tool_status python3)" \
+  "lint obs benchdiff"
 printf '%-12s %-8s gates: %s\n' "${CC:-cc}" "$(tool_status "${CC:-cc}")" "capi"
 
 run_gate plain 0 run_suite "$BUILD_DIR"
@@ -247,6 +327,7 @@ run_gate tsa "${SKIP_TSA:-0}" tsa_gate
 run_gate lint "${SKIP_LINT:-0}" python3 tools/geoalign_lint.py --root .
 run_gate capi "${SKIP_CAPI:-0}" capi_gate
 run_gate obs "${SKIP_OBS:-0}" obs_gate
+run_advisory_gate benchdiff "${SKIP_BENCHDIFF:-0}" benchdiff_gate
 
 echo
 echo "=== gate summary (gate × toolchain) ==="

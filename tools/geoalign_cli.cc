@@ -11,11 +11,22 @@
 //                                        materializing path)
 //                [--out <path>]        (default: stdout)
 //                [--weights]           (print learned weights to stderr)
-//                [--metrics-out <path>] (write metrics JSON; see
+//                [--metrics-out <path>] (write a metrics snapshot; see
 //                                        docs/observability.md)
+//                [--metrics-format prom|json|text] (snapshot format for
+//                                        --metrics-out; default json)
 //                [--trace-out <path>]   (write Chrome trace-event JSON,
 //                                        loadable at ui.perfetto.dev)
-//                [--telemetry on|off]   (override GEOALIGN_TELEMETRY)
+//                [--telemetry on|off]   (override GEOALIGN_TELEMETRY;
+//                                        --metrics-out/--trace-out
+//                                        imply `on` unless --telemetry
+//                                        is passed explicitly)
+//                [--request-id <id>]    (request id stamped on spans
+//                                        and audit records; generated
+//                                        when omitted)
+//                [--flight-recorder-out <path>] (dump the flight
+//                                        recorder JSONL at exit and on
+//                                        crash/fatal)
 //
 // Crosswalk CSVs are long-form: columns `source,target,value` (one row
 // per non-empty intersection; the reference's source aggregates are
@@ -43,6 +54,9 @@
 #include "core/regression.h"
 #include "io/crosswalk_io.h"
 #include "io/csv.h"
+#include "obs/export.h"
+#include "obs/flight_recorder.h"
+#include "obs/request_context.h"
 #include "obs/telemetry.h"
 
 namespace geoalign {
@@ -56,11 +70,16 @@ struct CliArgs {
   std::string out_path;
   std::string metrics_out;
   std::string trace_out;
+  std::string flight_recorder_out;
+  std::string request_id;
+  obs::MetricsFormat metrics_format = obs::MetricsFormat::kJson;
   bool print_weights = false;
 };
 
 Result<CliArgs> ParseArgs(int argc, char** argv) {
   CliArgs args;
+  std::string metrics_format;
+  bool telemetry_explicit = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> Result<std::string> {
@@ -80,12 +99,16 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       return false;
     };
     if (match_valued("--metrics-out", &args.metrics_out) ||
-        match_valued("--trace-out", &args.trace_out)) {
+        match_valued("--metrics-format", &metrics_format) ||
+        match_valued("--trace-out", &args.trace_out) ||
+        match_valued("--flight-recorder-out", &args.flight_recorder_out) ||
+        match_valued("--request-id", &args.request_id)) {
       continue;
     }
     std::string telemetry_value;
     if (arg == "--telemetry" || match_valued("--telemetry",
                                              &telemetry_value)) {
+      telemetry_explicit = true;
       if (telemetry_value.empty()) {
         GEOALIGN_ASSIGN_OR_RETURN(telemetry_value, next());
       }
@@ -122,8 +145,14 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       GEOALIGN_ASSIGN_OR_RETURN(args.out_path, next());
     } else if (arg == "--metrics-out") {
       GEOALIGN_ASSIGN_OR_RETURN(args.metrics_out, next());
+    } else if (arg == "--metrics-format") {
+      GEOALIGN_ASSIGN_OR_RETURN(metrics_format, next());
     } else if (arg == "--trace-out") {
       GEOALIGN_ASSIGN_OR_RETURN(args.trace_out, next());
+    } else if (arg == "--flight-recorder-out") {
+      GEOALIGN_ASSIGN_OR_RETURN(args.flight_recorder_out, next());
+    } else if (arg == "--request-id") {
+      GEOALIGN_ASSIGN_OR_RETURN(args.request_id, next());
     } else if (arg == "--weights") {
       args.print_weights = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -138,6 +167,18 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
   if (args.refs.empty()) {
     return Status::InvalidArgument("at least one --ref is required");
   }
+  if (!metrics_format.empty() &&
+      !obs::ParseMetricsFormat(metrics_format, &args.metrics_format)) {
+    return Status::InvalidArgument(
+        "--metrics-format expects prom|json|text");
+  }
+  // Asking for a telemetry artifact implies wanting telemetry: enable
+  // it unless the user pinned the switch with an explicit --telemetry.
+  if (!telemetry_explicit &&
+      (!args.metrics_out.empty() || !args.trace_out.empty() ||
+       !args.flight_recorder_out.empty())) {
+    obs::SetEnabled(true);
+  }
   return args;
 }
 
@@ -147,12 +188,22 @@ void PrintUsage() {
       "usage: geoalign_cli --objective <csv> --ref <name>=<csv> [...]\n"
       "  [--method geoalign|dasymetric=<ref>|areal|regression]\n"
       "  [--output aggregates|dm] [--out <path>] [--weights]\n"
-      "  [--metrics-out <path>] [--trace-out <path>] [--telemetry on|off]\n"
+      "  [--metrics-out <path>] [--metrics-format prom|json|text]\n"
+      "  [--trace-out <path>] [--telemetry on|off]\n"
+      "  [--request-id <id>] [--flight-recorder-out <path>]\n"
       "objective csv columns: unit,value\n"
       "crosswalk csv columns: source,target,value\n");
 }
 
 Result<int> Run(const CliArgs& args) {
+  if (!args.flight_recorder_out.empty()) {
+    obs::SetFlightRecorderDumpPath(args.flight_recorder_out);
+    obs::InstallCrashHandlers();
+  }
+  // Every span and audit record below carries this request identity
+  // (generated "req-<n>" when --request-id is omitted).
+  obs::RequestScope request_scope(args.request_id);
+
   // Load all crosswalk files; unify unit universes across them.
   std::vector<io::LoadedCrosswalk> crosswalks;
   std::vector<std::string> source_units;
@@ -254,7 +305,8 @@ Result<int> Run(const CliArgs& args) {
   // Telemetry exports run last so they cover the whole crosswalk.
   if (!args.metrics_out.empty()) {
     std::string error;
-    if (!obs::WriteMetricsJsonFile(args.metrics_out, &error)) {
+    if (!obs::WriteMetricsFile(args.metrics_out, args.metrics_format,
+                               &error)) {
       return Status::Internal("--metrics-out: " + error);
     }
   }
@@ -262,6 +314,13 @@ Result<int> Run(const CliArgs& args) {
     std::string error;
     if (!obs::WriteTraceJsonFile(args.trace_out, &error)) {
       return Status::Internal("--trace-out: " + error);
+    }
+  }
+  if (!args.flight_recorder_out.empty()) {
+    std::string error;
+    if (!obs::FlightRecorder::Global().DumpToFile(args.flight_recorder_out,
+                                                  "demand", &error)) {
+      return Status::Internal("--flight-recorder-out: " + error);
     }
   }
   if (!args.metrics_out.empty() || !args.trace_out.empty()) {

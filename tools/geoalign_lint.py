@@ -86,6 +86,15 @@ documented in docs/static_analysis.md:
       invisible to the analysis and silently exempts its critical
       sections from the compile-time locking contracts.
 
+  geoalign-metrics-export
+      No direct MetricsSnapshot serialization (`.ToText(...)` /
+      `.ToJson(...)`) in library or C ABI code outside src/obs/. Every
+      exposition of the metrics registry — CLI, C ABI, flight recorder,
+      a future /metrics endpoint — goes through the one writer in
+      src/obs/export.h (FormatMetricsSnapshot / WriteMetricsFile), so
+      formats stay byte-identical across surfaces and new formats land
+      everywhere at once. See docs/observability.md.
+
   geoalign-capi-abi
       The public C ABI headers (capi/*.h) must stay C99-clean: no
       C++-only keywords (class/template/namespace/constexpr/nullptr/
@@ -123,6 +132,7 @@ RULES = (
     "geoalign-hot-alloc",
     "geoalign-raw-intrinsic",
     "geoalign-raw-mutex",
+    "geoalign-metrics-export",
     "geoalign-capi-abi",
 )
 
@@ -178,6 +188,11 @@ RAW_MUTEX_RE = re.compile(
     r"|recursive_timed_mutex|shared_mutex|shared_timed_mutex"
     r"|lock_guard|unique_lock|scoped_lock|shared_lock"
     r"|condition_variable(?:_any)?)\b")
+# Direct MetricsSnapshot serialization outside the one exposition
+# writer (src/obs/export.h). Member-call spelling only: the writer
+# itself (and tests) may call the snapshot methods; everything else
+# must go through FormatMetricsSnapshot / WriteMetricsFile.
+METRICS_EXPORT_RE = re.compile(r"(?:\.|->)\s*To(?:Text|Json)\s*\(")
 RAW_INTRINSIC_RE = re.compile(
     r"#\s*include\s*<(?:immintrin|x86intrin|arm_neon)\.h>"
     r"|\b_mm(?:256|512)?_[a-z0-9_]+\s*\("
@@ -350,6 +365,9 @@ class Linter:
             self.check_raw_intrinsic(path, stripped, raw_lines)
         if rel.startswith("src/") and rel != RAW_MUTEX_EXEMPT:
             self.check_raw_mutex(path, stripped, raw_lines)
+        if ((rel.startswith("src/") and not rel.startswith("src/obs/"))
+                or rel.startswith("capi/")):
+            self.check_metrics_export(path, stripped, raw_lines)
         if rel.startswith("capi/") and rel.endswith(".h"):
             self.check_capi_abi(path, stripped, raw_lines)
 
@@ -430,6 +448,17 @@ class Linter:
                 "common/thread_annotations.h; use the annotated "
                 "common::Mutex / common::MutexLock / common::CondVar "
                 "wrappers so -Wthread-safety sees the lock"
+                % m.group(0).strip(), raw_lines)
+
+    def check_metrics_export(self, path, stripped, raw_lines):
+        for m in METRICS_EXPORT_RE.finditer(stripped):
+            self.report(
+                path, line_of(m.start(), stripped),
+                "geoalign-metrics-export",
+                "direct metrics serialization ('%s') outside src/obs/; "
+                "route it through the one exposition writer "
+                "(obs::FormatMetricsSnapshot / obs::WriteMetricsFile in "
+                "obs/export.h) so every surface stays byte-identical"
                 % m.group(0).strip(), raw_lines)
 
     def check_capi_abi(self, path, stripped, raw_lines):
