@@ -40,13 +40,6 @@ void AppendRingFan(const Ring& ring, double ring_sign,
   }
 }
 
-double TriTriIntersectionArea(const SignedTriangle& s,
-                              const SignedTriangle& t) {
-  Ring rs = {s.a, s.b, s.c};
-  Ring rt = {t.a, t.b, t.c};
-  return ConvexIntersectionArea(rs, rt);
-}
-
 }  // namespace
 
 std::vector<SignedTriangle> SignedFan(const Polygon& poly) {
@@ -58,27 +51,62 @@ std::vector<SignedTriangle> SignedFan(const Polygon& poly) {
   return out;
 }
 
+std::vector<BBox> FanBBoxes(const std::vector<SignedTriangle>& fan) {
+  std::vector<BBox> out;
+  out.reserve(fan.size());
+  for (const SignedTriangle& t : fan) {
+    BBox box;
+    box.Expand(t.a);
+    box.Expand(t.b);
+    box.Expand(t.c);
+    out.push_back(box);
+  }
+  return out;
+}
+
+void FanScratch::Reserve(size_t max_vertices) {
+  clip.Reserve(max_vertices);
+  if (tri_a.capacity() < 3) tri_a.reserve(3);
+  if (tri_b.capacity() < 3) tri_b.reserve(3);
+}
+
+double IntersectionAreaPrepared(const SignedTriangle* fan_a,
+                                const BBox* boxes_a, size_t size_a,
+                                const SignedTriangle* fan_b,
+                                const BBox* boxes_b, size_t size_b,
+                                FanScratch* scratch) {
+  double acc = 0.0;
+  // GEOALIGN_HOT_LOOP_BEGIN (overlay tri×tri loop: staging rings and
+  // clip rings come Reserved from the FanScratch)
+  for (size_t i = 0; i < size_a; ++i) {
+    const SignedTriangle& ta = fan_a[i];
+    const BBox& ba = boxes_a[i];
+    for (size_t j = 0; j < size_b; ++j) {
+      if (!ba.Intersects(boxes_b[j])) continue;
+      const SignedTriangle& tb = fan_b[j];
+      // assign into the 3-capacity staging rings never grows them.
+      scratch->tri_a.assign({ta.a, ta.b, ta.c});  // NOLINT(geoalign-hot-alloc)
+      scratch->tri_b.assign({tb.a, tb.b, tb.c});  // NOLINT(geoalign-hot-alloc)
+      double inter =
+          ConvexIntersectionAreaWith(scratch->tri_a, scratch->tri_b,
+                                     &scratch->clip);
+      if (inter > 0.0) acc += ta.sign * tb.sign * inter;
+    }
+  }
+  // GEOALIGN_HOT_LOOP_END
+  return std::max(acc, 0.0);
+}
+
 double IntersectionArea(const Polygon& a, const Polygon& b) {
   if (!a.Bounds().Intersects(b.Bounds())) return 0.0;
   std::vector<SignedTriangle> fa = SignedFan(a);
   std::vector<SignedTriangle> fb = SignedFan(b);
-  double acc = 0.0;
-  for (const SignedTriangle& ta : fa) {
-    BBox ba;
-    ba.Expand(ta.a);
-    ba.Expand(ta.b);
-    ba.Expand(ta.c);
-    for (const SignedTriangle& tb : fb) {
-      BBox bb;
-      bb.Expand(tb.a);
-      bb.Expand(tb.b);
-      bb.Expand(tb.c);
-      if (!ba.Intersects(bb)) continue;
-      double inter = TriTriIntersectionArea(ta, tb);
-      if (inter > 0.0) acc += ta.sign * tb.sign * inter;
-    }
-  }
-  return std::max(acc, 0.0);
+  std::vector<BBox> ba = FanBBoxes(fa);
+  std::vector<BBox> bb = FanBBoxes(fb);
+  FanScratch scratch;
+  scratch.Reserve(8);
+  return IntersectionAreaPrepared(fa.data(), ba.data(), fa.size(), fb.data(),
+                                  bb.data(), fb.size(), &scratch);
 }
 
 double UnionArea(const Polygon& a, const Polygon& b) {

@@ -1,6 +1,9 @@
 #ifndef GEOALIGN_GEOM_BOOLEAN_OPS_H_
 #define GEOALIGN_GEOM_BOOLEAN_OPS_H_
 
+#include <cstdint>
+
+#include "geom/convex_clip.h"
 #include "geom/polygon.h"
 
 namespace geoalign::geom {
@@ -40,6 +43,44 @@ struct SignedTriangle {
 /// hole rings negative); degenerate triangles are dropped. Exposed for
 /// testing and reuse.
 std::vector<SignedTriangle> SignedFan(const Polygon& poly);
+
+/// Bounding boxes of fan triangles, one per triangle, computed with
+/// the same Expand sequence the per-pair path used — so pruning
+/// decisions based on them are bit-identical to recomputing boxes in
+/// the tri×tri loop.
+std::vector<BBox> FanBBoxes(const std::vector<SignedTriangle>& fan);
+
+/// Per-worker scratch for the prepared-fan intersection kernel: the
+/// clip ping/pong rings plus the two staging triangle rings. Reserve
+/// once (overlay workers own one each), then IntersectionAreaPrepared
+/// never allocates; alloc_events() reads back any growth that did
+/// happen (the `overlay.hot_path_allocs` telemetry).
+struct FanScratch {
+  ClipScratch clip;
+  Ring tri_a;
+  Ring tri_b;
+
+  /// Pre-grows the clip rings for subjects of up to `max_vertices`
+  /// vertices (triangles need 8; the convex fast path clips whole
+  /// rings and passes outer-ring bounds). Monotonic.
+  void Reserve(size_t max_vertices);
+
+  uint64_t alloc_events() const { return clip.alloc_events; }
+};
+
+/// The cached-fan core of IntersectionArea: both polygons arrive as
+/// precomputed signed fans with per-triangle bboxes (`SignedFan` +
+/// `FanBBoxes`), and every intermediate ring comes from `scratch`.
+/// Arithmetic, pruning, and accumulation order are exactly those of
+/// IntersectionArea, so the result is bit-identical — the overlay
+/// engine leans on this to cache fans per unit instead of
+/// re-decomposing per candidate pair. Callers are responsible for the
+/// polygon-bounds prune that IntersectionArea performs up front.
+double IntersectionAreaPrepared(const SignedTriangle* fan_a,
+                                const BBox* boxes_a, size_t size_a,
+                                const SignedTriangle* fan_b,
+                                const BBox* boxes_b, size_t size_b,
+                                FanScratch* scratch);
 
 }  // namespace geoalign::geom
 

@@ -1,6 +1,8 @@
 #ifndef GEOALIGN_GEOM_CONVEX_CLIP_H_
 #define GEOALIGN_GEOM_CONVEX_CLIP_H_
 
+#include <cstdint>
+
 #include "geom/polygon.h"
 
 namespace geoalign::geom {
@@ -24,6 +26,13 @@ struct HalfPlane {
 /// be empty or degenerate; callers should check RingArea.
 Ring ClipRingToHalfPlane(const Ring& subject, const HalfPlane& hp);
 
+/// Allocation-free variant: clears `*out` and appends the clipped
+/// ring. Identical arithmetic (and therefore bit-identical output) to
+/// ClipRingToHalfPlane; reuses out's capacity, growing it only when
+/// the result cannot fit. `out` must not alias `subject`.
+void ClipRingToHalfPlaneInto(const Ring& subject, const HalfPlane& hp,
+                             Ring* out);
+
 /// Sutherland–Hodgman: clips `subject` (any simple ring) against a
 /// CONVEX clip ring given in counter-clockwise order. Exact for convex
 /// `subject`; for non-convex subjects the classic caveat applies
@@ -32,6 +41,30 @@ Ring ClipRingToConvex(const Ring& subject, const Ring& convex_clip);
 
 /// Area of the intersection of two CONVEX rings.
 double ConvexIntersectionArea(const Ring& a, const Ring& b);
+
+/// Reusable ping/pong rings for the allocation-free clipping path.
+/// One scratch serves one clip at a time; overlay workers each own one
+/// (partition::OverlayWorkspace) and Reserve it once, so steady-state
+/// clipping never touches the heap. `alloc_events` counts every
+/// capacity growth after Reserve — the `overlay.hot_path_allocs`
+/// telemetry reads it back.
+struct ClipScratch {
+  Ring ping;
+  Ring pong;
+  uint64_t alloc_events = 0;
+
+  /// Pre-grows both rings for subjects/clips of up to `max_vertices`
+  /// vertices each (a subject of n vertices clipped by m half-planes
+  /// has at most n + m vertices). Monotonic.
+  void Reserve(size_t max_vertices);
+};
+
+/// Allocation-free ConvexIntersectionArea: same arithmetic in the same
+/// order (bit-identical result), with every intermediate ring drawn
+/// from `scratch` instead of freshly allocated. The subject ring `a`
+/// is copied into the scratch, so `a`/`b` may be long-lived geometry.
+double ConvexIntersectionAreaWith(const Ring& a, const Ring& b,
+                                  ClipScratch* scratch);
 
 }  // namespace geoalign::geom
 

@@ -12,7 +12,9 @@ double SignedRingArea(const Ring& ring) {
   size_t n = ring.size();
   for (size_t i = 0; i < n; ++i) {
     const Point& a = ring[i];
-    const Point& b = ring[(i + 1) % n];
+    // Conditional wrap instead of % n: no integer division in a loop
+    // the overlay clip runs once per candidate pair.
+    const Point& b = i + 1 < n ? ring[i + 1] : ring[0];
     acc += a.x * b.y - b.x * a.y;
   }
   return acc * 0.5;

@@ -58,9 +58,15 @@ std::vector<uint32_t> PolygonPartition::CandidatesInBox(
   return rtree_->Query(query);
 }
 
+void PolygonPartition::CandidatesInBox(const geom::BBox& query,
+                                       std::vector<uint32_t>* out) const {
+  rtree_->Query(query, out);
+}
+
 Status PolygonPartition::ValidateDisjoint(double tol) const {
+  std::vector<uint32_t> cands;
   for (uint32_t i = 0; i < units_.size(); ++i) {
-    std::vector<uint32_t> cands = rtree_->Query(units_[i].Bounds());
+    rtree_->Query(units_[i].Bounds(), &cands);
     for (uint32_t j : cands) {
       if (j <= i) continue;
       double inter = geom::IntersectionArea(units_[i], units_[j]);

@@ -43,6 +43,12 @@ class PolygonPartition {
   /// Units whose bounding box intersects `query`.
   std::vector<uint32_t> CandidatesInBox(const geom::BBox& query) const;
 
+  /// Buffer-reuse overload: clears `*out` and appends the same hits in
+  /// the same order, reusing its capacity across calls (no per-query
+  /// vector allocation — see spatial::RTree::Query).
+  void CandidatesInBox(const geom::BBox& query,
+                       std::vector<uint32_t>* out) const;
+
   /// Verifies pairwise interior-disjointness: any two units whose
   /// intersection area exceeds `tol * min(area_i, area_j)` fail.
   Status ValidateDisjoint(double tol = 1e-9) const;

@@ -134,15 +134,82 @@ void RTree::Visit(const geom::BBox& query,
 
 std::vector<uint32_t> RTree::Query(const geom::BBox& query) const {
   std::vector<uint32_t> out;
-  Visit(query, [&out](uint32_t id) {
-    out.push_back(id);
+  Query(query, &out);
+  return out;
+}
+
+void RTree::Query(const geom::BBox& query, std::vector<uint32_t>* out) const {
+  out->clear();
+  Visit(query, [out](uint32_t id) {
+    out->push_back(id);
     return true;
   });
-  return out;
 }
 
 std::vector<uint32_t> RTree::QueryPoint(const geom::Point& p) const {
   return Query(geom::BBox(p.x, p.y, p.x, p.y));
+}
+
+void RTree::QueryPoint(const geom::Point& p,
+                       std::vector<uint32_t>* out) const {
+  Query(geom::BBox(p.x, p.y, p.x, p.y), out);
+}
+
+void RTree::JoinNodes(const RTree& other, uint32_t ni, uint32_t nj,
+                      std::vector<std::pair<uint32_t, uint32_t>>* out) const {
+  const Node& na = nodes_[ni];
+  const Node& nb = other.nodes_[nj];
+  if (!na.box.Intersects(nb.box)) return;
+  if (na.leaf && nb.leaf) {
+    for (uint32_t k = 0; k < na.count; ++k) {
+      uint32_t item_a = items_[na.first + k];
+      const geom::BBox& box_a = item_boxes_[item_a];
+      if (!box_a.Intersects(nb.box)) continue;
+      for (uint32_t l = 0; l < nb.count; ++l) {
+        uint32_t item_b = other.items_[nb.first + l];
+        if (box_a.Intersects(other.item_boxes_[item_b])) {
+          out->emplace_back(item_a, item_b);
+        }
+      }
+    }
+    return;
+  }
+  // Testing child boxes here, before recursing, skips the call for
+  // subtree pairs that cannot emit; the surviving calls run in the
+  // same order, so the emitted pair sequence is unchanged.
+  if (na.leaf) {
+    for (uint32_t l = 0; l < nb.count; ++l) {
+      if (na.box.Intersects(other.nodes_[nb.first + l].box)) {
+        JoinNodes(other, ni, nb.first + l, out);
+      }
+    }
+    return;
+  }
+  if (nb.leaf) {
+    for (uint32_t k = 0; k < na.count; ++k) {
+      if (nodes_[na.first + k].box.Intersects(nb.box)) {
+        JoinNodes(other, na.first + k, nj, out);
+      }
+    }
+    return;
+  }
+  for (uint32_t k = 0; k < na.count; ++k) {
+    const geom::BBox& child_a = nodes_[na.first + k].box;
+    if (!child_a.Intersects(nb.box)) continue;
+    for (uint32_t l = 0; l < nb.count; ++l) {
+      if (child_a.Intersects(other.nodes_[nb.first + l].box)) {
+        JoinNodes(other, na.first + k, nb.first + l, out);
+      }
+    }
+  }
+}
+
+void RTree::DualTreeJoin(
+    const RTree& other,
+    std::vector<std::pair<uint32_t, uint32_t>>* out) const {
+  out->clear();
+  if (nodes_.empty() || other.nodes_.empty()) return;
+  JoinNodes(other, 0, 0, out);
 }
 
 }  // namespace geoalign::spatial

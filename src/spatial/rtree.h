@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "geom/bbox.h"
@@ -22,8 +23,27 @@ class RTree {
   /// Identifiers of items whose box intersects `query`.
   std::vector<uint32_t> Query(const geom::BBox& query) const;
 
+  /// Buffer-reuse overload: clears `*out` and appends the hits,
+  /// reusing its capacity — repeated queries through one buffer stop
+  /// paying one vector allocation per call. Same hits in the same
+  /// (deterministic, tree-order) sequence as the returning overload.
+  void Query(const geom::BBox& query, std::vector<uint32_t>* out) const;
+
   /// Identifiers of items whose box contains `p`.
   std::vector<uint32_t> QueryPoint(const geom::Point& p) const;
+
+  /// Buffer-reuse overload of QueryPoint (see Query above).
+  void QueryPoint(const geom::Point& p, std::vector<uint32_t>* out) const;
+
+  /// Simultaneous dual-tree candidate join: appends to `*out` (after
+  /// clearing it) every (this item, other item) pair whose boxes
+  /// intersect, by descending both trees at once — internal-node
+  /// rejects prune whole subtree×subtree blocks, and no per-item
+  /// query vector is ever materialized. Emission order is a pure
+  /// function of the two tree structures (never of the caller's
+  /// thread count), so chunking the pair buffer is deterministic.
+  void DualTreeJoin(const RTree& other,
+                    std::vector<std::pair<uint32_t, uint32_t>>* out) const;
 
   /// Visits each hit without materializing a vector; `fn` returns
   /// false to stop early.
@@ -47,6 +67,9 @@ class RTree {
 
   void VisitNode(uint32_t node_idx, const geom::BBox& query,
                  const std::function<bool(uint32_t)>& fn, bool* stop) const;
+
+  void JoinNodes(const RTree& other, uint32_t ni, uint32_t nj,
+                 std::vector<std::pair<uint32_t, uint32_t>>* out) const;
 
   std::vector<Node> nodes_;      // root is nodes_[0] when non-empty
   std::vector<uint32_t> items_;  // leaf item ids

@@ -1,0 +1,35 @@
+// Fixture proving the geoalign-hot-alloc rule covers src/partition/
+// (and by the same dispatch, src/geom/) — the overlay engine's marked
+// regions are machine-checked like sparse kernels are.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace geoalign::partition {
+
+struct FixtureCell {
+  uint32_t source;
+  uint32_t target;
+  double measure;
+};
+
+double OverlayHotLoopFixture(const std::vector<double>& areas,
+                             std::vector<FixtureCell>* cells,
+                             std::vector<uint32_t>& candidates) {
+  // Cold-section preparation may allocate freely.
+  std::vector<double> prepared(areas);
+  cells->reserve(areas.size());
+
+  double total = 0.0;
+  // GEOALIGN_HOT_LOOP_BEGIN
+  for (size_t k = 0; k < areas.size(); ++k) {
+    std::vector<uint32_t> pair_ids(2, 0);             // violation: construction
+    cells->push_back({pair_ids[0], 0, areas[k]});     // violation: growth call
+    total += prepared[k];
+    candidates.push_back(pair_ids[0]);  // NOLINT(geoalign-hot-alloc)
+  }
+  // GEOALIGN_HOT_LOOP_END
+  return total;
+}
+
+}  // namespace geoalign::partition

@@ -47,6 +47,7 @@ expect_violation src/core/bad_discarded_status.cc geoalign-discarded-status
 expect_violation src/eval/bad_plan_bypass.cc geoalign-plan-bypass
 expect_violation src/core/bad_raw_clock.cc geoalign-raw-clock
 expect_violation src/sparse/bad_hot_alloc.cc geoalign-hot-alloc
+expect_violation src/partition/bad_overlay_hot_alloc.cc geoalign-hot-alloc
 expect_violation src/core/bad_raw_intrinsic.cc geoalign-raw-intrinsic
 expect_violation src/core/bad_raw_mutex.cc geoalign-raw-mutex
 expect_violation src/core/bad_metrics_export.cc geoalign-metrics-export

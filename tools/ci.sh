@@ -15,6 +15,13 @@
 #           run twice: once with GEOALIGN_FORCE_ISA=scalar and once on
 #           the native dispatch, so a vector kernel can never pass by
 #           only ever being compared against itself
+#   overlay overlay engine smoke: the OverlayEngineTest differential
+#           suite (engine vs reference bit-identity across thread
+#           counts, fast-path tolerance, zero-alloc workspace, dual
+#           tree join oracle) out of the plain build, then
+#           bench/overlay_scale at tiny scale — the binary exits
+#           nonzero on any engine-vs-reference bit difference or any
+#           steady-state hot-path allocation
 #   tsan    rebuild with GEOALIGN_SANITIZE=thread, full ctest
 #   asan    rebuild with GEOALIGN_SANITIZE=address (ASan+UBSan) and
 #           run the full ctest with ASAN_OPTIONS=detect_leaks=1, so
@@ -50,8 +57,10 @@
 #           _count equals its +Inf bucket) and the flight-recorder
 #           JSONL dump — docs/observability.md
 #   benchdiff
-#           ADVISORY: run the obs_overhead benchmark fresh and diff it
-#           against the committed BENCH_obs_overhead.json with
+#           ADVISORY: run the obs_overhead and overlay_scale
+#           benchmarks fresh and diff each against its committed
+#           baseline (BENCH_obs_overhead.json,
+#           BENCH_overlay_construction.json) with
 #           tools/bench_compare.py. A regression beyond the threshold
 #           is reported as ADVISORY-FAIL in the summary but never
 #           fails the build (shared CI machines are noisy); regenerate
@@ -75,7 +84,7 @@
 #                 concurrency-only smoke.
 #   SKIP_TSAN=1 SKIP_ASAN=1 SKIP_UBSAN=1 SKIP_TIDY=1 SKIP_TSA=1
 #   SKIP_LINT=1 SKIP_BENCH=1 SKIP_FUSED=1 SKIP_OBS=1 SKIP_SIMD=1
-#   SKIP_CAPI=1 SKIP_BENCHDIFF=1
+#   SKIP_OVERLAY=1 SKIP_CAPI=1 SKIP_BENCHDIFF=1
 #                 skip the corresponding gate (recorded as "skipped"
 #                 in the summary, never as a pass).
 set -uo pipefail
@@ -90,14 +99,14 @@ TSA_DIR="${TSA_DIR:-build-tsa}"
 CLANGXX="${CLANGXX:-clang++}"
 CTEST_FILTER="${CTEST_FILTER:-}"
 
-GATES=(plain bench fused simd tsan asan ubsan tidy tsa lint capi obs
-       benchdiff)
+GATES=(plain bench fused simd overlay tsan asan ubsan tidy tsa lint
+       capi obs benchdiff)
 # Which toolchain each gate runs on, for the summary matrix. "cxx" is
 # the default compiler CMake resolves (gcc or clang alike).
 declare -A TOOL=(
-  [plain]=cxx [bench]=cxx [fused]=cxx [simd]=cxx [tsan]=cxx [asan]=cxx
-  [ubsan]=cxx [tidy]=clang-tidy [tsa]=clang++ [lint]=python3 [capi]=cc
-  [obs]=python3 [benchdiff]=python3
+  [plain]=cxx [bench]=cxx [fused]=cxx [simd]=cxx [overlay]=cxx
+  [tsan]=cxx [asan]=cxx [ubsan]=cxx [tidy]=clang-tidy [tsa]=clang++
+  [lint]=python3 [capi]=cc [obs]=python3 [benchdiff]=python3
 )
 declare -A RESULT
 failed=0
@@ -190,11 +199,30 @@ EOF
 # the build on a regression; regenerate BENCH_obs_overhead.json when a
 # change is intentional.
 benchdiff_gate() {
-  cmake --build "$BUILD_DIR" -j "$JOBS" --target obs_overhead || return 1
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target obs_overhead \
+    overlay_scale || return 1
   local fresh="$BUILD_DIR/BENCH_obs_overhead_fresh.json"
+  local fresh_overlay="$BUILD_DIR/BENCH_overlay_construction_fresh.json"
   env GEOALIGN_BENCH_REPS=3 "$BUILD_DIR/bench/obs_overhead" "$fresh" &&
     python3 tools/bench_compare.py --threshold "${BENCHDIFF_THRESHOLD:-50}" \
-      "$fresh"
+      "$fresh" &&
+    env GEOALIGN_BENCH_SCALE=0.02 GEOALIGN_BENCH_REPS=2 \
+      "$BUILD_DIR/bench/overlay_scale" "$fresh_overlay" &&
+    python3 tools/bench_compare.py --threshold "${BENCHDIFF_THRESHOLD:-50}" \
+      "$fresh_overlay"
+}
+
+# Overlay engine smoke: the differential suite out of the plain build,
+# then the scale benchmark tiny — overlay_scale itself exits nonzero
+# on a bit difference or a steady-state hot-path allocation, so the
+# zero-alloc and bit-identity contracts gate CI even at smoke scale.
+overlay_gate() {
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target overlay_scale || return 1
+  "$BUILD_DIR/tests/geoalign_tests" --gtest_brief=1 \
+    --gtest_filter='OverlayEngineTest.*' &&
+    env GEOALIGN_BENCH_SCALE=0.02 GEOALIGN_BENCH_REPS=2 \
+      "$BUILD_DIR/bench/overlay_scale" \
+      "$BUILD_DIR/BENCH_overlay_construction_smoke.json"
 }
 
 # SIMD bit-identity: the differential kernel harness plus the panel /
@@ -319,6 +347,7 @@ run_gate fused "${SKIP_FUSED:-0}" env \
   "$BUILD_DIR/bench/fused_execute" \
   "$BUILD_DIR/BENCH_fused_execute_smoke.json"
 run_gate simd "${SKIP_SIMD:-0}" simd_gate
+run_gate overlay "${SKIP_OVERLAY:-0}" overlay_gate
 run_gate tsan "${SKIP_TSAN:-0}" run_suite "$TSAN_DIR" -DGEOALIGN_SANITIZE=thread
 run_gate asan "${SKIP_ASAN:-0}" asan_gate
 run_gate ubsan "${SKIP_UBSAN:-0}" run_suite "$UBSAN_DIR" -DGEOALIGN_SANITIZE=undefined

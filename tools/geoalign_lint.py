@@ -49,16 +49,18 @@ documented in docs/static_analysis.md:
       ad-hoc locals. See docs/observability.md.
 
   geoalign-hot-alloc
-      No heap allocation inside a marked hot loop in src/sparse/:
-      between `GEOALIGN_HOT_LOOP_BEGIN` and `GEOALIGN_HOT_LOOP_END`
-      comment markers, `std::vector` construction, growth calls
-      (push_back / emplace_back / resize / reserve / insert / assign /
-      clear-and-regrow patterns), and bare `new` are flagged. The fused
-      execute kernel (sparse/fused_execute.cc) promises zero hot-path
-      heap allocations — every buffer comes preallocated from a
-      workspace Prepare — and this rule machine-checks that promise.
-      A growth call whose capacity is provably reserved carries a
-      NOLINT with the rationale.
+      No heap allocation inside a marked hot loop in src/sparse/,
+      src/partition/, or src/geom/: between `GEOALIGN_HOT_LOOP_BEGIN`
+      and `GEOALIGN_HOT_LOOP_END` comment markers, `std::vector`
+      construction, growth calls (push_back / emplace_back / resize /
+      reserve / insert / assign / clear-and-regrow patterns), and bare
+      `new` are flagged. The fused execute kernel
+      (sparse/fused_execute.cc) and the geometric overlay engine
+      (partition/overlay.cc + the geom clipping path under it) promise
+      zero hot-path heap allocations — every buffer comes preallocated
+      from a workspace Prepare — and this rule machine-checks that
+      promise. A growth call whose capacity is provably reserved
+      carries a NOLINT with the rationale.
 
   geoalign-raw-intrinsic
       No raw SIMD intrinsics in library code (src/) outside
@@ -359,7 +361,7 @@ class Linter:
             self.check_plan_bypass(path, stripped, raw_lines)
         if rel.startswith("src/") and not rel.startswith("src/obs/"):
             self.check_raw_clock(path, stripped, raw_lines)
-        if rel.startswith("src/sparse/"):
+        if rel.startswith(("src/sparse/", "src/partition/", "src/geom/")):
             self.check_hot_alloc(path, stripped, raw_lines)
         if rel.startswith("src/") and not rel.startswith("src/sparse/simd/"):
             self.check_raw_intrinsic(path, stripped, raw_lines)
